@@ -1,0 +1,97 @@
+"""Ablation: beyond-pairwise co-location (Section 4.4's extension).
+
+The published model handles two applications per node; Section 4.4
+sketches combining bubble scores for more.  This bench measures the
+sketch: three applications share nodes (the pairwise limit relaxed to
+3), and the multiway predictor's error is compared against a
+lower-bound baseline that simply ignores every co-runner beyond the
+loudest.
+"""
+
+from conftest import run_once
+
+from repro._util import stable_seed
+from repro.analysis.errors import absolute_percent_error
+from repro.analysis.reporting import format_table
+from repro.core.multiway import MultiwayPredictor
+from repro.experiments.context import default_context
+
+#: Three-way co-location scenarios: target + two co-runners on all of
+#: the target's nodes.
+SCENARIOS = (
+    ("M.lmps", "H.KM", "S.WC"),
+    ("M.zeus", "H.KM", "S.PR"),
+    ("M.lmps", "S.WC", "S.PR"),
+    ("M.Gems", "H.KM", "S.WC"),
+)
+
+
+def measure_three_way(context, target, co_a, co_b, rep):
+    """Ground truth: target + two co-runners on the same 4 nodes."""
+    runner = context.runner
+    deployments = [
+        (f"{target}#0", target, {i: i for i in range(4)}),
+        (f"{co_a}#1", co_a, {i: i for i in range(4)}),
+        (f"{co_b}#2", co_b, {i: i for i in range(4)}),
+    ]
+    times = runner.run_deployments(deployments, rep=rep)
+    return times[f"{target}#0"]
+
+
+def run_ablation(context):
+    model = context.placement_model
+    multiway = MultiwayPredictor(model, collision_surcharge=0.15)
+    rows = []
+    for target, co_a, co_b in SCENARIOS:
+        co_map = {i: [co_a, co_b] for i in range(4)}
+        predicted = multiway.predict_under_corunners(
+            target, list(range(4)), co_map
+        )
+        loudest = max(
+            (co_a, co_b), key=lambda w: model.profile(w).bubble_score
+        )
+        ignore_extra = model.predict_under_corunners(
+            target, list(range(4)), {i: [loudest] for i in range(4)}
+        )
+        samples = [
+            measure_three_way(
+                context, target, co_a, co_b,
+                rep=stable_seed("multiway", target, co_a, co_b, r),
+            )
+            for r in range(3)
+        ]
+        actual = sum(samples) / len(samples)
+        rows.append(
+            (
+                f"{target} + {co_a} + {co_b}",
+                predicted,
+                ignore_extra,
+                actual,
+                absolute_percent_error(predicted, actual),
+                absolute_percent_error(ignore_extra, actual),
+            )
+        )
+    return rows
+
+
+def test_ablation_multiway_colocation(benchmark, record_artifact):
+    context = default_context()
+    rows = run_once(benchmark, lambda: run_ablation(context))
+    record_artifact(
+        "ablation_multiway",
+        format_table(
+            [
+                "Scenario", "Multiway pred", "Loudest-only pred",
+                "Measured", "Multiway err (%)", "Loudest-only err (%)",
+            ],
+            rows,
+            float_format="{:.3f}",
+        ),
+    )
+
+    multiway_mean = sum(r[4] for r in rows) / len(rows)
+    loudest_mean = sum(r[5] for r in rows) / len(rows)
+    # The combined-score extension predicts three-way sharing at least
+    # as well as pretending the quieter co-runner does not exist.
+    assert multiway_mean <= loudest_mean + 2.0
+    assert multiway_mean < 20.0

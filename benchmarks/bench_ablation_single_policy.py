@@ -1,0 +1,47 @@
+"""Ablation: per-application policies vs one global policy.
+
+The paper selects a heterogeneity mapping policy *per application*
+(Table 2).  This ablation asks what a single cluster-wide policy would
+cost: for each candidate global policy, the average conversion error
+across all distributed workloads, compared against the per-application
+selection.
+"""
+
+from conftest import run_once
+
+from repro.analysis.reporting import format_table
+from repro.core.policies import POLICY_CLASSES
+from repro.experiments.context import default_context
+from repro.experiments.fig4_heterogeneity import run_fig4
+
+
+def test_ablation_single_global_policy(benchmark, record_artifact):
+    context = default_context()
+    result = run_once(benchmark, lambda: run_fig4(context))
+
+    per_app_errors = []
+    global_errors = {name: [] for name in POLICY_CLASSES}
+    for workload, selection in result.selections.items():
+        per_app_errors.append(selection.best.average_error)
+        for name in POLICY_CLASSES:
+            global_errors[name].append(selection.evaluation(name).average_error)
+
+    per_app = sum(per_app_errors) / len(per_app_errors)
+    global_avg = {
+        name: sum(errors) / len(errors) for name, errors in global_errors.items()
+    }
+    best_global_name = min(global_avg, key=global_avg.get)
+
+    rows = [("per-application (paper)", per_app)]
+    rows += [(f"global {name}", avg) for name, avg in sorted(global_avg.items())]
+    record_artifact(
+        "ablation_single_policy",
+        format_table(["Policy scheme", "Avg conversion error (%)"], rows),
+    )
+
+    # Per-application selection dominates any single global policy —
+    # the reason Table 2 exists.
+    assert per_app <= global_avg[best_global_name]
+    # And the naive section's choice of N+1 MAX as "the static best
+    # one" is reproduced: it is the best single policy.
+    assert best_global_name == "N+1 MAX"

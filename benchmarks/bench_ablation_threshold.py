@@ -1,0 +1,54 @@
+"""Ablation: binary-search subdivision threshold sensitivity.
+
+The binary profilers stop subdividing an interval when its endpoint
+values differ by less than a threshold.  This ablation sweeps the
+threshold and reports the cost/accuracy trade-off for the recommended
+binary-optimized algorithm, demonstrating the knob DESIGN.md calls out.
+"""
+
+from conftest import run_once
+
+from repro.analysis.reporting import format_table
+from repro.core.profiling.binary import binary_optimized
+from repro.core.profiling.plan import MeasurementOracle
+from repro.experiments.context import default_context
+
+THRESHOLDS = (0.02, 0.10, 0.30, 0.60)
+WORKLOADS = ("M.milc", "M.Gems", "H.KM")
+
+
+def run_sweep(context):
+    rows = []
+    for threshold in THRESHOLDS:
+        costs, errors = [], []
+        for abbrev in WORKLOADS:
+            truth = context.truth_matrix(abbrev)
+            oracle = MeasurementOracle(context.runner, abbrev)
+            outcome = binary_optimized(
+                oracle, context.pressures, context.counts, threshold=threshold
+            )
+            costs.append(outcome.cost_percent)
+            errors.append(outcome.error_against(truth))
+        rows.append(
+            (threshold, sum(costs) / len(costs), sum(errors) / len(errors))
+        )
+    return rows
+
+
+def test_ablation_binary_threshold(benchmark, record_artifact):
+    context = default_context()
+    rows = run_once(benchmark, lambda: run_sweep(context))
+    record_artifact(
+        "ablation_threshold",
+        format_table(
+            ["Threshold", "Avg cost (%)", "Avg error (%)"], rows,
+            float_format="{:.2f}",
+        ),
+    )
+
+    costs = [cost for _t, cost, _e in rows]
+    # Looser thresholds never measure more settings.
+    assert all(a >= b for a, b in zip(costs, costs[1:]))
+    assert costs[0] > costs[-1]
+    # Even the loosest setting stays usable.
+    assert rows[-1][2] < 12.0

@@ -1,0 +1,28 @@
+"""Bench: regenerate Figure 10 (QoS-aware placement, model vs naive)."""
+
+from conftest import run_once
+
+from repro.experiments.context import default_context
+from repro.experiments.fig10_qos import QOS_LIMIT, run_fig10
+
+
+def test_fig10_qos_placement(benchmark, record_artifact):
+    context = default_context()
+    result = run_once(benchmark, lambda: run_fig10(context))
+    record_artifact("fig10_qos", result.render())
+
+    assert result.qos_limit == QOS_LIMIT
+    model_ok = sum(
+        1 for by in result.outcomes.values() if by["model"].qos_satisfied
+    )
+    naive_ok = sum(
+        1 for by in result.outcomes.values() if by["naive"].qos_satisfied
+    )
+    # The interference-aware model protects the mission-critical app in
+    # every mix; the naive proportional model does not.
+    assert model_ok == len(result.outcomes)
+    assert naive_ok < len(result.outcomes)
+    # Totals remain comparable: QoS support costs little throughput.
+    for by in result.outcomes.values():
+        ratio = by["model"].total_weighted_time / by["naive"].total_weighted_time
+        assert 0.8 < ratio < 1.25

@@ -1,0 +1,19 @@
+"""Bench: regenerate Figure 12 (EC2 propagation curves)."""
+
+from conftest import run_once
+
+from repro.experiments.fig12_ec2_propagation import ec2_context, run_fig12
+
+
+def test_fig12_ec2_propagation(benchmark, record_artifact):
+    context = ec2_context()
+    result = run_once(benchmark, lambda: run_fig12(context))
+    record_artifact("fig12_ec2_propagation", result.render_all())
+
+    assert set(result.matrices) == {"M.milc", "M.Gems", "M.zeus", "M.lu"}
+    for workload, matrix in result.matrices.items():
+        # The sparse Figure 12 count axis.
+        assert list(matrix.counts) == [0, 1, 2, 4, 8, 16, 24, 32]
+        # Interference at full pressure and scale is clearly visible
+        # above the tenant noise floor.
+        assert matrix.get(7, len(matrix.counts) - 1) > 1.3, workload

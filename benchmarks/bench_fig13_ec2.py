@@ -1,0 +1,18 @@
+"""Bench: regenerate Figure 13 (EC2 model validation)."""
+
+from conftest import run_once
+
+from repro.experiments.fig12_ec2_propagation import ec2_context
+from repro.experiments.fig13_ec2_validation import run_fig13
+
+
+def test_fig13_ec2_validation(benchmark, record_artifact):
+    context = ec2_context()
+    result = run_once(benchmark, lambda: run_fig13(context))
+    record_artifact("fig13_ec2_validation", result.render())
+
+    averages = result.average_errors()
+    assert set(averages) == {"M.milc", "M.Gems", "M.zeus", "M.lu"}
+    # The paper reports 3-10% average errors on EC2.
+    for workload, error in averages.items():
+        assert error < 15.0, workload

@@ -1,0 +1,20 @@
+"""Bench: regenerate Figure 2 (naive vs real lammps under libquantum)."""
+
+from conftest import run_once
+
+from repro.experiments.context import default_context
+from repro.experiments.fig2_motivation import run_fig2
+
+
+def test_fig2_motivation(benchmark, record_artifact):
+    context = default_context()
+    result = run_once(benchmark, lambda: run_fig2(context))
+    record_artifact("fig2_motivation", result.render())
+
+    # Headline shape: the naive model rises linearly while reality
+    # jumps at the first interfering node.
+    assert result.real[0] == 1.0
+    assert result.real[1] > result.naive[1] * 1.05
+    assert result.real[1] > 1.2
+    # Both agree at zero interference; naive is anchored at all-nodes.
+    assert result.naive[-1] > result.naive[1]

@@ -1,0 +1,27 @@
+"""Bench: regenerate Figure 3 (propagation curves, all 12 workloads)."""
+
+from conftest import run_once
+
+from repro.experiments.context import default_context
+from repro.experiments.fig3_propagation import run_fig3
+
+
+def test_fig3_propagation(benchmark, record_artifact):
+    context = default_context()
+    result = run_once(benchmark, lambda: run_fig3(context))
+    record_artifact("fig3_propagation", result.render_all())
+
+    assert len(result.matrices) == 12
+    # High propagation: one interfering node captures most of the
+    # all-nodes damage for M.milc.
+    milc = result.curve("M.milc", 8.0)
+    assert (milc[1] - 1.0) / (milc[-1] - 1.0) > 0.35
+    assert milc[1] > 1.5
+    # Proportional: M.Gems's first node causes a small share.
+    gems = result.curve("M.Gems", 8.0)
+    assert (gems[1] - 1.0) / (gems[-1] - 1.0) < 0.3
+    # Low propagation: H.KM stays mild even at max pressure, far
+    # below the high-propagation curves.
+    kmeans = result.curve("H.KM", 8.0)
+    assert kmeans[-1] < 1.65
+    assert kmeans[-1] < milc[-1] - 0.5

@@ -1,0 +1,20 @@
+"""Bench: regenerate Figure 8 (pairwise model validation)."""
+
+from conftest import run_once
+
+from repro.experiments.context import default_context
+from repro.experiments.fig8_validation import run_fig8
+
+
+def test_fig8_validation(benchmark, record_artifact):
+    context = default_context()
+    result = run_once(benchmark, lambda: run_fig8(context))
+    record_artifact("fig8_validation", result.render())
+
+    averages = result.average_errors()
+    assert len(averages) == 12
+    # The paper: most workloads under 10% average error.
+    under_ten = sum(1 for error in averages.values() if error < 10.0)
+    assert under_ten >= 9
+    # And the overall average stays in the single digits.
+    assert sum(averages.values()) / len(averages) < 10.0

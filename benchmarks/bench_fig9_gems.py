@@ -1,0 +1,21 @@
+"""Bench: regenerate Figure 9 (predicted vs actual with M.Gems)."""
+
+from conftest import run_once
+
+from repro.experiments.context import default_context
+from repro.experiments.fig9_gems import run_fig9
+
+
+def test_fig9_gems_corunner(benchmark, record_artifact):
+    context = default_context()
+    result = run_once(benchmark, lambda: run_fig9(context))
+    record_artifact("fig9_gems", result.render())
+
+    assert len(result.workloads) == 12
+    # Predictions and measurements stay in a sane normalized range.
+    assert all(p >= 0.95 for p in result.predicted)
+    assert all(a >= 0.9 for a in result.actual)
+    # Errors exist (Gems is the least predictable co-runner) but stay
+    # bounded.
+    errors = result.errors()
+    assert max(errors) < 35.0

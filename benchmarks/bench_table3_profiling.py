@@ -1,0 +1,28 @@
+"""Bench: regenerate Table 3 and Figures 6-7 (profiling cost/accuracy)."""
+
+from conftest import run_once
+
+from repro.experiments.context import default_context
+from repro.experiments.table3_profiling import run_table3
+
+
+def test_table3_fig6_fig7_profiling(benchmark, record_artifact):
+    context = default_context()
+    result = run_once(benchmark, lambda: run_table3(context))
+    record_artifact(
+        "table3_fig6_fig7_profiling",
+        "\n\n".join(
+            (result.render_table3(), result.render_figure6(), result.render_figure7())
+        ),
+    )
+
+    rows = {name: (cost, err) for name, cost, err in result.table3_rows()}
+    # Table 3's ordering: binary-optimized is by far the cheapest;
+    # binary-brute is the most accurate; random-30% is the least
+    # accurate.
+    assert rows["binary-optimized"][0] < 30.0
+    assert rows["binary-brute"][0] > rows["random-50%"][0] > rows["random-30%"][0]
+    assert rows["binary-brute"][1] == min(err for _c, err in rows.values())
+    assert rows["binary-brute"][1] < rows["random-30%"][1]
+    # Accuracy stays practical for the recommended algorithm.
+    assert rows["binary-optimized"][1] < 8.0

@@ -1,0 +1,42 @@
+"""Shared fixtures for the benchmark harness.
+
+Every bench regenerates one paper artifact (table or figure), records
+its plain-text rendering under ``benchmarks/results/``, and reports its
+wall-clock cost through pytest-benchmark.  The profiled model and
+measurement caches are shared process-wide (the paper profiles once,
+too), so the first bench to need them pays the construction cost.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def artifact_dir() -> Path:
+    """Directory artifacts are written into."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def record_artifact(artifact_dir):
+    """Write a rendered artifact to ``benchmarks/results/<name>.txt``."""
+
+    def _record(name: str, text: str) -> None:
+        (artifact_dir / f"{name}.txt").write_text(text + "\n")
+
+    return _record
+
+
+def run_once(benchmark, fn):
+    """Run an experiment exactly once under pytest-benchmark timing.
+
+    Experiments are deterministic and expensive; statistical repetition
+    belongs to the simulator's ``rep`` machinery, not the bench loop.
+    """
+    return benchmark.pedantic(fn, iterations=1, rounds=1)

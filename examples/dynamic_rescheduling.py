@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Dynamic rescheduling: measure, learn, migrate.
+
+Closes the loop the paper's related work points at: start from a random
+placement, measure each epoch, refine the model online, and migrate VM
+units only when the predicted gain beats the migration cost.
+
+Run:
+    python examples/dynamic_rescheduling.py
+"""
+
+from repro import ClusterRunner, InstanceSpec, build_batch_profiles, build_model
+from repro.placement.annealing import AnnealingSchedule
+from repro.placement.dynamic import DynamicRescheduler
+from repro.placement.throughput import ThroughputPlacer
+
+MIX = ["M.lmps", "M.milc", "H.KM"]
+BATCH = ["C.libq"]
+
+
+def main() -> None:
+    runner = ClusterRunner()
+    print("Profiling the mix (one-time cost)...")
+    report = build_model(runner, MIX, policy_samples=15, seed=8, span=4)
+    build_batch_profiles(runner, report.model, BATCH, span=4)
+
+    instances = [
+        InstanceSpec(f"{abbrev}#{idx}", abbrev)
+        for idx, abbrev in enumerate(MIX + BATCH)
+    ]
+    rescheduler = DynamicRescheduler(
+        runner,
+        report.model,
+        instances,
+        migration_cost=0.02,
+        schedule=AnnealingSchedule(iterations=800, restarts=2),
+        seed=8,
+    )
+
+    # Start from the worst placement the model can construct — the
+    # situation a rescheduler exists to fix.
+    worst = ThroughputPlacer(
+        report.model, runner.spec,
+        schedule=AnnealingSchedule(iterations=800, restarts=2), seed=8,
+    ).worst(instances).placement
+
+    print("\nRunning 5 epochs from an adversarially bad placement:\n")
+    print(f"{'epoch':>5} {'migrated units':>15} {'predicted total':>16} "
+          f"{'measured total':>15}")
+    records = rescheduler.run(epochs=5, initial=worst)
+    for record in records:
+        print(f"{record.epoch:>5} {record.migrated_units:>15} "
+              f"{record.predicted_total:>16.3f} {record.measured_total:>15.3f}")
+
+    improvement = (
+        (records[0].measured_total - records[-1].measured_total)
+        / records[0].measured_total * 100.0
+    )
+    print(f"\nMeasured total improved {improvement:.1f}% over the bad start; "
+          f"later epochs settle once migrations stop paying for themselves.")
+    print("\nOnline corrections learned along the way:")
+    for workload, observations, factor, last_error in (
+        rescheduler.model.staleness_report()
+    ):
+        print(f"  {workload:8s} x{factor:.3f} after {observations} observations "
+              f"(last error {last_error:.1f}%)")
+
+
+if __name__ == "__main__":
+    main()

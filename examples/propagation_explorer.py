@@ -1,0 +1,41 @@
+#!/usr/bin/env python3
+"""Draw Figure 3-style propagation panels in the terminal.
+
+Measures a workload's full propagation grid and renders the sensitivity
+curves as an ASCII chart, making the three propagation classes of
+Section 3.2 visible side by side.
+
+Run:
+    python examples/propagation_explorer.py [workload ...]
+e.g.
+    python examples/propagation_explorer.py M.milc M.Gems H.KM
+"""
+
+import sys
+
+from repro import ClusterRunner
+from repro.analysis.charts import propagation_chart
+from repro.apps.catalog import catalog_entry
+from repro.core.builder import default_counts, default_pressures
+from repro.core.profiling import MeasurementOracle, exhaustive_truth
+
+DEFAULT_PANELS = ("M.milc", "M.Gems", "H.KM")
+
+
+def main() -> None:
+    workloads = sys.argv[1:] or list(DEFAULT_PANELS)
+    runner = ClusterRunner()
+    pressures = default_pressures()
+    counts = default_counts(runner.num_nodes)
+
+    for abbrev in workloads:
+        entry = catalog_entry(abbrev)
+        print(f"\n=== {abbrev} ({entry.name}, "
+              f"{entry.factory().spec.propagation_class.value} propagation) ===\n")
+        oracle = MeasurementOracle(runner, abbrev)
+        matrix = exhaustive_truth(oracle, pressures, counts)
+        print(propagation_chart(matrix))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,106 @@
+"""Interference management for distributed parallel applications.
+
+A faithful reproduction of Han, Jeon, Choi, and Huh, *Interference
+Management for Distributed Parallel Applications in Consolidated
+Clusters* (ASPLOS 2016), built on a simulated consolidated cluster.
+
+The package layers:
+
+* :mod:`repro.cluster` — hosts, VMs, and the shared-resource
+  contention abstraction (bubble pressure).
+* :mod:`repro.apps` — behavioural models of the Table 1 workloads,
+  whose synchronization structure yields the paper's propagation
+  classes.
+* :mod:`repro.sim` — the discrete-event executor and the measurement
+  oracle (the "testbed" the model is profiled against).
+* :mod:`repro.core` — the contribution: propagation matrices,
+  heterogeneity policies, bubble scoring, profiling algorithms, and
+  the interference-aware model (plus the naive baseline).
+* :mod:`repro.placement` — simulated-annealing QoS and throughput
+  placement case studies.
+* :mod:`repro.ec2` — the 32-VM scale-out validation environment.
+* :mod:`repro.experiments` — one module per paper table/figure.
+
+Quick start::
+
+    from repro import ClusterRunner, build_model
+
+    runner = ClusterRunner()
+    report = build_model(runner, ["M.lmps", "M.Gems"], policy_samples=20)
+    model = report.model
+    # predicted slowdown of lammps with 3 nodes at bubble pressure 5:
+    model.predict_homogeneous("M.lmps", pressure=5.0, count=3)
+"""
+
+from repro.apps import (
+    ALL_WORKLOADS,
+    BATCH_WORKLOADS,
+    DISTRIBUTED_WORKLOADS,
+    get_workload,
+    make_bubble,
+)
+from repro.cluster import Cluster, ClusterSpec
+from repro.core import (
+    InterferenceModel,
+    InterferenceProfile,
+    NaiveProportionalModel,
+    PropagationMatrix,
+    build_batch_profiles,
+    build_model,
+    load_model,
+    save_model,
+)
+from repro.errors import (
+    CatalogError,
+    ConfigurationError,
+    ModelError,
+    PlacementError,
+    ProfilingError,
+    ReproError,
+    SimulationError,
+)
+from repro.placement import (
+    InstanceSpec,
+    Placement,
+    QoSAwarePlacer,
+    QoSConstraint,
+    ThroughputPlacer,
+)
+from repro.sim import ClusterRunner
+from repro.units import MAX_PRESSURE, NUM_PRESSURE_LEVELS
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ALL_WORKLOADS",
+    "BATCH_WORKLOADS",
+    "CatalogError",
+    "Cluster",
+    "ClusterRunner",
+    "ClusterSpec",
+    "ConfigurationError",
+    "DISTRIBUTED_WORKLOADS",
+    "InstanceSpec",
+    "InterferenceModel",
+    "InterferenceProfile",
+    "MAX_PRESSURE",
+    "ModelError",
+    "NUM_PRESSURE_LEVELS",
+    "NaiveProportionalModel",
+    "Placement",
+    "PlacementError",
+    "ProfilingError",
+    "PropagationMatrix",
+    "QoSAwarePlacer",
+    "QoSConstraint",
+    "ReproError",
+    "SimulationError",
+    "ThroughputPlacer",
+    "build_batch_profiles",
+    "build_model",
+    "get_workload",
+    "load_model",
+    "make_bubble",
+    "save_model",
+    "__version__",
+]

@@ -1,0 +1,127 @@
+"""ASCII line charts for sensitivity curves.
+
+The repository deliberately has no plotting dependency; these renderers
+draw Figure 3-style curves in a terminal, which the examples and CLI
+use to make the propagation classes visible at a glance.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Sequence
+
+from repro.errors import ConfigurationError
+
+#: Glyphs assigned to series, in declaration order.
+SERIES_GLYPHS = "ox*+#@%&"
+
+
+def ascii_chart(
+    x_values: Sequence[float],
+    series: Mapping[str, Sequence[float]],
+    *,
+    width: int = 60,
+    height: int = 16,
+    y_label: str = "",
+) -> str:
+    """Render one or more curves as an ASCII scatter chart.
+
+    Parameters
+    ----------
+    x_values:
+        Shared x coordinates (e.g. interfering node counts).
+    series:
+        Name -> y values, each aligned with ``x_values``.
+    width, height:
+        Plot area size in characters.
+    y_label:
+        Optional label printed above the axis.
+
+    Returns
+    -------
+    str
+        The rendered chart, including a legend.
+    """
+    if not series:
+        raise ConfigurationError("no series to chart")
+    if len(series) > len(SERIES_GLYPHS):
+        raise ConfigurationError(
+            f"at most {len(SERIES_GLYPHS)} series supported"
+        )
+    for name, ys in series.items():
+        if len(ys) != len(x_values):
+            raise ConfigurationError(
+                f"series {name!r} has {len(ys)} points for "
+                f"{len(x_values)} x values"
+            )
+    if len(x_values) < 2:
+        raise ConfigurationError("need at least two x values")
+    if width < 8 or height < 4:
+        raise ConfigurationError("chart too small")
+
+    all_y: List[float] = [y for ys in series.values() for y in ys]
+    y_min, y_max = min(all_y), max(all_y)
+    if y_max == y_min:
+        y_max = y_min + 1.0
+    x_min, x_max = min(x_values), max(x_values)
+
+    grid = [[" "] * width for _ in range(height)]
+
+    def col(x: float) -> int:
+        return round((x - x_min) / (x_max - x_min) * (width - 1))
+
+    def row(y: float) -> int:
+        return (height - 1) - round((y - y_min) / (y_max - y_min) * (height - 1))
+
+    for glyph, (name, ys) in zip(SERIES_GLYPHS, series.items()):
+        for x, y in zip(x_values, ys):
+            grid[row(y)][col(x)] = glyph
+
+    lines: List[str] = []
+    if y_label:
+        lines.append(y_label)
+    for index, cells in enumerate(grid):
+        if index == 0:
+            prefix = f"{y_max:7.2f} |"
+        elif index == height - 1:
+            prefix = f"{y_min:7.2f} |"
+        else:
+            prefix = " " * 7 + " |"
+        lines.append(prefix + "".join(cells))
+    lines.append(" " * 8 + "+" + "-" * width)
+    lines.append(
+        " " * 8 + f"{x_min:g}" + " " * (width - len(f"{x_min:g}") - len(f"{x_max:g}"))
+        + f"{x_max:g}"
+    )
+    legend = "  ".join(
+        f"{glyph}={name}" for glyph, name in zip(SERIES_GLYPHS, series)
+    )
+    lines.append("legend: " + legend)
+    return "\n".join(lines)
+
+
+def propagation_chart(matrix, pressures: Sequence[float] | None = None) -> str:
+    """Draw a Figure 3 panel from a propagation matrix.
+
+    Parameters
+    ----------
+    matrix:
+        A complete :class:`~repro.core.curves.PropagationMatrix`.
+    pressures:
+        Pressure rows to draw (default: 2, 5, 8 where available).
+    """
+    available = list(matrix.pressures)
+    if pressures is None:
+        pressures = [p for p in (2.0, 5.0, 8.0) if p in available]
+        if not pressures:
+            pressures = available[:3]
+    series: Dict[str, List[float]] = {}
+    for pressure in pressures:
+        if pressure not in available:
+            raise ConfigurationError(f"pressure {pressure} not in the matrix")
+        row = available.index(pressure)
+        series[f"p{pressure:g}"] = [float(v) for v in matrix.row(row)]
+    return ascii_chart(
+        [float(c) for c in matrix.counts],
+        series,
+        y_label="normalized execution time vs interfering nodes",
+    )

@@ -1,0 +1,50 @@
+"""Application behaviour models and the Table 1 workload catalog."""
+
+from repro.apps.base import (
+    PropagationClass,
+    Stage,
+    Workload,
+    WorkloadFamily,
+    WorkloadSpec,
+    total_program_work,
+)
+from repro.apps.batch import BatchWorkload
+from repro.apps.bubble import BubbleWorkload, bubble_sensitivity
+from repro.apps.catalog import (
+    ALL_WORKLOADS,
+    BATCH_WORKLOADS,
+    DISTRIBUTED_WORKLOADS,
+    CatalogEntry,
+    catalog_entry,
+    get_workload,
+    make_bubble,
+    table1_rows,
+)
+from repro.apps.mapreduce import MapReduceWorkload
+from repro.apps.mpi import BSPWorkload, CollectiveType, LooselyCoupledWorkload
+from repro.apps.spark import SparkWorkload
+
+__all__ = [
+    "ALL_WORKLOADS",
+    "BATCH_WORKLOADS",
+    "BSPWorkload",
+    "BatchWorkload",
+    "BubbleWorkload",
+    "CatalogEntry",
+    "CollectiveType",
+    "DISTRIBUTED_WORKLOADS",
+    "LooselyCoupledWorkload",
+    "MapReduceWorkload",
+    "PropagationClass",
+    "SparkWorkload",
+    "Stage",
+    "Workload",
+    "WorkloadFamily",
+    "WorkloadSpec",
+    "bubble_sensitivity",
+    "catalog_entry",
+    "get_workload",
+    "make_bubble",
+    "table1_rows",
+    "total_program_work",
+]

@@ -1,0 +1,53 @@
+"""Single-node batch co-runners (SPEC CPU2006).
+
+The paper uses SPEC CPU2006 applications as batch co-running workloads
+(Table 1, Section 5.1): 32 independent single-threaded instances, two
+per dual-core VM.  Instances neither communicate nor synchronize; the
+job finishes when the last instance does (max of per-slot sums), so
+propagation semantics do not apply — they matter as *pressure sources*
+and as throughput terms in the placement objectives.
+
+Instances execute as a single stage of statically-bound chunks so that
+pressure changes (a co-runner finishing) take effect at chunk
+boundaries.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.apps.base import Stage, Workload, WorkloadSpec
+from repro.errors import ConfigurationError
+
+
+class BatchWorkload(Workload):
+    """A gang of independent single-threaded instances.
+
+    Parameters
+    ----------
+    spec:
+        Calibrated workload description.  ``spec.slots_per_unit``
+        should be 8 for SPEC CPU2006 (two instances per VM, four VMs
+        per unit).
+    chunks:
+        Number of equal chunks each instance's run is split into.
+    """
+
+    def __init__(self, spec: WorkloadSpec, *, chunks: int = 24) -> None:
+        super().__init__(spec)
+        if chunks <= 0:
+            raise ConfigurationError("chunks must be positive")
+        self.chunks = chunks
+
+    def build_program(self, num_slots: int) -> List[Stage]:
+        if num_slots <= 0:
+            raise ConfigurationError("num_slots must be positive")
+        return [
+            Stage(
+                name="batch",
+                n_tasks=num_slots * self.chunks,
+                task_time=self.spec.base_time / self.chunks,
+                dynamic=False,
+                sync_cost=0.0,
+            )
+        ]

@@ -1,0 +1,83 @@
+"""The bubble interference generator.
+
+``bubble`` is the paper's controlled interference source (Section 2.1,
+after Mars et al.): a small program that exercises the memory subsystem
+at a configurable intensity, used both to *apply* known pressure during
+profiling runs and to *measure* the pressure a target application
+generates (its bubble score) from the bubble's own slowdown.
+
+In the simulator a bubble is a *passive* workload: it exerts
+``level`` pressure on its node for as long as any active co-runner is
+executing, and its "reported throughput" — used for bubble-score
+measurement — is the reciprocal of its own slowdown under the node
+pressure it experiences.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.apps.base import (
+    PropagationClass,
+    Stage,
+    Workload,
+    WorkloadFamily,
+    WorkloadSpec,
+)
+from repro.cluster.contention import ExponentialSensitivity
+from repro.errors import ConfigurationError
+from repro.units import MAX_PRESSURE
+
+#: Slowdown of the bubble program itself at maximum co-runner pressure.
+#: The bubble is deliberately very sensitive — it must *detect*
+#: pressure, so its working set is sized to react to any cache theft.
+BUBBLE_MAX_SLOWDOWN: float = 3.0
+
+
+def bubble_sensitivity() -> ExponentialSensitivity:
+    """The bubble program's own pressure-response function."""
+    return ExponentialSensitivity(
+        max_slowdown=BUBBLE_MAX_SLOWDOWN, curvature=0.25, threshold=0.0
+    )
+
+
+class BubbleWorkload(Workload):
+    """A pressure generator pinned to nodes during profiling runs.
+
+    Parameters
+    ----------
+    level:
+        Pressure exerted on the host node, in ``(0, MAX_PRESSURE]``.
+    slots_per_unit:
+        Slots the bubble occupies per unit (it fills the co-runner
+        half of a host: 4 VMs).
+    """
+
+    def __init__(self, level: float, *, slots_per_unit: int = 4) -> None:
+        if not 0.0 < level <= MAX_PRESSURE:
+            raise ConfigurationError(
+                f"bubble level must be in (0, {MAX_PRESSURE}], got {level!r}"
+            )
+        spec = WorkloadSpec(
+            name=f"bubble@{level:g}",
+            abbrev=f"bubble{level:g}",
+            family=WorkloadFamily.SYNTHETIC,
+            propagation_class=PropagationClass.BATCH,
+            sensitivity=bubble_sensitivity(),
+            generated_pressure=float(level),
+            base_time=1.0,
+            noise_cv=0.0,
+            master_pressure_factor=1.0,
+            slots_per_unit=slots_per_unit,
+        )
+        super().__init__(spec)
+        self.level = float(level)
+
+    @property
+    def is_passive(self) -> bool:
+        """Bubbles run exactly as long as the active workloads do."""
+        return True
+
+    def build_program(self, num_slots: int) -> List[Stage]:
+        """Passive workloads execute no tasks of their own."""
+        return []

@@ -1,0 +1,141 @@
+"""MPI-style distributed workloads (SPEC MPI2007 and NPB).
+
+Two synchronization structures appear in the paper's MPI workloads
+(Section 3.2):
+
+* :class:`BSPWorkload` — the common case: every iteration ends with an
+  allreduce/allgather or barrier, so per-iteration time is the *max*
+  over ranks.  One node under interference stalls everyone: the *high
+  propagation* class (M.milc, M.lesl, M.lmps, M.zeus, M.lu, N.cg,
+  N.mg).
+* :class:`LooselyCoupledWorkload` — M.Gems uses no allreduce/allgather
+  and few barriers, so delays do not propagate; aggregate progress
+  follows the sum of per-node throughputs and degradation is roughly
+  proportional to the number of interfering nodes.  We model the work
+  as chunks drawn from a shared pool within each of a few long phases.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import List
+
+from repro.apps.base import Stage, Workload, WorkloadSpec
+from repro.cluster.topology import SwitchTopology
+from repro.errors import ConfigurationError
+
+
+class CollectiveType(enum.Enum):
+    """Collective operation closing each BSP iteration."""
+
+    ALLREDUCE = "allreduce"
+    BARRIER = "barrier"
+    NONE = "none"
+
+
+class BSPWorkload(Workload):
+    """Bulk-synchronous-parallel iterative code (allreduce per step).
+
+    Parameters
+    ----------
+    spec:
+        Calibrated workload description.
+    iterations:
+        Number of compute/communicate iterations.
+    collective:
+        Collective closing each iteration.
+    topology:
+        Interconnect used to cost the collective.
+    """
+
+    def __init__(
+        self,
+        spec: WorkloadSpec,
+        *,
+        iterations: int = 50,
+        collective: CollectiveType = CollectiveType.ALLREDUCE,
+        topology: SwitchTopology | None = None,
+    ) -> None:
+        super().__init__(spec)
+        if iterations <= 0:
+            raise ConfigurationError("iterations must be positive")
+        self.iterations = iterations
+        self.collective = collective
+        self.topology = topology or SwitchTopology()
+
+    def _collective_cost(self, num_slots: int) -> float:
+        if self.collective is CollectiveType.NONE:
+            return 0.0
+        cost = self.topology.collective_cost(num_slots)
+        if self.collective is CollectiveType.BARRIER:
+            cost *= 0.5  # barriers carry no payload
+        return cost
+
+    def build_program(self, num_slots: int) -> List[Stage]:
+        if num_slots <= 0:
+            raise ConfigurationError("num_slots must be positive")
+        task_time = self.spec.base_time / self.iterations
+        sync = self._collective_cost(num_slots)
+        return [
+            Stage(
+                name=f"iter{i}",
+                n_tasks=num_slots,
+                task_time=task_time,
+                dynamic=False,
+                sync_cost=sync,
+            )
+            for i in range(self.iterations)
+        ]
+
+
+class LooselyCoupledWorkload(Workload):
+    """Few-collective MPI code with redistributable work (M.Gems).
+
+    The work of each phase is split into many chunks pulled from a
+    shared pool, so a slowed node simply completes fewer chunks while
+    fast nodes pick up the slack — aggregate throughput, not the
+    slowest node, sets the pace.
+
+    Parameters
+    ----------
+    spec:
+        Calibrated workload description.
+    phases:
+        Number of long phases separated by (rare) barriers.
+    chunks_per_slot:
+        Work granularity: average chunks each slot processes per phase.
+    """
+
+    def __init__(
+        self,
+        spec: WorkloadSpec,
+        *,
+        phases: int = 4,
+        chunks_per_slot: int = 16,
+        topology: SwitchTopology | None = None,
+    ) -> None:
+        super().__init__(spec)
+        if phases <= 0:
+            raise ConfigurationError("phases must be positive")
+        if chunks_per_slot <= 0:
+            raise ConfigurationError("chunks_per_slot must be positive")
+        self.phases = phases
+        self.chunks_per_slot = chunks_per_slot
+        self.topology = topology or SwitchTopology()
+
+    def build_program(self, num_slots: int) -> List[Stage]:
+        if num_slots <= 0:
+            raise ConfigurationError("num_slots must be positive")
+        n_tasks = num_slots * self.chunks_per_slot
+        task_time = self.spec.base_time / (self.phases * self.chunks_per_slot)
+        sync = self.topology.collective_cost(num_slots) * 0.5
+        return [
+            Stage(
+                name=f"phase{i}",
+                n_tasks=n_tasks,
+                task_time=task_time,
+                dynamic=True,
+                sync_cost=sync,
+            )
+            for i in range(self.phases)
+        ]

@@ -1,0 +1,150 @@
+"""Command-line interface.
+
+Provides direct access to the reproduction's main entry points::
+
+    python -m repro list                  # catalog + experiments
+    python -m repro run fig2              # regenerate a paper artifact
+    python -m repro profile M.lmps M.Gems --out model.json
+    python -m repro predict --model model.json --workload M.lmps \\
+        --pressure 6 --count 3
+
+Experiments can take seconds to minutes (they include the one-time
+profiling phase); their output is the plain-text rendering of the
+corresponding paper table or figure.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro import __version__
+from repro.analysis.reporting import format_table
+from repro.apps.catalog import table1_rows
+from repro.core.builder import build_model
+from repro.core.profile_store import load_model, save_model
+from repro.errors import ReproError
+from repro.experiments.registry import REGISTRY, get_experiment
+from repro.sim.runner import ClusterRunner
+
+
+def _cmd_list(_args: argparse.Namespace) -> int:
+    print("Workload catalog (Table 1):\n")
+    print(format_table(["Type", "Name", "Size", "Abbrev."], table1_rows()))
+    print("\nReproducible experiments:\n")
+    rows = [
+        (entry.experiment_id, entry.paper_artifact, entry.description)
+        for entry in REGISTRY.values()
+    ]
+    print(format_table(["Id", "Artifact", "Description"], rows))
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    entry = get_experiment(args.experiment)
+    print(f"Running {entry.paper_artifact}: {entry.description}...\n",
+          file=sys.stderr)
+    result = entry.run()
+    print(entry.render(result))
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    runner = ClusterRunner(base_seed=args.seed)
+    report = build_model(
+        runner,
+        args.workloads,
+        algorithm=args.algorithm,
+        policy_samples=args.policy_samples,
+        seed=args.seed,
+    )
+    rows = [
+        (
+            abbrev,
+            report.model.profile(abbrev).policy_name,
+            report.model.profile(abbrev).bubble_score,
+            report.profiling_outcomes[abbrev].cost_percent,
+        )
+        for abbrev in args.workloads
+    ]
+    print(format_table(
+        ["Workload", "Policy", "Bubble score", "Profiling cost (%)"], rows
+    ))
+    if args.out:
+        save_model(report.model, args.out)
+        print(f"\nmodel written to {args.out}")
+    return 0
+
+
+def _cmd_predict(args: argparse.Namespace) -> int:
+    model = load_model(args.model)
+    if args.pressures:
+        vector = [float(p) for p in args.pressures.split(",")]
+        predicted = model.predict_heterogeneous(args.workload, vector)
+        setting = f"heterogeneous vector {vector}"
+    else:
+        predicted = model.predict_homogeneous(
+            args.workload, args.pressure, args.count
+        )
+        setting = f"{args.count} node(s) at pressure {args.pressure}"
+    print(f"{args.workload} under {setting}: {predicted:.3f}x solo time")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Interference management for distributed parallel applications "
+            "(ASPLOS'16 reproduction)"
+        ),
+    )
+    parser.add_argument("--version", action="version", version=__version__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_list = sub.add_parser("list", help="list workloads and experiments")
+    p_list.set_defaults(fn=_cmd_list)
+
+    p_run = sub.add_parser("run", help="regenerate a paper table/figure")
+    p_run.add_argument("experiment", choices=sorted(REGISTRY))
+    p_run.set_defaults(fn=_cmd_run)
+
+    p_profile = sub.add_parser("profile", help="build an interference model")
+    p_profile.add_argument("workloads", nargs="+")
+    p_profile.add_argument("--out", help="write the model to a JSON file")
+    p_profile.add_argument(
+        "--algorithm", default="binary-optimized",
+        choices=["binary-optimized", "binary-brute"],
+    )
+    p_profile.add_argument("--policy-samples", type=int, default=30)
+    p_profile.add_argument("--seed", type=int, default=2016)
+    p_profile.set_defaults(fn=_cmd_profile)
+
+    p_predict = sub.add_parser("predict", help="query a saved model")
+    p_predict.add_argument("--model", required=True)
+    p_predict.add_argument("--workload", required=True)
+    p_predict.add_argument("--pressure", type=float, default=8.0)
+    p_predict.add_argument("--count", type=float, default=1.0)
+    p_predict.add_argument(
+        "--pressures",
+        help="comma-separated per-node pressures (heterogeneous query)",
+    )
+    p_predict.set_defaults(fn=_cmd_predict)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.fn(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

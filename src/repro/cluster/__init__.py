@@ -1,0 +1,41 @@
+"""Consolidated-cluster substrate: hosts, VMs, and contention.
+
+This subpackage models the physical layer of the paper's testbed
+(Section 3.1): an 8-node cluster of 16-core hosts running dual-vCPU
+VMs, with shared LLC / memory-bandwidth contention abstracted to the
+bubble-pressure scale.
+"""
+
+from repro.cluster.cluster import Cluster, ClusterSpec
+from repro.cluster.contention import (
+    ExponentialSensitivity,
+    FlatSensitivity,
+    LinearSensitivity,
+    SensitivityFunction,
+    combine_pressures,
+)
+from repro.cluster.node import PhysicalNode
+from repro.cluster.resources import (
+    MemorySubsystem,
+    miss_rate_to_pressure,
+    pressure_to_miss_rate,
+)
+from repro.cluster.topology import SwitchTopology
+from repro.cluster.vm import VirtualMachine, VMUnit
+
+__all__ = [
+    "Cluster",
+    "ClusterSpec",
+    "ExponentialSensitivity",
+    "FlatSensitivity",
+    "LinearSensitivity",
+    "MemorySubsystem",
+    "PhysicalNode",
+    "SensitivityFunction",
+    "SwitchTopology",
+    "VMUnit",
+    "VirtualMachine",
+    "combine_pressures",
+    "miss_rate_to_pressure",
+    "pressure_to_miss_rate",
+]

@@ -1,0 +1,131 @@
+"""Cluster of physical hosts.
+
+The :class:`Cluster` owns the node inventory and enforces the paper's
+deployment constraints: no vCPU over-commit and at most two distinct
+workloads per host (pairwise interaction, Sections 3.1 and 4.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List
+
+from repro.cluster.node import PhysicalNode
+from repro.errors import ConfigurationError
+from repro.units import DEFAULT_CORES_PER_HOST, DEFAULT_NUM_HOSTS
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """Static description of a homogeneous cluster.
+
+    Parameters
+    ----------
+    num_nodes:
+        Number of physical hosts.
+    cores_per_node:
+        Physical cores per host.
+    memory_gb_per_node:
+        DRAM per host.
+    max_workloads_per_node:
+        Distinct-workload co-location limit (2 in the paper).
+    """
+
+    num_nodes: int = DEFAULT_NUM_HOSTS
+    cores_per_node: int = DEFAULT_CORES_PER_HOST
+    memory_gb_per_node: int = 64
+    max_workloads_per_node: int = 2
+
+    def __post_init__(self) -> None:
+        if self.num_nodes <= 0:
+            raise ConfigurationError("num_nodes must be positive")
+        if self.cores_per_node <= 0:
+            raise ConfigurationError("cores_per_node must be positive")
+        if self.max_workloads_per_node <= 0:
+            raise ConfigurationError("max_workloads_per_node must be positive")
+
+    @property
+    def total_cores(self) -> int:
+        """Aggregate physical cores across the cluster."""
+        return self.num_nodes * self.cores_per_node
+
+
+class Cluster:
+    """A set of physical hosts with placement bookkeeping.
+
+    Parameters
+    ----------
+    spec:
+        Static cluster description; defaults to the paper's 8-node,
+        16-core testbed.
+    """
+
+    def __init__(self, spec: ClusterSpec | None = None) -> None:
+        self.spec = spec or ClusterSpec()
+        self._nodes: List[PhysicalNode] = [
+            PhysicalNode(
+                node_id=i,
+                cores=self.spec.cores_per_node,
+                memory_gb=self.spec.memory_gb_per_node,
+            )
+            for i in range(self.spec.num_nodes)
+        ]
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __iter__(self) -> Iterator[PhysicalNode]:
+        return iter(self._nodes)
+
+    @property
+    def nodes(self) -> List[PhysicalNode]:
+        """The node inventory (live objects, index == node_id)."""
+        return self._nodes
+
+    def node(self, node_id: int) -> PhysicalNode:
+        """Return the node with ``node_id``.
+
+        Raises
+        ------
+        ConfigurationError
+            If the id is out of range.
+        """
+        if not 0 <= node_id < len(self._nodes):
+            raise ConfigurationError(
+                f"node_id {node_id} out of range for {len(self._nodes)}-node cluster"
+            )
+        return self._nodes[node_id]
+
+    def assign(self, instance_key: str, node_id: int, vcpus: int) -> None:
+        """Reserve vCPUs for an instance on a node, enforcing limits."""
+        self.node(node_id).assign(
+            instance_key, vcpus, max_workloads=self.spec.max_workloads_per_node
+        )
+
+    def release(self, instance_key: str) -> None:
+        """Release the instance's reservations on every node."""
+        for node in self._nodes:
+            node.release(instance_key)
+
+    def clear(self) -> None:
+        """Release every reservation on every node."""
+        for node in self._nodes:
+            node.clear()
+
+    def occupancy(self) -> Dict[int, List[str]]:
+        """Map of node id to the instance keys resident there."""
+        return {node.node_id: node.resident_workloads for node in self._nodes}
+
+    def nodes_hosting(self, instance_key: str) -> List[int]:
+        """Sorted node ids where ``instance_key`` holds vCPUs."""
+        return [
+            node.node_id for node in self._nodes if node.vcpus_of(instance_key) > 0
+        ]
+
+    def co_runners_at(self, node_id: int, instance_key: str) -> List[str]:
+        """Other instances sharing the given node with ``instance_key``."""
+        return [
+            key
+            for key in self.node(node_id).resident_workloads
+            if key != instance_key
+        ]

@@ -1,0 +1,109 @@
+"""Physical host model.
+
+A :class:`PhysicalNode` mirrors one host of the paper's testbed
+(Section 3.1): 16 physical cores, a shared last-level cache and memory
+controller (represented by the contention domain — see
+:mod:`repro.cluster.contention`), hosting up to 8 dual-vCPU VMs with no
+vCPU over-commit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.errors import PlacementError
+from repro.units import DEFAULT_CORES_PER_HOST
+
+
+@dataclass
+class PhysicalNode:
+    """One physical host in the consolidated cluster.
+
+    Parameters
+    ----------
+    node_id:
+        Zero-based index of the host within its cluster.
+    cores:
+        Number of physical cores; vCPUs assigned to the node may not
+        exceed this (the paper never over-commits).
+    memory_gb:
+        Host DRAM capacity; informational, used for validation only.
+    """
+
+    node_id: int
+    cores: int = DEFAULT_CORES_PER_HOST
+    memory_gb: int = 64
+    _assigned_vcpus: Dict[str, int] = field(default_factory=dict, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.node_id < 0:
+            raise ValueError("node_id must be non-negative")
+        if self.cores <= 0:
+            raise ValueError("cores must be positive")
+
+    @property
+    def used_vcpus(self) -> int:
+        """Total vCPUs currently assigned to this node."""
+        return sum(self._assigned_vcpus.values())
+
+    @property
+    def free_vcpus(self) -> int:
+        """vCPUs still available without over-committing cores."""
+        return self.cores - self.used_vcpus
+
+    @property
+    def resident_workloads(self) -> List[str]:
+        """Instance keys of workloads with vCPUs on this node."""
+        return sorted(self._assigned_vcpus)
+
+    def assign(self, instance_key: str, vcpus: int, *, max_workloads: int = 2) -> None:
+        """Reserve ``vcpus`` cores for an application instance.
+
+        Parameters
+        ----------
+        instance_key:
+            Unique identifier of the application instance.
+        vcpus:
+            Number of vCPUs to reserve (added to any existing
+            reservation for the same instance).
+        max_workloads:
+            Maximum number of *distinct* instances allowed on the node.
+            The paper's model handles pairwise interaction only, so the
+            default is 2 (Section 3.1).
+
+        Raises
+        ------
+        PlacementError
+            If the node would over-commit its cores or exceed the
+            distinct-workload limit.
+        """
+        if vcpus <= 0:
+            raise ValueError("vcpus must be positive")
+        if vcpus > self.free_vcpus:
+            raise PlacementError(
+                f"node {self.node_id}: cannot assign {vcpus} vCPUs to "
+                f"{instance_key!r}; only {self.free_vcpus} free of {self.cores}"
+            )
+        distinct = set(self._assigned_vcpus)
+        distinct.add(instance_key)
+        if len(distinct) > max_workloads:
+            raise PlacementError(
+                f"node {self.node_id}: co-locating {sorted(distinct)} exceeds "
+                f"the pairwise limit of {max_workloads} distinct workloads"
+            )
+        self._assigned_vcpus[instance_key] = (
+            self._assigned_vcpus.get(instance_key, 0) + vcpus
+        )
+
+    def release(self, instance_key: str) -> None:
+        """Release every vCPU held by ``instance_key`` on this node."""
+        self._assigned_vcpus.pop(instance_key, None)
+
+    def vcpus_of(self, instance_key: str) -> int:
+        """vCPUs currently held by ``instance_key`` (0 if absent)."""
+        return self._assigned_vcpus.get(instance_key, 0)
+
+    def clear(self) -> None:
+        """Release all reservations."""
+        self._assigned_vcpus.clear()

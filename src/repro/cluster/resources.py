@@ -1,0 +1,72 @@
+"""Shared memory-subsystem resource accounting.
+
+Bubble pressure is a *logarithmic* index of LLC miss traffic: one
+pressure level corresponds to a doubling of LLC misses (Section 4.4).
+This module makes that correspondence explicit so code that needs
+physical-ish quantities (the bubble generator design, diagnostics and
+reports) can convert between the pressure scale and miss traffic, and
+provides per-node capacity constants matching the testbed's Xeon
+E5-2650 pair (20 MB LLC per socket, ~51.2 GB/s per socket).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.units import MAX_PRESSURE, validate_pressure
+
+#: LLC miss traffic (millions of misses/sec) corresponding to pressure 1.
+BASE_MISS_RATE_M_PER_S: float = 2.0
+
+
+@dataclass(frozen=True)
+class MemorySubsystem:
+    """Per-node shared memory resources.
+
+    Parameters
+    ----------
+    llc_mb:
+        Last-level cache capacity in MB (two sockets on the testbed).
+    bandwidth_gbps:
+        Aggregate memory bandwidth in GB/s.
+    """
+
+    llc_mb: float = 40.0
+    bandwidth_gbps: float = 102.4
+
+    def __post_init__(self) -> None:
+        if self.llc_mb <= 0:
+            raise ValueError("llc_mb must be positive")
+        if self.bandwidth_gbps <= 0:
+            raise ValueError("bandwidth_gbps must be positive")
+
+    def saturation_pressure(self) -> float:
+        """Pressure at which the subsystem is considered saturated."""
+        return MAX_PRESSURE
+
+
+def pressure_to_miss_rate(pressure: float) -> float:
+    """Convert bubble pressure to LLC miss traffic (M misses/sec).
+
+    Pressure 0 maps to zero traffic; each +1 level doubles traffic.
+    """
+    pressure = validate_pressure(pressure)
+    if pressure == 0.0:
+        return 0.0
+    return BASE_MISS_RATE_M_PER_S * 2.0 ** (pressure - 1.0)
+
+
+def miss_rate_to_pressure(miss_rate: float) -> float:
+    """Inverse of :func:`pressure_to_miss_rate`.
+
+    Raises
+    ------
+    ValueError
+        If ``miss_rate`` is negative.
+    """
+    if miss_rate < 0:
+        raise ValueError("miss_rate must be non-negative")
+    if miss_rate == 0.0:
+        return 0.0
+    return 1.0 + math.log2(miss_rate / BASE_MISS_RATE_M_PER_S)

@@ -1,0 +1,52 @@
+"""Interconnect model.
+
+The testbed connects hosts via a single 10 GbE switch (Section 3.1), so
+the topology is a uniform star: every inter-node message pays the same
+base latency plus a per-participant serialization term.  Collective
+costs here set the *baseline* communication component of iteration
+times; they are deliberately contention-free because the paper's
+interference source is the memory subsystem, not the network.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class SwitchTopology:
+    """Uniform single-switch interconnect.
+
+    Parameters
+    ----------
+    base_latency:
+        Fixed cost (simulated seconds) of any collective or message.
+    per_node_cost:
+        Additional cost per participating node, modelling the
+        serialization of an allreduce/allgather over the star.
+    """
+
+    base_latency: float = 0.0005
+    per_node_cost: float = 0.0001
+
+    def __post_init__(self) -> None:
+        if self.base_latency < 0 or self.per_node_cost < 0:
+            raise ValueError("latencies must be non-negative")
+
+    def point_to_point(self) -> float:
+        """Cost of a single message between two hosts."""
+        return self.base_latency
+
+    def collective_cost(self, num_nodes: int) -> float:
+        """Cost of one allreduce/barrier across ``num_nodes`` hosts."""
+        if num_nodes < 0:
+            raise ValueError("num_nodes must be non-negative")
+        if num_nodes <= 1:
+            return 0.0
+        return self.base_latency + self.per_node_cost * num_nodes
+
+    def shuffle_cost(self, num_nodes: int, data_scale: float = 1.0) -> float:
+        """Cost of an all-to-all shuffle (Hadoop/Spark stage boundary)."""
+        if data_scale < 0:
+            raise ValueError("data_scale must be non-negative")
+        return self.collective_cost(num_nodes) * (1.0 + data_scale)

@@ -1,0 +1,79 @@
+"""Virtual machine and VM-unit abstractions.
+
+The paper deploys applications as groups of dual-vCPU VMs and pins
+*four VMs of the same application together* on a host (Section 3.1), so
+the placement granularity is a :class:`VMUnit` of four VMs.  Section 5
+then treats one unit as the atomic object the placement algorithms swap
+between hosts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.units import DEFAULT_VCPUS_PER_VM, DEFAULT_VMS_PER_UNIT
+
+
+@dataclass(frozen=True)
+class VirtualMachine:
+    """A single guest VM.
+
+    Parameters
+    ----------
+    vm_id:
+        Index of the VM within its owning application instance.
+    vcpus:
+        Virtual CPUs (the testbed uses 2).
+    memory_gb:
+        Guest memory (the testbed uses 5 GB).
+    """
+
+    vm_id: int
+    vcpus: int = DEFAULT_VCPUS_PER_VM
+    memory_gb: int = 5
+
+    def __post_init__(self) -> None:
+        if self.vm_id < 0:
+            raise ValueError("vm_id must be non-negative")
+        if self.vcpus <= 0:
+            raise ValueError("vcpus must be positive")
+
+
+@dataclass(frozen=True)
+class VMUnit:
+    """The atomic placement unit: ``vms`` co-scheduled VMs of one app.
+
+    Parameters
+    ----------
+    instance_key:
+        Identifier of the owning application instance.
+    unit_index:
+        Index of the unit within the instance (0-based).
+    vms:
+        Number of VMs grouped in the unit (the paper uses 4).
+    vcpus_per_vm:
+        vCPUs per member VM.
+    """
+
+    instance_key: str
+    unit_index: int
+    vms: int = DEFAULT_VMS_PER_UNIT
+    vcpus_per_vm: int = DEFAULT_VCPUS_PER_VM
+
+    def __post_init__(self) -> None:
+        if self.unit_index < 0:
+            raise ValueError("unit_index must be non-negative")
+        if self.vms <= 0:
+            raise ValueError("vms must be positive")
+        if self.vcpus_per_vm <= 0:
+            raise ValueError("vcpus_per_vm must be positive")
+
+    @property
+    def vcpus(self) -> int:
+        """Total vCPUs the unit reserves on its host."""
+        return self.vms * self.vcpus_per_vm
+
+    @property
+    def label(self) -> str:
+        """Human-readable identifier, e.g. ``"M.lmps#0/u2"``."""
+        return f"{self.instance_key}/u{self.unit_index}"

@@ -1,0 +1,187 @@
+"""End-to-end model construction.
+
+Ties the three profiling steps of Section 3.4 together for a set of
+workloads:
+
+1. build each workload's propagation matrix (binary-optimized by
+   default — the paper's recommended cost/accuracy point),
+2. select its heterogeneity mapping policy by sampling, and
+3. measure its bubble score with the probe bubble,
+
+yielding a ready-to-use :class:`~repro.core.model.InterferenceModel`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Sequence
+
+from repro._util import stable_seed
+from repro.core.model import InterferenceModel, InterferenceProfile
+from repro.core.profiling.binary import (
+    DEFAULT_THRESHOLD,
+    binary_brute,
+    binary_optimized,
+)
+from repro.core.profiling.plan import MeasurementOracle, ProfilingOutcome
+from repro.core.profiling.policy_selection import PolicySelectionResult, select_policy
+from repro.core.scoring import BubbleScoreMeter
+from repro.errors import ProfilingError
+from repro.sim.runner import ClusterRunner
+from repro.units import NUM_PRESSURE_LEVELS
+
+#: Matrix-profiling algorithms selectable by name.
+MATRIX_PROFILERS: Dict[str, Callable] = {
+    "binary-optimized": binary_optimized,
+    "binary-brute": binary_brute,
+}
+
+
+@dataclass
+class ModelBuildReport:
+    """Everything learned while building a model (for reporting)."""
+
+    model: InterferenceModel
+    policy_selections: Dict[str, PolicySelectionResult]
+    profiling_outcomes: Dict[str, ProfilingOutcome]
+    bubble_scores: Dict[str, float]
+
+
+def default_pressures() -> list:
+    """The paper's profiled bubble levels: 1 through 8."""
+    return [float(level) for level in range(1, NUM_PRESSURE_LEVELS + 1)]
+
+
+def default_counts(num_nodes: int) -> list:
+    """The private testbed's count axis: 0 through ``num_nodes``."""
+    return [float(count) for count in range(num_nodes + 1)]
+
+
+def build_model(
+    runner: ClusterRunner,
+    workloads: Sequence[str],
+    *,
+    algorithm: str = "binary-optimized",
+    threshold: float = DEFAULT_THRESHOLD,
+    policy_samples: int = 60,
+    policy_reps: int = 1,
+    counts: Optional[Sequence[float]] = None,
+    pressures: Optional[Sequence[float]] = None,
+    seed: int = 42,
+    span: Optional[int] = None,
+) -> ModelBuildReport:
+    """Profile ``workloads`` on ``runner`` and assemble a model.
+
+    Parameters
+    ----------
+    runner:
+        Measurement environment.
+    workloads:
+        Workload abbreviations to profile.
+    algorithm:
+        Matrix-profiling algorithm (``"binary-optimized"`` or
+        ``"binary-brute"``).
+    threshold:
+        Binary-search subdivision threshold.
+    policy_samples:
+        Heterogeneous configurations sampled per workload for policy
+        selection.
+    counts, pressures:
+        Matrix axes; default to the environment's full grid (or
+        ``0..span`` when a span is given).
+    seed:
+        Root seed for the sampling steps.
+    span:
+        Deployment size (nodes spanned) the model is profiled for.
+        Sensitivity curves and heterogeneity behaviour depend on the
+        deployment shape, so the paper's Section 5 placements (each
+        application on 4 of the 8 hosts) use a span-4 model while
+        Sections 3-4 profile the full span.
+    """
+    try:
+        profiler = MATRIX_PROFILERS[algorithm]
+    except KeyError:
+        raise ProfilingError(
+            f"unknown profiling algorithm {algorithm!r}; "
+            f"known: {', '.join(MATRIX_PROFILERS)}"
+        ) from None
+    pressures = list(pressures) if pressures is not None else default_pressures()
+    if counts is not None:
+        counts = list(counts)
+    else:
+        counts = default_counts(span if span is not None else runner.num_nodes)
+
+    meter = BubbleScoreMeter(runner)
+    profiles: Dict[str, InterferenceProfile] = {}
+    selections: Dict[str, PolicySelectionResult] = {}
+    outcomes: Dict[str, ProfilingOutcome] = {}
+    scores: Dict[str, float] = {}
+
+    for abbrev in workloads:
+        oracle = MeasurementOracle(runner, abbrev, span=span)
+        outcome = profiler(oracle, pressures, counts, threshold=threshold)
+        selection = select_policy(
+            runner,
+            abbrev,
+            outcome.matrix,
+            samples=policy_samples,
+            seed=stable_seed(seed, abbrev, "policy"),
+            span=span,
+            reps=policy_reps,
+        )
+        score = meter.score(abbrev)
+        profiles[abbrev] = InterferenceProfile(
+            workload=abbrev,
+            matrix=outcome.matrix,
+            policy_name=selection.best.policy_name,
+            bubble_score=score,
+        )
+        outcomes[abbrev] = outcome
+        selections[abbrev] = selection
+        scores[abbrev] = score
+
+    return ModelBuildReport(
+        model=InterferenceModel(profiles),
+        policy_selections=selections,
+        profiling_outcomes=outcomes,
+        bubble_scores=scores,
+    )
+
+
+def build_batch_profiles(
+    runner: ClusterRunner,
+    model: InterferenceModel,
+    batch_workloads: Sequence[str],
+    *,
+    counts: Optional[Sequence[float]] = None,
+    pressures: Optional[Sequence[float]] = None,
+    threshold: float = DEFAULT_THRESHOLD,
+    span: Optional[int] = None,
+) -> None:
+    """Add single-node batch co-runners to an existing model.
+
+    Batch workloads (SPEC CPU2006) have no propagation structure — the
+    placement algorithms still need their bubble scores and their own
+    sensitivity (their runtime suffers under interference too).  Their
+    matrices are profiled like distributed workloads'; since their
+    instances are independent, the measured curves come out close to
+    proportional.  Policy selection is skipped: ``INTERPOLATE``
+    matches independent instances by construction.
+    """
+    pressures = list(pressures) if pressures is not None else default_pressures()
+    if counts is not None:
+        counts = list(counts)
+    else:
+        counts = default_counts(span if span is not None else runner.num_nodes)
+    meter = BubbleScoreMeter(runner)
+    for abbrev in batch_workloads:
+        oracle = MeasurementOracle(runner, abbrev, span=span)
+        outcome = binary_optimized(oracle, pressures, counts, threshold=threshold)
+        model.add_profile(
+            InterferenceProfile(
+                workload=abbrev,
+                matrix=outcome.matrix,
+                policy_name="INTERPOLATE",
+                bubble_score=meter.score(abbrev),
+            )
+        )

@@ -1,0 +1,198 @@
+"""Interference sensitivity curves and the propagation matrix.
+
+The propagation model of Section 3.4 is a matrix ``T`` where
+``T[i][j]`` is the execution time, normalized to the no-interference
+solo run, when ``j`` nodes interfere at bubble pressure level ``i+1``
+(the curves of Figure 3).  Profiling fills the matrix; prediction reads
+it back, bilinearly interpolating because heterogeneity conversion
+produces fractional pressures (bubble scores like 4.3) and fractional
+node counts never — but out-of-grid counts on EC2's sparse count axis
+do (Figure 12 profiles counts 0,1,2,4,8,16,24,32).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ModelError
+from repro.units import validate_pressure
+
+
+@dataclass(frozen=True)
+class HomogeneousSetting:
+    """A homogeneous interference setting: ``count`` nodes at ``pressure``."""
+
+    pressure: float
+    count: float
+
+    def __post_init__(self) -> None:
+        validate_pressure(self.pressure)
+        if self.count < 0:
+            raise ValueError("count must be non-negative")
+
+
+class PropagationMatrix:
+    """Normalized execution times over (pressure level, interfering nodes).
+
+    Parameters
+    ----------
+    pressures:
+        Strictly increasing bubble pressure levels (the row axis),
+        e.g. ``[1, 2, ..., 8]``.
+    counts:
+        Strictly increasing interfering-node counts (the column axis),
+        starting at 0, e.g. ``[0, 1, ..., 8]`` or EC2's sparse
+        ``[0, 1, 2, 4, 8, 16, 24, 32]``.
+    values:
+        Matrix of normalized times, shape ``(len(pressures),
+        len(counts))``; ``values[:, 0]`` must be 1 (no interference).
+        ``None`` entries are allowed during construction via
+        :meth:`empty`; a complete matrix has no ``None``.
+    """
+
+    def __init__(
+        self,
+        pressures: Sequence[float],
+        counts: Sequence[float],
+        values: np.ndarray,
+    ) -> None:
+        self.pressures = np.asarray(pressures, dtype=float)
+        self.counts = np.asarray(counts, dtype=float)
+        self.values = np.asarray(values, dtype=float)
+        if self.pressures.ndim != 1 or len(self.pressures) == 0:
+            raise ModelError("pressures must be a non-empty 1-D sequence")
+        if self.counts.ndim != 1 or len(self.counts) == 0:
+            raise ModelError("counts must be a non-empty 1-D sequence")
+        if np.any(np.diff(self.pressures) <= 0):
+            raise ModelError("pressures must be strictly increasing")
+        if np.any(np.diff(self.counts) <= 0):
+            raise ModelError("counts must be strictly increasing")
+        if self.counts[0] != 0:
+            raise ModelError("counts must start at 0 (the no-interference column)")
+        if self.values.shape != (len(self.pressures), len(self.counts)):
+            raise ModelError(
+                f"values shape {self.values.shape} does not match axes "
+                f"({len(self.pressures)}, {len(self.counts)})"
+            )
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def empty(
+        cls, pressures: Sequence[float], counts: Sequence[float]
+    ) -> "PropagationMatrix":
+        """A matrix of NaNs with the no-interference column set to 1."""
+        values = np.full((len(pressures), len(counts)), np.nan)
+        values[:, 0] = 1.0
+        return cls(pressures, counts, values)
+
+    @property
+    def num_levels(self) -> int:
+        """Number of pressure levels (rows)."""
+        return len(self.pressures)
+
+    @property
+    def max_count(self) -> float:
+        """Largest interfering-node count on the column axis."""
+        return float(self.counts[-1])
+
+    def is_complete(self) -> bool:
+        """Whether every cell holds a measured or interpolated value."""
+        return not np.any(np.isnan(self.values))
+
+    def copy(self) -> "PropagationMatrix":
+        """Deep copy (profilers mutate their working matrices)."""
+        return PropagationMatrix(
+            self.pressures.copy(), self.counts.copy(), self.values.copy()
+        )
+
+    # ------------------------------------------------------------------
+    def row(self, level_index: int) -> np.ndarray:
+        """One sensitivity curve: normalized times across counts."""
+        return self.values[level_index]
+
+    def set(self, level_index: int, count_index: int, value: float) -> None:
+        """Store one cell value."""
+        if value <= 0:
+            raise ModelError("normalized times must be positive")
+        self.values[level_index, count_index] = value
+
+    def get(self, level_index: int, count_index: int) -> float:
+        """Read one cell value (NaN if unfilled)."""
+        return float(self.values[level_index, count_index])
+
+    # ------------------------------------------------------------------
+    def lookup(self, setting: HomogeneousSetting) -> float:
+        """Predict the normalized time of a homogeneous setting.
+
+        Bilinear interpolation over (pressure, count).  Pressures below
+        the first profiled level interpolate toward the implicit
+        pressure-0 row of ones; pressures above the last level and
+        counts above the last column clamp (the bubble scale and the
+        cluster size bound the physical domain).
+
+        Raises
+        ------
+        ModelError
+            If the matrix still has unfilled cells.
+        """
+        if not self.is_complete():
+            raise ModelError("cannot look up an incomplete propagation matrix")
+        if setting.count <= 0 or setting.pressure <= 0:
+            return 1.0
+        count = min(setting.count, self.max_count)
+        pressure = min(setting.pressure, float(self.pressures[-1]))
+
+        column = self._interp_columns(count)
+        # Interpolate along pressure, with an implicit (0, 1.0) anchor.
+        levels = self.pressures
+        if pressure <= levels[0]:
+            fraction = pressure / levels[0]
+            return 1.0 + (column[0] - 1.0) * fraction
+        return float(np.interp(pressure, levels, column))
+
+    def _interp_columns(self, count: float) -> np.ndarray:
+        """Per-row value at a (possibly fractional) node count."""
+        return np.array(
+            [np.interp(count, self.counts, self.values[i]) for i in range(len(self.pressures))]
+        )
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-serializable representation."""
+        return {
+            "pressures": self.pressures.tolist(),
+            "counts": self.counts.tolist(),
+            "values": self.values.tolist(),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "PropagationMatrix":
+        """Inverse of :meth:`to_dict`."""
+        return cls(payload["pressures"], payload["counts"], np.array(payload["values"]))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"PropagationMatrix(levels={len(self.pressures)}, "
+            f"counts={self.counts.tolist()})"
+        )
+
+
+def exhaustive_matrix_from(
+    measure, pressures: Sequence[float], counts: Sequence[float]
+) -> PropagationMatrix:
+    """Build a fully-measured matrix by calling ``measure(p, k)`` per cell.
+
+    ``measure`` must return *normalized* execution times.  This is the
+    naive full-profiling baseline the cost-reduction algorithms of
+    Section 4.1 are compared against.
+    """
+    matrix = PropagationMatrix.empty(pressures, counts)
+    for i, pressure in enumerate(pressures):
+        for j, count in enumerate(counts):
+            if j == 0:
+                continue
+            matrix.set(i, j, measure(float(pressure), int(count)))
+    return matrix

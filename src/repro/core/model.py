@@ -1,0 +1,189 @@
+"""The interference-aware performance model (Sections 3.4 and 4).
+
+An :class:`InterferenceProfile` bundles everything profiling produces
+for one application:
+
+1. its propagation matrix (sensitivity curves over homogeneous
+   interference),
+2. its best heterogeneity mapping policy, and
+3. its bubble score (the pressure it exerts on co-runners).
+
+The :class:`InterferenceModel` holds profiles for a set of applications
+and predicts normalized execution times — for explicit interference
+settings (used in validation) and for *placements*, where each
+application's per-node pressure vector is derived from the bubble
+scores of whatever shares its nodes (Figure 5's procedure).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Mapping, Sequence
+
+from repro.cluster.contention import combine_pressures
+from repro.core.curves import HomogeneousSetting, PropagationMatrix
+from repro.core.policies import HeterogeneityPolicy, get_policy
+from repro.errors import ModelError
+
+
+@dataclass(frozen=True)
+class InterferenceProfile:
+    """Profiled interference behaviour of one application."""
+
+    workload: str
+    matrix: PropagationMatrix
+    policy_name: str
+    bubble_score: float
+
+    def __post_init__(self) -> None:
+        if self.bubble_score < 0:
+            raise ModelError("bubble_score must be non-negative")
+        get_policy(self.policy_name)  # validates the name
+
+    @property
+    def policy(self) -> HeterogeneityPolicy:
+        """Instantiate the profile's heterogeneity policy."""
+        return get_policy(self.policy_name)
+
+    def to_dict(self) -> dict:
+        """JSON-serializable representation."""
+        return {
+            "workload": self.workload,
+            "matrix": self.matrix.to_dict(),
+            "policy": self.policy_name,
+            "bubble_score": self.bubble_score,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "InterferenceProfile":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            workload=payload["workload"],
+            matrix=PropagationMatrix.from_dict(payload["matrix"]),
+            policy_name=payload["policy"],
+            bubble_score=payload["bubble_score"],
+        )
+
+
+class InterferenceModel:
+    """Predicts distributed applications' performance under interference.
+
+    Parameters
+    ----------
+    profiles:
+        One :class:`InterferenceProfile` per application the model
+        knows about.
+    """
+
+    def __init__(self, profiles: Mapping[str, InterferenceProfile]) -> None:
+        self._profiles = dict(profiles)
+
+    @property
+    def workloads(self) -> List[str]:
+        """Workloads the model can predict for."""
+        return sorted(self._profiles)
+
+    def profile(self, workload: str) -> InterferenceProfile:
+        """The profile of ``workload``.
+
+        Raises
+        ------
+        ModelError
+            If the workload was never profiled.
+        """
+        try:
+            return self._profiles[workload]
+        except KeyError:
+            raise ModelError(
+                f"no interference profile for {workload!r}; "
+                f"profiled: {', '.join(sorted(self._profiles))}"
+            ) from None
+
+    def add_profile(self, profile: InterferenceProfile) -> None:
+        """Register (or replace) a workload profile."""
+        self._profiles[profile.workload] = profile
+
+    # ------------------------------------------------------------------
+    # Predictions
+    # ------------------------------------------------------------------
+    def predict_homogeneous(
+        self, workload: str, pressure: float, count: float
+    ) -> float:
+        """Normalized time with ``count`` nodes interfering at ``pressure``."""
+        profile = self.profile(workload)
+        return profile.matrix.lookup(HomogeneousSetting(pressure, count))
+
+    def predict_heterogeneous(
+        self, workload: str, pressures: Sequence[float]
+    ) -> float:
+        """Normalized time under a per-node pressure vector.
+
+        Applies the workload's heterogeneity policy and then looks up
+        the propagation matrix — exactly Figure 5's procedure.
+
+        The pressure vector has one entry per node the *deployment*
+        spans.  The matrix was profiled on a fixed span (all 8 hosts in
+        Section 3.1), so when the deployment spans fewer nodes —
+        Section 5 runs each application on 4 hosts — the converted
+        node count is rescaled to the profiled span: ``k`` interfering
+        nodes out of 4 correspond to ``2k`` out of the profiled 8.
+        """
+        profile = self.profile(workload)
+        setting = profile.policy.convert(pressures)
+        scale = profile.matrix.max_count / len(pressures)
+        scaled = HomogeneousSetting(setting.pressure, setting.count * scale)
+        return profile.matrix.lookup(scaled)
+
+    def pressure_vector(
+        self,
+        workload_nodes: Sequence[int],
+        co_runners_by_node: Mapping[int, Sequence[str]],
+    ) -> List[float]:
+        """Per-node pressures an application sees from its co-runners.
+
+        Parameters
+        ----------
+        workload_nodes:
+            Nodes the target application spans.
+        co_runners_by_node:
+            For each node, the workload names of *other* applications
+            resident there (one name per resident VM unit; the same
+            name may repeat if two units share the node).
+
+        Notes
+        -----
+        Pressures combine using the public scoring rule (one level per
+        doubling of misses) without the collision surcharge — the model
+        cannot observe the surcharge, which is one of its honest error
+        sources.
+        """
+        vector: List[float] = []
+        for node in workload_nodes:
+            scores = [
+                self.profile(name).bubble_score
+                for name in co_runners_by_node.get(node, ())
+            ]
+            vector.append(combine_pressures(scores, collision_surcharge=0.0))
+        return vector
+
+    def predict_under_corunners(
+        self,
+        workload: str,
+        workload_nodes: Sequence[int],
+        co_runners_by_node: Mapping[int, Sequence[str]],
+    ) -> float:
+        """Normalized time of ``workload`` given its co-runners per node."""
+        vector = self.pressure_vector(workload_nodes, co_runners_by_node)
+        return self.predict_heterogeneous(workload, vector)
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-serializable representation of all profiles."""
+        return {name: prof.to_dict() for name, prof in self._profiles.items()}
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "InterferenceModel":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            {name: InterferenceProfile.from_dict(p) for name, p in payload.items()}
+        )

@@ -1,0 +1,92 @@
+"""The naive proportional interference model (Figure 2, Section 5.2).
+
+The paper's strawman treats a distributed application as a collection
+of independent single-node applications: interference on ``k`` of ``m``
+nodes degrades the whole application by ``k/m`` of the all-nodes
+degradation.  Heterogeneity is converted with a fixed ``N+1 max``
+policy — "the static best one, if we select a single policy for all
+the applications" (Section 5.2).
+
+The naive model shares the real model's profiles (it needs the
+all-nodes sensitivity curve and bubble scores) but ignores the
+per-application propagation shape, which is precisely what Figure 2
+shows going wrong.
+"""
+
+from __future__ import annotations
+
+from typing import List, Mapping, Sequence
+
+from repro.core.curves import HomogeneousSetting
+from repro.core.model import InterferenceModel
+from repro.core.policies import NPlusOneMaxPolicy
+
+
+class NaiveProportionalModel:
+    """Proportional-aggregation baseline model.
+
+    Parameters
+    ----------
+    model:
+        A fully-profiled :class:`InterferenceModel` whose matrices and
+        bubble scores the naive model borrows.
+    """
+
+    def __init__(self, model: InterferenceModel) -> None:
+        self._model = model
+        self._policy = NPlusOneMaxPolicy()
+
+    @property
+    def workloads(self) -> List[str]:
+        """Workloads the model can predict for."""
+        return self._model.workloads
+
+    def predict_homogeneous(
+        self, workload: str, pressure: float, count: float
+    ) -> float:
+        """Proportional estimate: ``1 + (k/m) * (T(p, m) - 1)``."""
+        profile = self._model.profile(workload)
+        max_count = profile.matrix.max_count
+        if max_count <= 0 or count <= 0 or pressure <= 0:
+            return 1.0
+        all_nodes = profile.matrix.lookup(HomogeneousSetting(pressure, max_count))
+        fraction = min(count, max_count) / max_count
+        return 1.0 + (all_nodes - 1.0) * fraction
+
+    def predict_heterogeneous(
+        self, workload: str, pressures: Sequence[float]
+    ) -> float:
+        """Convert with the fixed ``N+1 max`` policy, then proportional.
+
+        The proportional fraction is taken over the *deployment* span
+        (the vector length): ``k`` interfering nodes out of the ``m``
+        the application runs on contribute ``k/m`` of the all-nodes
+        degradation.
+        """
+        setting = self._policy.convert(pressures)
+        if setting.count <= 0 or setting.pressure <= 0:
+            return 1.0
+        profile = self._model.profile(workload)
+        all_nodes = profile.matrix.lookup(
+            HomogeneousSetting(setting.pressure, profile.matrix.max_count)
+        )
+        fraction = min(setting.count / len(pressures), 1.0)
+        return 1.0 + (all_nodes - 1.0) * fraction
+
+    def pressure_vector(
+        self,
+        workload_nodes: Sequence[int],
+        co_runners_by_node: Mapping[int, Sequence[str]],
+    ) -> List[float]:
+        """Per-node pressures (delegated to the underlying profiles)."""
+        return self._model.pressure_vector(workload_nodes, co_runners_by_node)
+
+    def predict_under_corunners(
+        self,
+        workload: str,
+        workload_nodes: Sequence[int],
+        co_runners_by_node: Mapping[int, Sequence[str]],
+    ) -> float:
+        """Normalized time of ``workload`` given its co-runners per node."""
+        vector = self._model.pressure_vector(workload_nodes, co_runners_by_node)
+        return self.predict_heterogeneous(workload, vector)

@@ -1,0 +1,168 @@
+"""Interference heterogeneity mapping policies (Section 3.3).
+
+Real placements expose a distributed application to *different*
+pressures on different nodes.  Profiling every heterogeneous
+combination is intractable (12,870 settings for 8 hosts and 8 levels),
+so the paper converts a heterogeneous pressure vector into an
+equivalent *homogeneous* setting — the domain of the propagation
+matrix — using one of four policies, chosen per application by
+sampling:
+
+* ``N max`` — keep only the nodes under the worst pressure.
+* ``N+1 max`` — the worst-pressure nodes, plus one extra node standing
+  in for all milder ones.
+* ``ALL max`` — the worst pressure propagates to every node.
+* ``INTERPOLATE`` — all nodes at the average pressure.
+
+The worked example of Figure 5 is reproduced in each policy's
+docstring and in ``tests/core/test_policies.py``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Type
+
+from repro.core.curves import HomogeneousSetting
+from repro.errors import ModelError
+from repro.units import validate_pressure
+
+#: Pressures within this distance of the maximum count as "max" nodes.
+#: Exact ties are what occur with integer bubble levels; with continuous
+#: bubble scores two co-runners of the same workload still tie exactly.
+DEFAULT_MAX_BAND: float = 1e-9
+
+
+class HeterogeneityPolicy:
+    """Converts a per-node pressure vector to a homogeneous setting."""
+
+    #: Registry / display name, e.g. ``"N+1 MAX"``.
+    name: str = ""
+
+    def convert(self, pressures: Sequence[float]) -> HomogeneousSetting:
+        """Map ``pressures`` (one entry per spanned node) to a setting.
+
+        Zero entries are nodes without interference.  An all-zero
+        vector maps to the no-interference setting ``(0, 0)``.
+        """
+        raise NotImplementedError
+
+    @staticmethod
+    def _validated(pressures: Sequence[float]) -> List[float]:
+        if len(pressures) == 0:
+            raise ModelError("pressure vector must cover at least one node")
+        return [validate_pressure(p) for p in pressures]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}()"
+
+
+class NMaxPolicy(HeterogeneityPolicy):
+    """Only the worst-pressure nodes matter; milder nodes are ignored.
+
+    Figure 5, workload D: ``[5, 5, 3, 2] -> [5, 5, 0, 0]``, i.e. two
+    nodes at pressure 5.
+    """
+
+    name = "N MAX"
+
+    def __init__(self, band: float = DEFAULT_MAX_BAND) -> None:
+        if band < 0:
+            raise ModelError("band must be non-negative")
+        self.band = band
+
+    def convert(self, pressures: Sequence[float]) -> HomogeneousSetting:
+        values = self._validated(pressures)
+        peak = max(values)
+        if peak <= 0.0:
+            return HomogeneousSetting(0.0, 0.0)
+        n_max = sum(1 for p in values if p >= peak - self.band)
+        return HomogeneousSetting(peak, float(n_max))
+
+
+class NPlusOneMaxPolicy(HeterogeneityPolicy):
+    """Worst-pressure nodes plus one stand-in for all milder nodes.
+
+    Figure 5, workload A: ``[3, 2, 1, 1] -> [3, 3, 0, 0]``: one node at
+    the top pressure 3, plus one merged node for the three milder ones.
+    The count never exceeds the number of spanned nodes.
+    """
+
+    name = "N+1 MAX"
+
+    def __init__(self, band: float = DEFAULT_MAX_BAND) -> None:
+        if band < 0:
+            raise ModelError("band must be non-negative")
+        self.band = band
+
+    def convert(self, pressures: Sequence[float]) -> HomogeneousSetting:
+        values = self._validated(pressures)
+        peak = max(values)
+        if peak <= 0.0:
+            return HomogeneousSetting(0.0, 0.0)
+        n_max = sum(1 for p in values if p >= peak - self.band)
+        has_milder = any(0.0 < p < peak - self.band for p in values)
+        count = min(n_max + (1 if has_milder else 0), len(values))
+        return HomogeneousSetting(peak, float(count))
+
+
+class AllMaxPolicy(HeterogeneityPolicy):
+    """The worst pressure anywhere propagates to every node.
+
+    Figure 5, workload B: ``[5, 2, 2, 1] -> [5, 5, 5, 5]``.
+    """
+
+    name = "ALL MAX"
+
+    def convert(self, pressures: Sequence[float]) -> HomogeneousSetting:
+        values = self._validated(pressures)
+        peak = max(values)
+        if peak <= 0.0:
+            return HomogeneousSetting(0.0, 0.0)
+        return HomogeneousSetting(peak, float(len(values)))
+
+
+class InterpolatePolicy(HeterogeneityPolicy):
+    """Every node at the average pressure across all spanned nodes.
+
+    Figure 5, workload C: ``[3, 5, 3, 1] -> [3, 3, 3, 3]`` (the mean of
+    3, 5, 3, 1 is 3, applied to all four nodes).
+    """
+
+    name = "INTERPOLATE"
+
+    def convert(self, pressures: Sequence[float]) -> HomogeneousSetting:
+        values = self._validated(pressures)
+        average = sum(values) / len(values)
+        if average <= 0.0:
+            return HomogeneousSetting(0.0, 0.0)
+        return HomogeneousSetting(average, float(len(values)))
+
+
+#: All policies the selection procedure evaluates, in paper order.
+POLICY_CLASSES: Dict[str, Type[HeterogeneityPolicy]] = {
+    NMaxPolicy.name: NMaxPolicy,
+    NPlusOneMaxPolicy.name: NPlusOneMaxPolicy,
+    AllMaxPolicy.name: AllMaxPolicy,
+    InterpolatePolicy.name: InterpolatePolicy,
+}
+
+
+def all_policies() -> List[HeterogeneityPolicy]:
+    """Fresh instances of all four mapping policies."""
+    return [cls() for cls in POLICY_CLASSES.values()]
+
+
+def get_policy(name: str) -> HeterogeneityPolicy:
+    """Look up a policy instance by name.
+
+    Raises
+    ------
+    ModelError
+        If the name is not one of the four policies.
+    """
+    try:
+        return POLICY_CLASSES[name]()
+    except KeyError:
+        raise ModelError(
+            f"unknown policy {name!r}; known: {', '.join(POLICY_CLASSES)}"
+        ) from None

@@ -1,0 +1,131 @@
+"""Measurement bookkeeping for profiling algorithms.
+
+Profiling cost in the paper (Table 3) is the fraction of all
+interference settings an algorithm actually measures, so the profilers
+need precise accounting of *which* cells of the propagation matrix they
+measured versus interpolated.
+
+Two layers provide that:
+
+* :class:`MeasurementOracle` — caches normalized execution times per
+  (workload, pressure, count) so that the exhaustive ground-truth
+  matrix and every profiler observe the *same* measurement for the
+  same setting (as re-reading a run log would), while each fresh
+  setting costs one simulated cluster run.
+* :class:`ProfilingSession` — tracks the distinct settings one
+  algorithm requested, yielding its cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Set, Tuple
+
+import numpy as np
+
+from repro.core.curves import PropagationMatrix
+from repro.errors import ProfilingError
+from repro.sim.runner import ClusterRunner
+
+
+class MeasurementOracle:
+    """Cached access to normalized measurements for one workload.
+
+    Parameters
+    ----------
+    runner:
+        The measurement environment.
+    abbrev:
+        Workload under profiling.
+    """
+
+    def __init__(
+        self, runner: ClusterRunner, abbrev: str, span: int | None = None
+    ) -> None:
+        self.runner = runner
+        self.abbrev = abbrev
+        self.span = span
+        self._cache: Dict[Tuple[float, int], float] = {}
+
+    def normalized(self, pressure: float, count: int) -> float:
+        """Normalized execution time at a homogeneous setting."""
+        if count == 0 or pressure == 0.0:
+            return 1.0
+        key = (float(pressure), int(count))
+        value = self._cache.get(key)
+        if value is None:
+            value = self.runner.measure(
+                self.abbrev, float(pressure), int(count), span=self.span
+            )
+            self._cache[key] = value
+        return value
+
+    @property
+    def distinct_settings_measured(self) -> int:
+        """Number of distinct settings run so far."""
+        return len(self._cache)
+
+
+@dataclass
+class ProfilingSession:
+    """One profiling algorithm's view of the oracle, with cost tracking."""
+
+    oracle: MeasurementOracle
+    cells: Set[Tuple[float, int]] = field(default_factory=set)
+
+    def measure(self, pressure: float, count: int) -> float:
+        """Measure a setting, recording it toward this session's cost."""
+        if count > 0 and pressure > 0.0:
+            self.cells.add((float(pressure), int(count)))
+        return self.oracle.normalized(pressure, count)
+
+    @property
+    def settings_measured(self) -> int:
+        """Distinct non-trivial settings this session requested."""
+        return len(self.cells)
+
+
+@dataclass(frozen=True)
+class ProfilingOutcome:
+    """Result of one profiling algorithm on one workload."""
+
+    algorithm: str
+    workload: str
+    matrix: PropagationMatrix
+    settings_measured: int
+    total_settings: int
+
+    def __post_init__(self) -> None:
+        if self.total_settings <= 0:
+            raise ProfilingError("total_settings must be positive")
+        if not 0 <= self.settings_measured <= self.total_settings:
+            raise ProfilingError(
+                f"settings_measured {self.settings_measured} outside "
+                f"[0, {self.total_settings}]"
+            )
+        if not self.matrix.is_complete():
+            raise ProfilingError(
+                f"{self.algorithm} left unfilled cells for {self.workload}"
+            )
+
+    @property
+    def cost_percent(self) -> float:
+        """Profiling cost as in Table 3: % of settings measured."""
+        return 100.0 * self.settings_measured / self.total_settings
+
+    def error_against(self, truth: PropagationMatrix) -> float:
+        """Average % error of the matrix against an exhaustive truth.
+
+        Only the interference cells (count > 0) are compared; the
+        no-interference column is 1 by definition on both sides.
+        """
+        if truth.values.shape != self.matrix.values.shape:
+            raise ProfilingError("matrices have different shapes")
+        estimated = self.matrix.values[:, 1:]
+        actual = truth.values[:, 1:]
+        return float(np.mean(np.abs(estimated - actual) / actual) * 100.0)
+
+
+def total_settings_of(matrix: PropagationMatrix) -> int:
+    """Number of measurable settings in a matrix grid (count > 0 cells)."""
+    return matrix.num_levels * (len(matrix.counts) - 1)

@@ -1,0 +1,82 @@
+"""Random-sampling profiling baselines (Section 4.2).
+
+``random-30%`` and ``random-50%`` measure a random subset of all
+interference settings and interpolate the rest.  As in the paper, the
+settings with no interference and with interference on *all* hosts at
+each pressure are always measured, so every sensitivity curve has
+usable endpoints.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro._util import make_rng
+from repro.core.curves import PropagationMatrix
+from repro.core.profiling.binary import interpolate_row
+from repro.core.profiling.plan import (
+    MeasurementOracle,
+    ProfilingOutcome,
+    ProfilingSession,
+    total_settings_of,
+)
+from repro.errors import ProfilingError
+
+
+def random_sampling(
+    oracle: MeasurementOracle,
+    pressures,
+    counts,
+    *,
+    fraction: float,
+    seed: object = 0,
+) -> ProfilingOutcome:
+    """Profile by measuring a random ``fraction`` of all settings.
+
+    Parameters
+    ----------
+    oracle:
+        Measurement source for the workload.
+    pressures, counts:
+        Matrix axes.
+    fraction:
+        Share of all settings to measure, in (0, 1].  The mandatory
+        all-hosts settings count toward the budget.
+    seed:
+        Randomness for the subset selection.
+    """
+    if not 0.0 < fraction <= 1.0:
+        raise ProfilingError(f"fraction must be in (0, 1], got {fraction}")
+    matrix = PropagationMatrix.empty(pressures, counts)
+    session = ProfilingSession(oracle)
+    rng = make_rng(seed)
+    last = len(matrix.counts) - 1
+    total = total_settings_of(matrix)
+    budget = max(matrix.num_levels, int(round(fraction * total)))
+
+    mandatory: List[Tuple[int, int]] = [(i, last) for i in range(matrix.num_levels)]
+    optional: List[Tuple[int, int]] = [
+        (i, j)
+        for i in range(matrix.num_levels)
+        for j in range(1, last)
+    ]
+    extra = budget - len(mandatory)
+    chosen = list(mandatory)
+    if extra > 0 and optional:
+        indices = rng.choice(len(optional), size=min(extra, len(optional)), replace=False)
+        chosen.extend(optional[int(idx)] for idx in indices)
+
+    for i, j in chosen:
+        matrix.set(
+            i, j, session.measure(float(matrix.pressures[i]), int(matrix.counts[j]))
+        )
+    for i in range(matrix.num_levels):
+        interpolate_row(matrix, i)
+
+    return ProfilingOutcome(
+        algorithm=f"random-{int(round(fraction * 100))}%",
+        workload=oracle.abbrev,
+        matrix=matrix,
+        settings_measured=session.settings_measured,
+        total_settings=total,
+    )

@@ -1,0 +1,153 @@
+"""Bubble score measurement (Section 2.1, Table 4).
+
+An application's *bubble score* is the interference it generates,
+expressed on the bubble-pressure scale.  Following Mars et al., the
+score is measured with the bubble program itself as the reporter: run a
+probe bubble next to the target application and observe how much the
+probe slows down; invert the probe's calibration curve (its slowdown
+when co-run with bubbles of known pressure) to recover the pressure the
+application must have been exerting.
+
+For a distributed application a probe is placed on every participating
+node and the per-node readings are averaged (Section 3.4); the master
+node of Hadoop/Spark jobs reads lower, which the averaging deliberately
+smears — a modelled simplification the paper acknowledges in
+Section 4.4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.apps.bubble import bubble_sensitivity
+from repro.errors import ModelError
+from repro.sim.execution import CoRunExecutor, DeployedInstance
+from repro.sim.runner import ClusterRunner
+from repro._util import stable_seed
+from repro.apps.catalog import make_bubble
+from repro.units import MAX_PRESSURE, NUM_PRESSURE_LEVELS
+
+
+@dataclass(frozen=True)
+class BubbleCalibration:
+    """The probe bubble's slowdown at each known reference pressure.
+
+    Built once per environment by co-running a probe bubble with
+    reference bubbles at pressures 1..8 and recording the probe's
+    slowdown; :meth:`pressure_for` inverts the curve by interpolation.
+    """
+
+    reference_pressures: Sequence[float]
+    slowdowns: Sequence[float]
+
+    def __post_init__(self) -> None:
+        if len(self.reference_pressures) != len(self.slowdowns):
+            raise ModelError("calibration axes must have equal length")
+        if len(self.reference_pressures) < 2:
+            raise ModelError("calibration needs at least two reference points")
+        if any(np.diff(self.reference_pressures) <= 0):
+            raise ModelError("reference pressures must be strictly increasing")
+        if any(np.diff(self.slowdowns) <= 0):
+            raise ModelError("calibration slowdowns must be strictly increasing")
+
+    def pressure_for(self, slowdown: float) -> float:
+        """Invert the calibration: observed slowdown -> pressure."""
+        if slowdown <= 1.0:
+            return 0.0
+        pressures = [0.0] + list(self.reference_pressures)
+        slowdowns = [1.0] + list(self.slowdowns)
+        return float(np.interp(slowdown, slowdowns, pressures))
+
+
+def calibrate_probe(levels: Sequence[float] | None = None) -> BubbleCalibration:
+    """Build the probe calibration from bubble-vs-bubble co-runs.
+
+    The probe's response function is a property of the bubble binary,
+    not of the cluster workloads, so the calibration can be computed
+    directly from the probe's sensitivity at each reference level.
+    """
+    if levels is None:
+        levels = [float(level) for level in range(1, NUM_PRESSURE_LEVELS + 1)]
+    sensitivity = bubble_sensitivity()
+    slowdowns = [sensitivity.slowdown(level) for level in levels]
+    return BubbleCalibration(tuple(levels), tuple(slowdowns))
+
+
+class BubbleScoreMeter:
+    """Measures workloads' bubble scores on a cluster environment.
+
+    Parameters
+    ----------
+    runner:
+        Measurement environment (the private testbed or EC2).
+    calibration:
+        Probe calibration; built fresh when omitted.
+    probe_level:
+        Pressure the probe itself exerts while observing.  A gentle
+        probe (level 1) perturbs the target minimally — the target's
+        *generated* interference is what is being read, and it does not
+        depend on the probe's own pressure.
+    """
+
+    def __init__(
+        self,
+        runner: ClusterRunner,
+        *,
+        calibration: BubbleCalibration | None = None,
+        probe_level: float = 1.0,
+    ) -> None:
+        if not 0 < probe_level <= MAX_PRESSURE:
+            raise ModelError("probe_level must be in (0, MAX_PRESSURE]")
+        self.runner = runner
+        self.calibration = calibration or calibrate_probe()
+        self.probe_level = probe_level
+        self._probe_sensitivity = bubble_sensitivity()
+
+    def node_readings(self, abbrev: str) -> Dict[int, float]:
+        """Per-node pressure readings for one workload.
+
+        Deploys the target across the cluster with one probe bubble per
+        node; each probe reports its own slowdown, inverted through the
+        calibration curve.
+        """
+        target = self.runner.full_span_deployment(abbrev)
+        probes: List[DeployedInstance] = []
+        for node_id in range(self.runner.num_nodes):
+            probes.append(
+                DeployedInstance(
+                    instance_key=f"probe@n{node_id}",
+                    workload=make_bubble(self.probe_level),
+                    units_to_nodes={0: node_id},
+                )
+            )
+        seed = stable_seed(self.runner.base_seed, "score", abbrev)
+        results = CoRunExecutor(
+            [target] + probes,
+            seed=seed,
+            noise=self.runner.noise,
+            num_nodes=self.runner.num_nodes,
+        ).run()
+        readings: Dict[int, float] = {}
+        for node_id in range(self.runner.num_nodes):
+            probe_result = results[f"probe@n{node_id}"]
+            # The probe sees the target *and* the other probes'
+            # pressure is on other nodes, so its reading is the
+            # target's contribution on this node (plus ambient noise on
+            # EC2, which the paper also could not exclude).
+            observed_slowdown = self._probe_sensitivity.slowdown(
+                probe_result.mean_pressure_seen
+            )
+            readings[node_id] = self.calibration.pressure_for(observed_slowdown)
+        return readings
+
+    def score(self, abbrev: str) -> float:
+        """The workload's bubble score: the mean of per-node readings."""
+        readings = self.node_readings(abbrev)
+        return sum(readings.values()) / len(readings)
+
+    def score_table(self, abbrevs: Sequence[str]) -> Dict[str, float]:
+        """Bubble scores for many workloads (Table 4)."""
+        return {abbrev: self.score(abbrev) for abbrev in abbrevs}

@@ -1,0 +1,21 @@
+"""Amazon EC2 scale-out validation environment (Section 6)."""
+
+from repro.ec2.environment import (
+    EC2_COUNTS,
+    EC2_NUM_INSTANCES,
+    EC2_POLICY_SAMPLES,
+    EC2_WORKLOADS,
+    ec2_cluster_spec,
+    ec2_counts,
+    make_ec2_runner,
+)
+
+__all__ = [
+    "EC2_COUNTS",
+    "EC2_NUM_INSTANCES",
+    "EC2_POLICY_SAMPLES",
+    "EC2_WORKLOADS",
+    "ec2_cluster_spec",
+    "ec2_counts",
+    "make_ec2_runner",
+]

@@ -1,0 +1,36 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All library-raised exceptions derive from :class:`ReproError` so callers
+can catch everything coming out of this package with a single handler
+while still letting programming errors (``TypeError`` etc.) surface.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError):
+    """An object was constructed with inconsistent or invalid parameters."""
+
+
+class PlacementError(ReproError):
+    """A placement violates cluster capacity or co-location constraints."""
+
+
+class ProfilingError(ReproError):
+    """A profiling algorithm was driven with an invalid measurement plan."""
+
+
+class ModelError(ReproError):
+    """An interference model was queried outside its valid domain."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulation reached an inconsistent state."""
+
+
+class CatalogError(ReproError):
+    """An unknown workload was requested from the application catalog."""

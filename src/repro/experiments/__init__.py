@@ -1,0 +1,88 @@
+"""Reproductions of every table and figure in the paper's evaluation."""
+
+from repro.experiments.context import ExperimentContext, default_context
+from repro.experiments.fig2_motivation import Fig2Result, run_fig2
+from repro.experiments.fig3_propagation import Fig3Result, run_fig3
+from repro.experiments.fig4_heterogeneity import Fig4Result, run_fig4
+from repro.experiments.fig8_validation import Fig8Result, PairObservation, run_fig8
+from repro.experiments.fig9_gems import Fig9Result, run_fig9
+from repro.experiments.fig10_qos import Fig10Result, QoSOutcome, run_fig10
+from repro.experiments.fig11_performance import (
+    Fig11Result,
+    MixPerformance,
+    run_fig11,
+)
+from repro.experiments.fig12_ec2_propagation import (
+    Fig12Result,
+    ec2_context,
+    run_fig12,
+)
+from repro.experiments.fig13_ec2_validation import (
+    Fig13Result,
+    build_ec2_model,
+    run_fig13,
+)
+from repro.experiments.registry import (
+    REGISTRY,
+    ExperimentEntry,
+    all_experiment_ids,
+    get_experiment,
+)
+from repro.experiments.table3_profiling import Table3Result, run_table3
+from repro.experiments.table4_bubble_scores import (
+    PAPER_SCORES,
+    Table4Result,
+    run_table4,
+)
+from repro.experiments.table5_mixes import (
+    MixSpec,
+    QOS_MIXES,
+    TABLE5_MIXES,
+    mix_by_name,
+    render_table5,
+)
+from repro.experiments.table6_ec2_policy import Table6Result, run_table6
+
+__all__ = [
+    "ExperimentContext",
+    "ExperimentEntry",
+    "Fig10Result",
+    "Fig11Result",
+    "Fig12Result",
+    "Fig13Result",
+    "Fig2Result",
+    "Fig3Result",
+    "Fig4Result",
+    "Fig8Result",
+    "Fig9Result",
+    "MixPerformance",
+    "MixSpec",
+    "PAPER_SCORES",
+    "PairObservation",
+    "QOS_MIXES",
+    "QoSOutcome",
+    "REGISTRY",
+    "TABLE5_MIXES",
+    "Table3Result",
+    "Table4Result",
+    "Table6Result",
+    "all_experiment_ids",
+    "build_ec2_model",
+    "default_context",
+    "ec2_context",
+    "get_experiment",
+    "mix_by_name",
+    "render_table5",
+    "run_fig10",
+    "run_fig11",
+    "run_fig12",
+    "run_fig13",
+    "run_fig2",
+    "run_fig3",
+    "run_fig4",
+    "run_fig8",
+    "run_fig9",
+    "run_table3",
+    "run_table4",
+    "run_table6",
+]

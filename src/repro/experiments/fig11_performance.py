@@ -1,0 +1,164 @@
+"""Figure 11: placement for performance across the Table 5 mixes.
+
+For every mix, four placements are produced and then *measured* on the
+ground-truth cluster:
+
+* **Best** — annealing with the interference-aware model,
+* **Naive** — annealing with the naive proportional model,
+* **Random** — the mean over five random placements,
+* **Worst** — annealing that maximizes total runtime.
+
+Each placement's figure of merit is the VM-weighted average speedup of
+its applications over the same applications in the worst placement —
+so Worst is 1.0 by construction and Best should top every mix, with
+large wins on the high-difference mixes and no damage on the L mix.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro._util import stable_seed
+from repro.analysis.reporting import format_table
+from repro.experiments.context import ExperimentContext, default_context
+from repro.experiments.table5_mixes import MixSpec, TABLE5_MIXES
+from repro.placement.annealing import AnnealingSchedule
+from repro.placement.assignment import Placement
+from repro.placement.objectives import weighted_average_speedup
+from repro.placement.search import random_placements
+from repro.placement.throughput import ThroughputPlacer
+
+#: Placement strategies reported per mix, in rendering order.
+STRATEGIES: Tuple[str, ...] = ("best", "random", "naive", "worst")
+
+
+@dataclass(frozen=True)
+class MixPerformance:
+    """Ground-truth speedups of each strategy for one mix."""
+
+    mix: MixSpec
+    speedups: Dict[str, float]
+    measured_times: Dict[str, Dict[str, float]]
+
+    @property
+    def best_improvement_percent(self) -> float:
+        """Best-over-worst improvement, as the paper quotes (e.g. 105%)."""
+        return (self.speedups["best"] - 1.0) * 100.0
+
+
+@dataclass(frozen=True)
+class Fig11Result:
+    """All mixes' speedups."""
+
+    mixes: Tuple[MixPerformance, ...]
+
+    def rows(self) -> List[Tuple[str, float, float, float, float]]:
+        """(mix, best, random, naive, worst) speedup rows."""
+        return [
+            (m.mix.name, *(m.speedups[s] for s in STRATEGIES)) for m in self.mixes
+        ]
+
+    def measured_bands(self) -> Dict[str, str]:
+        """Re-band mixes by *measured* best-worst difference.
+
+        The paper grouped its mixes by the best-worst performance
+        difference observed on its testbed; the same workloads interact
+        differently on this substrate, so the measured banding can
+        reshuffle (recorded in EXPERIMENTS.md).
+        """
+        bands: Dict[str, str] = {}
+        for m in self.mixes:
+            diff = m.best_improvement_percent
+            if diff >= 20.0:
+                bands[m.mix.name] = "high"
+            elif diff >= 5.0:
+                bands[m.mix.name] = "medium"
+            else:
+                bands[m.mix.name] = "low"
+        return bands
+
+    def average_improvement(self, difficulty: str, strategy: str = "best") -> float:
+        """Mean improvement % over worst for a difficulty band."""
+        values = [
+            (m.speedups[strategy] - 1.0) * 100.0
+            for m in self.mixes
+            if m.mix.difficulty == difficulty
+        ]
+        if not values:
+            return 0.0
+        return sum(values) / len(values)
+
+    def render(self) -> str:
+        """Figure 11 as text."""
+        return format_table(
+            ["Mix", "Best", "Random", "Naive", "Worst"],
+            self.rows(),
+            float_format="{:.3f}",
+        )
+
+
+def _measure(
+    context: ExperimentContext, placement: Placement, rep: int, reps: int = 5
+) -> Dict[str, float]:
+    """Ground-truth times of a placement, averaged over ``reps`` runs."""
+    samples = [
+        context.runner.run_deployments(placement.deployments(), rep=rep + i)
+        for i in range(reps)
+    ]
+    return {key: sum(s[key] for s in samples) / len(samples) for key in samples[0]}
+
+
+def run_fig11(
+    context: ExperimentContext | None = None,
+    *,
+    mixes: Sequence[MixSpec] | None = None,
+    schedule: Optional[AnnealingSchedule] = None,
+    random_count: int = 5,
+    seed: int = 17,
+) -> Fig11Result:
+    """Run the performance-placement comparison over the mixes."""
+    context = context or default_context()
+    mixes = list(mixes or TABLE5_MIXES)
+    schedule = schedule or AnnealingSchedule(iterations=1500, restarts=2)
+    results: List[MixPerformance] = []
+    for mix in mixes:
+        instances = mix.instances()
+        spec = context.runner.spec
+
+        model_placer = ThroughputPlacer(
+            context.placement_model, spec, schedule=schedule,
+            seed=stable_seed(seed, mix.name, "model"),
+        )
+        naive_placer = ThroughputPlacer(
+            context.naive_placement_model, spec, schedule=schedule,
+            seed=stable_seed(seed, mix.name, "naive"),
+        )
+        placements: Dict[str, List[Placement]] = {
+            "best": [model_placer.best(instances).placement],
+            "worst": [model_placer.worst(instances).placement],
+            "naive": [naive_placer.best(instances).placement],
+            "random": random_placements(
+                spec, instances, count=random_count,
+                seed=stable_seed(seed, mix.name, "random"),
+            ),
+        }
+
+        measured: Dict[str, Dict[str, float]] = {}
+        worst_times = _measure(context, placements["worst"][0], rep=seed)
+        measured["worst"] = worst_times
+        speedups: Dict[str, float] = {"worst": 1.0}
+        for strategy in ("best", "naive", "random"):
+            strategy_speedups = []
+            for idx, placement in enumerate(placements[strategy]):
+                times = _measure(context, placement, rep=seed + idx)
+                if idx == 0:
+                    measured[strategy] = times
+                strategy_speedups.append(
+                    weighted_average_speedup(times, worst_times, placement)
+                )
+            speedups[strategy] = sum(strategy_speedups) / len(strategy_speedups)
+        results.append(
+            MixPerformance(mix=mix, speedups=speedups, measured_times=measured)
+        )
+    return Fig11Result(mixes=tuple(results))

@@ -1,0 +1,65 @@
+"""Figure 12: propagation curves on Amazon EC2 (Section 6).
+
+The four short-running MPI workloads are profiled on the 32-VM EC2
+environment across the sparse interfering-VM counts 0, 1, 2, 4, 8, 16,
+24, 32.  The same propagation shapes appear as on the private cluster,
+on top of the unmeasured tenant noise that makes every EC2 measurement
+fuzzier.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Dict, Sequence
+
+from repro.analysis.reporting import format_series
+from repro.core.curves import PropagationMatrix
+from repro.ec2.environment import EC2_WORKLOADS, ec2_counts, make_ec2_runner
+from repro.experiments.context import ExperimentContext
+
+
+@lru_cache(maxsize=1)
+def ec2_context() -> ExperimentContext:
+    """Process-wide shared EC2 experiment context."""
+    return ExperimentContext(
+        make_ec2_runner(), counts=ec2_counts(), policy_samples=100, seed=26016
+    )
+
+
+@dataclass(frozen=True)
+class Fig12Result:
+    """Per-workload EC2 propagation matrices."""
+
+    matrices: Dict[str, PropagationMatrix]
+
+    def render(self, workload: str) -> str:
+        """One panel of Figure 12 as text."""
+        matrix = self.matrices[workload]
+        series = {
+            f"pressure {int(p)}": [float(v) for v in matrix.row(i)]
+            for i, p in enumerate(matrix.pressures)
+        }
+        return format_series(
+            "interfering VMs", [int(c) for c in matrix.counts], series
+        )
+
+    def render_all(self) -> str:
+        """All four panels."""
+        parts = []
+        for workload in sorted(self.matrices):
+            parts.append(f"== {workload} (EC2) ==")
+            parts.append(self.render(workload))
+        return "\n".join(parts)
+
+
+def run_fig12(
+    context: ExperimentContext | None = None,
+    *,
+    workloads: Sequence[str] | None = None,
+) -> Fig12Result:
+    """Measure the EC2 propagation grid for the four validation apps."""
+    context = context or ec2_context()
+    workloads = list(workloads or EC2_WORKLOADS)
+    matrices = {abbrev: context.truth_matrix(abbrev) for abbrev in workloads}
+    return Fig12Result(matrices=matrices)

@@ -1,0 +1,62 @@
+"""Figure 3: interference propagation curves.
+
+For every distributed workload, measures the normalized execution time
+over 0-8 interfering nodes at each bubble pressure 1-8 — the full grid
+of sensitivity curves.  The three propagation classes of Section 3.2
+show up directly: high-propagation curves jump at one interfering node,
+M.Gems's curves climb near-linearly, and the Hadoop/Spark curves stay
+close to 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.analysis.reporting import format_series
+from repro.core.curves import PropagationMatrix
+from repro.experiments.context import ExperimentContext, default_context
+
+
+@dataclass(frozen=True)
+class Fig3Result:
+    """Per-workload propagation matrices (each one panel of Figure 3)."""
+
+    matrices: Dict[str, PropagationMatrix]
+
+    def curve(self, workload: str, pressure: float) -> List[float]:
+        """One curve: normalized times across counts at a pressure."""
+        matrix = self.matrices[workload]
+        row = list(matrix.pressures).index(pressure)
+        return [float(v) for v in matrix.row(row)]
+
+    def render(self, workload: str) -> str:
+        """One panel: all pressure curves of a workload."""
+        matrix = self.matrices[workload]
+        series = {
+            f"pressure {int(p)}": [float(v) for v in matrix.row(i)]
+            for i, p in enumerate(matrix.pressures)
+        }
+        return format_series(
+            "interfering nodes", [int(c) for c in matrix.counts], series
+        )
+
+    def render_all(self) -> str:
+        """Every panel, separated by headers."""
+        parts = []
+        for workload in sorted(self.matrices):
+            parts.append(f"== {workload} ==")
+            parts.append(self.render(workload))
+        return "\n".join(parts)
+
+
+def run_fig3(
+    context: ExperimentContext | None = None,
+    *,
+    workloads: Sequence[str] | None = None,
+) -> Fig3Result:
+    """Measure the full propagation grid for the distributed workloads."""
+    context = context or default_context()
+    workloads = list(workloads or context.distributed_workloads())
+    matrices = {abbrev: context.truth_matrix(abbrev) for abbrev in workloads}
+    return Fig3Result(matrices=matrices)

@@ -1,0 +1,94 @@
+"""Figure 4 and Table 2: heterogeneity mapping policy selection.
+
+Samples random heterogeneous interference configurations per workload,
+measures each, and scores the four mapping policies' predictions.
+Figure 4 is the per-policy error distribution (mean with min/max bars);
+Table 2 is the winning policy per workload with its mean error and
+standard deviation.  The margin-of-error calculation of Section 3.3 is
+also reproduced.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.analysis.reporting import format_table
+from repro.analysis.stats import margin_of_error
+from repro.core.profiling.policy_selection import (
+    PolicySelectionResult,
+    heterogeneous_space_size,
+)
+from repro.experiments.context import ExperimentContext, default_context
+from repro.units import NUM_PRESSURE_LEVELS
+
+
+@dataclass(frozen=True)
+class Fig4Result:
+    """Policy-selection outcomes per workload."""
+
+    selections: Dict[str, PolicySelectionResult]
+    population_size: int
+
+    def table2_rows(self) -> List[Tuple[str, str, float, float]]:
+        """(workload, best policy, avg error %, std dev) rows."""
+        rows = []
+        for workload in self.selections:
+            best = self.selections[workload].best
+            rows.append(
+                (workload, best.policy_name, best.average_error, best.std_dev)
+            )
+        return rows
+
+    def figure4_bars(
+        self, workload: str
+    ) -> Dict[str, Tuple[float, float, float]]:
+        """Per-policy (mean, min, max) error bars for one workload."""
+        result = self.selections[workload]
+        return {
+            e.policy_name: (e.average_error, e.min_error, e.max_error)
+            for e in result.evaluations
+        }
+
+    def best_policy_margin(self, workload: str, confidence: float = 0.99) -> float:
+        """Margin of error of the winning policy's mean error estimate."""
+        best = self.selections[workload].best
+        return margin_of_error(
+            best.errors_percent,
+            population_size=self.population_size,
+            confidence=confidence,
+        )
+
+    def render_table2(self) -> str:
+        """Table 2 as text."""
+        return format_table(
+            ["Workload", "Best policy", "Avg. error(%)", "Std. dev."],
+            self.table2_rows(),
+        )
+
+    def render_figure4(self) -> str:
+        """Figure 4's per-policy bars as text."""
+        rows = []
+        for workload in self.selections:
+            for policy, (mean, lo, hi) in self.figure4_bars(workload).items():
+                rows.append((workload, policy, mean, lo, hi))
+        return format_table(
+            ["Workload", "Policy", "Avg err(%)", "Min err(%)", "Max err(%)"], rows
+        )
+
+
+def run_fig4(
+    context: ExperimentContext | None = None,
+    *,
+    workloads: Sequence[str] | None = None,
+) -> Fig4Result:
+    """Run policy selection for the distributed workloads."""
+    context = context or default_context()
+    workloads = list(workloads or context.distributed_workloads())
+    selections = {
+        abbrev: context.policy_selection(abbrev) for abbrev in workloads
+    }
+    population = heterogeneous_space_size(
+        context.runner.num_nodes, NUM_PRESSURE_LEVELS
+    )
+    return Fig4Result(selections=selections, population_size=population)

@@ -1,0 +1,72 @@
+"""Figure 9: predicted vs actual runtimes with the M.Gems co-runner.
+
+M.Gems is the paper's least predictable workload — its blocked-I/O
+behaviour makes its generated interference depend on the co-runner's
+CPU fluctuation.  The figure plots the predicted and measured
+normalized runtimes of every application when co-running with M.Gems;
+the reproduction carries the same elevated-noise calibration, so the
+gaps here are visibly wider than Figure 8's averages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.analysis.errors import absolute_percent_error
+from repro.analysis.reporting import format_table
+from repro.experiments.context import ExperimentContext, default_context
+from repro.experiments.fig8_validation import predict_pair
+
+CO_RUNNER = "M.Gems"
+
+
+@dataclass(frozen=True)
+class Fig9Result:
+    """Predicted and actual normalized times against M.Gems."""
+
+    workloads: Tuple[str, ...]
+    predicted: Tuple[float, ...]
+    actual: Tuple[float, ...]
+
+    def errors(self) -> List[float]:
+        """Per-workload absolute percentage errors."""
+        return [
+            absolute_percent_error(p, a)
+            for p, a in zip(self.predicted, self.actual)
+        ]
+
+    def render(self) -> str:
+        """Figure 9 as text."""
+        rows = [
+            (w, p, a, e)
+            for w, p, a, e in zip(
+                self.workloads, self.predicted, self.actual, self.errors()
+            )
+        ]
+        return format_table(
+            ["Workload", "Predicted", "Actual", "Error(%)"], rows,
+            float_format="{:.3f}",
+        )
+
+
+def run_fig9(
+    context: ExperimentContext | None = None,
+    *,
+    targets: Sequence[str] | None = None,
+    rep: int = 0,
+) -> Fig9Result:
+    """Co-run every target with M.Gems; collect predictions and truth."""
+    context = context or default_context()
+    targets = list(targets or context.distributed_workloads())
+    predicted: List[float] = []
+    actual: List[float] = []
+    for target in targets:
+        predicted.append(predict_pair(context, target, CO_RUNNER))
+        times = context.runner.corun_pair(target, CO_RUNNER, rep=rep)
+        actual.append(times[f"{target}#0"])
+    return Fig9Result(
+        workloads=tuple(targets),
+        predicted=tuple(predicted),
+        actual=tuple(actual),
+    )

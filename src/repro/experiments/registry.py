@@ -1,0 +1,134 @@
+"""Experiment registry: every paper table and figure, by id.
+
+Maps experiment identifiers (``fig2`` ... ``fig13``) to their run
+functions and descriptions, for the CLI and for documentation
+generation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Tuple
+
+from repro.errors import ConfigurationError
+from repro.experiments.fig2_motivation import run_fig2
+from repro.experiments.fig3_propagation import run_fig3
+from repro.experiments.fig4_heterogeneity import run_fig4
+from repro.experiments.fig8_validation import run_fig8
+from repro.experiments.fig9_gems import run_fig9
+from repro.experiments.fig10_qos import run_fig10
+from repro.experiments.fig11_performance import run_fig11
+from repro.experiments.fig12_ec2_propagation import run_fig12
+from repro.experiments.fig13_ec2_validation import run_fig13
+from repro.experiments.table3_profiling import run_table3
+from repro.experiments.table4_bubble_scores import run_table4
+from repro.experiments.table6_ec2_policy import run_table6
+
+
+@dataclass(frozen=True)
+class ExperimentEntry:
+    """One reproducible paper artifact."""
+
+    experiment_id: str
+    paper_artifact: str
+    description: str
+    run: Callable[[], object]
+    render: Callable[[object], str]
+
+
+def _render_default(result: object) -> str:
+    render = getattr(result, "render", None)
+    if render is None:
+        raise ConfigurationError(f"{type(result).__name__} has no render()")
+    return render()
+
+
+REGISTRY: Dict[str, ExperimentEntry] = {
+    entry.experiment_id: entry
+    for entry in (
+        ExperimentEntry(
+            "fig2", "Figure 2",
+            "Naive vs real execution time of M.lmps with C.libq on 0-8 nodes",
+            run_fig2, _render_default,
+        ),
+        ExperimentEntry(
+            "fig3", "Figure 3",
+            "Propagation curves for all distributed workloads",
+            run_fig3, lambda r: r.render_all(),
+        ),
+        ExperimentEntry(
+            "fig4", "Figure 4 + Table 2",
+            "Heterogeneity policy errors and best policy per workload",
+            run_fig4, lambda r: r.render_figure4() + "\n\n" + r.render_table2(),
+        ),
+        ExperimentEntry(
+            "table3", "Table 3 + Figures 6-7",
+            "Profiling algorithm cost and accuracy",
+            run_table3,
+            lambda r: "\n\n".join(
+                (r.render_table3(), r.render_figure6(), r.render_figure7())
+            ),
+        ),
+        ExperimentEntry(
+            "table4", "Table 4",
+            "Bubble scores of all benchmark applications",
+            run_table4, _render_default,
+        ),
+        ExperimentEntry(
+            "fig8", "Figure 8",
+            "Model validation errors for pairwise co-runs",
+            run_fig8, _render_default,
+        ),
+        ExperimentEntry(
+            "fig9", "Figure 9",
+            "Predicted vs actual runtimes with the M.Gems co-runner",
+            run_fig9, _render_default,
+        ),
+        ExperimentEntry(
+            "fig10", "Figure 10",
+            "QoS-aware placement: model vs naive",
+            run_fig10, _render_default,
+        ),
+        ExperimentEntry(
+            "fig11", "Figure 11 + Table 5",
+            "Placement for performance across the 10 mixes",
+            run_fig11, _render_default,
+        ),
+        ExperimentEntry(
+            "fig12", "Figure 12",
+            "EC2 propagation curves for 4 workloads, 0-32 interfering VMs",
+            run_fig12, lambda r: r.render_all(),
+        ),
+        ExperimentEntry(
+            "table6", "Table 6",
+            "Heterogeneity policy selection on EC2",
+            run_table6, _render_default,
+        ),
+        ExperimentEntry(
+            "fig13", "Figure 13",
+            "Model validation errors on EC2",
+            run_fig13, _render_default,
+        ),
+    )
+}
+
+
+def get_experiment(experiment_id: str) -> ExperimentEntry:
+    """Look up an experiment by id.
+
+    Raises
+    ------
+    ConfigurationError
+        If the id is unknown.
+    """
+    try:
+        return REGISTRY[experiment_id]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown experiment {experiment_id!r}; known: {', '.join(REGISTRY)}"
+        ) from None
+
+
+def all_experiment_ids() -> Tuple[str, ...]:
+    """All registered experiment ids, in registry order."""
+    return tuple(REGISTRY)

@@ -1,0 +1,96 @@
+"""Table 3 and Figures 6-7: profiling cost vs accuracy.
+
+Runs the four profiling algorithms — binary-optimized, binary-brute,
+random-50%, random-30% — for every distributed workload against the
+exhaustively measured matrix, reporting average cost and error
+(Table 3) and the per-workload breakdowns (Figures 6 and 7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.analysis.reporting import format_table
+from repro.core.profiling.evaluation import (
+    ALGORITHM_ORDER,
+    ProfilerComparison,
+    ProfilerScore,
+    run_profilers,
+)
+from repro.experiments.context import ExperimentContext, default_context
+
+
+@dataclass(frozen=True)
+class Table3Result:
+    """Profiler comparison across the workload set."""
+
+    comparison: ProfilerComparison
+
+    def table3_rows(self) -> List[Tuple[str, float, float]]:
+        """(algorithm, average cost %, average error %) rows."""
+        return self.comparison.table3_rows()
+
+    def per_app_errors(self) -> Dict[str, Dict[str, float]]:
+        """Figure 6: algorithm -> workload -> error %."""
+        return {
+            name: {s.workload: s.error_percent for s in self.comparison.by_algorithm(name)}
+            for name in ALGORITHM_ORDER
+        }
+
+    def per_app_costs(self) -> Dict[str, Dict[str, float]]:
+        """Figure 7: algorithm -> workload -> cost %."""
+        return {
+            name: {s.workload: s.cost_percent for s in self.comparison.by_algorithm(name)}
+            for name in ALGORITHM_ORDER
+        }
+
+    def render_table3(self) -> str:
+        """Table 3 as text."""
+        return format_table(
+            ["Prediction Algorithm", "Average cost(%)", "Average error(%)"],
+            self.table3_rows(),
+        )
+
+    def _render_per_app(self, data: Dict[str, Dict[str, float]], title: str) -> str:
+        workloads = sorted(next(iter(data.values())))
+        rows = []
+        for workload in workloads:
+            rows.append(
+                [workload] + [data[name][workload] for name in ALGORITHM_ORDER]
+            )
+        return title + "\n" + format_table(["Workload"] + list(ALGORITHM_ORDER), rows)
+
+    def render_figure6(self) -> str:
+        """Figure 6 (per-app errors) as text."""
+        return self._render_per_app(self.per_app_errors(), "Prediction error (%)")
+
+    def render_figure7(self) -> str:
+        """Figure 7 (per-app costs) as text."""
+        return self._render_per_app(self.per_app_costs(), "Profiling cost (%)")
+
+
+def run_table3(
+    context: ExperimentContext | None = None,
+    *,
+    workloads: Sequence[str] | None = None,
+) -> Table3Result:
+    """Run the profiler comparison for the distributed workloads."""
+    context = context or default_context()
+    workloads = list(workloads or context.distributed_workloads())
+    scores: List[ProfilerScore] = []
+    for abbrev in workloads:
+        truth = context.truth_matrix(abbrev)
+        outcomes = run_profilers(
+            context.oracle(abbrev), context.pressures, context.counts
+        )
+        for name, outcome in outcomes.items():
+            scores.append(
+                ProfilerScore(
+                    algorithm=name,
+                    workload=abbrev,
+                    cost_percent=outcome.cost_percent,
+                    error_percent=outcome.error_against(truth),
+                )
+            )
+    return Table3Result(comparison=ProfilerComparison(tuple(scores)))

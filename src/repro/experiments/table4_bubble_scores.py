@@ -1,0 +1,64 @@
+"""Table 4: bubble scores of all benchmark applications.
+
+Measures the interference each workload generates via probe bubbles on
+every participating node, averaged as in Section 3.4.  The paper's
+scores span 0.2 (H.KM) to 6.6 (C.libq); the measured values here track
+the catalog's calibrated ground truth, with the Hadoop/Spark masters'
+lighter footprint pulling their averages slightly below it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.analysis.reporting import format_table
+from repro.core.scoring import BubbleScoreMeter
+from repro.experiments.context import ExperimentContext, default_context
+
+#: Table 4 of the paper, for side-by-side reporting.
+PAPER_SCORES: Dict[str, float] = {
+    "M.milc": 4.3, "M.lesl": 3.9, "M.Gems": 2.4,
+    "M.lmps": 1.0, "M.zeus": 1.4, "M.lu": 4.6,
+    "N.cg": 3.9, "N.mg": 5.0, "H.KM": 0.2,
+    "S.WC": 0.3, "S.CF": 0.5, "S.PR": 0.7,
+    "C.gcc": 4.8, "C.mcf": 5.4, "C.cact": 3.8,
+    "C.sopl": 4.9, "C.libq": 6.6, "C.xbmk": 4.3,
+}
+
+
+@dataclass(frozen=True)
+class Table4Result:
+    """Measured bubble scores, with the paper's values for comparison."""
+
+    scores: Dict[str, float]
+
+    def rows(self) -> List[Tuple[str, float, float]]:
+        """(workload, measured score, paper score) rows."""
+        return [
+            (workload, self.scores[workload], PAPER_SCORES.get(workload, float("nan")))
+            for workload in self.scores
+        ]
+
+    def render(self) -> str:
+        """Table 4 as text, including the paper's column."""
+        return format_table(
+            ["Workload", "Bubble (measured)", "Bubble (paper)"],
+            self.rows(),
+            float_format="{:.1f}",
+        )
+
+
+def run_table4(
+    context: ExperimentContext | None = None,
+    *,
+    workloads: Sequence[str] | None = None,
+) -> Table4Result:
+    """Measure bubble scores for all 18 applications."""
+    context = context or default_context()
+    if workloads is None:
+        workloads = list(context.distributed_workloads()) + list(
+            context.batch_workloads()
+        )
+    meter = BubbleScoreMeter(context.runner)
+    return Table4Result(scores=meter.score_table(list(workloads)))

@@ -1,0 +1,70 @@
+"""Table 6: heterogeneity policy selection on Amazon EC2.
+
+Repeats the policy-selection procedure on the EC2 environment with 100
+sampled heterogeneous settings per workload.  The paper's observation
+— EC2 errors are higher than the private cluster's because other
+tenants' interference cannot be measured or controlled, and the
+selected policies can differ from Table 2's — is what this experiment
+checks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro._util import stable_seed
+from repro.analysis.reporting import format_table
+from repro.core.profiling.policy_selection import (
+    PolicySelectionResult,
+    select_policy,
+)
+from repro.ec2.environment import EC2_POLICY_SAMPLES, EC2_WORKLOADS
+from repro.experiments.context import ExperimentContext
+from repro.experiments.fig12_ec2_propagation import ec2_context
+
+
+@dataclass(frozen=True)
+class Table6Result:
+    """EC2 policy selection per workload."""
+
+    selections: Dict[str, PolicySelectionResult]
+
+    def rows(self) -> List[Tuple[str, str, float, float]]:
+        """(workload, best policy, avg error %, std dev) rows."""
+        return [
+            (
+                workload,
+                selection.best.policy_name,
+                selection.best.average_error,
+                selection.best.std_dev,
+            )
+            for workload, selection in self.selections.items()
+        ]
+
+    def render(self) -> str:
+        """Table 6 as text."""
+        return format_table(
+            ["Workload", "Best policy", "Avg. error(%)", "Std. dev."], self.rows()
+        )
+
+
+def run_table6(
+    context: ExperimentContext | None = None,
+    *,
+    workloads: Sequence[str] | None = None,
+    samples: int = EC2_POLICY_SAMPLES,
+) -> Table6Result:
+    """Select policies for the EC2 validation workloads."""
+    context = context or ec2_context()
+    workloads = list(workloads or EC2_WORKLOADS)
+    selections = {}
+    for abbrev in workloads:
+        selections[abbrev] = select_policy(
+            context.runner,
+            abbrev,
+            context.truth_matrix(abbrev),
+            samples=samples,
+            seed=stable_seed(context.seed, abbrev, "ec2-policy"),
+        )
+    return Table6Result(selections=selections)

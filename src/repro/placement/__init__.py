@@ -1,0 +1,50 @@
+"""Interference-aware placement algorithms (the paper's case studies)."""
+
+from repro.placement.annealing import (
+    AnnealingSchedule,
+    SearchResult,
+    SimulatedAnnealingPlacer,
+)
+from repro.placement.assignment import InstanceSpec, Placement
+from repro.placement.objectives import (
+    QoSConstraint,
+    predict_placement,
+    qos_energy,
+    qos_status,
+    weighted_average_speedup,
+    weighted_total_time,
+)
+from repro.placement.dynamic import DynamicRescheduler, EpochRecord, units_moved
+from repro.placement.qos import QoSAwarePlacer, QoSPlacementResult
+from repro.placement.search import (
+    GreedyPlacer,
+    average_random_total_time,
+    exhaustive_best,
+    random_placements,
+)
+from repro.placement.throughput import ThroughputPlacementResult, ThroughputPlacer
+
+__all__ = [
+    "AnnealingSchedule",
+    "DynamicRescheduler",
+    "EpochRecord",
+    "GreedyPlacer",
+    "InstanceSpec",
+    "Placement",
+    "QoSAwarePlacer",
+    "QoSConstraint",
+    "QoSPlacementResult",
+    "SearchResult",
+    "SimulatedAnnealingPlacer",
+    "ThroughputPlacementResult",
+    "ThroughputPlacer",
+    "average_random_total_time",
+    "exhaustive_best",
+    "predict_placement",
+    "qos_energy",
+    "qos_status",
+    "random_placements",
+    "units_moved",
+    "weighted_average_speedup",
+    "weighted_total_time",
+]

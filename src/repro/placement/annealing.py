@@ -1,0 +1,175 @@
+"""Simulated-annealing placement search (Section 5.1).
+
+The paper's placer starts from a random assignment and repeatedly
+swaps the locations of two VM units belonging to different workloads,
+keeping swaps that improve the (model-predicted) objective while
+respecting QoS constraints, for a fixed number of iterations.  The
+implementation here is a standard simulated annealing loop: worse
+moves are accepted with probability ``exp(-delta / T)`` under a
+geometric cooling schedule, which degenerates to the paper's stochastic
+hill climbing when ``initial_temperature`` is 0.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from repro._util import make_rng
+from repro.errors import PlacementError
+from repro.placement.assignment import Placement
+
+EnergyFunction = Callable[[Placement], float]
+
+
+@dataclass(frozen=True)
+class AnnealingSchedule:
+    """Cooling schedule for the annealing search.
+
+    Parameters
+    ----------
+    iterations:
+        Number of proposed swaps.
+    initial_temperature:
+        Starting temperature; 0 yields pure hill climbing.
+    final_temperature:
+        Temperature at the last iteration (geometric decay).
+    restarts:
+        Independent searches from fresh random placements; the best
+        result across restarts is returned.
+    """
+
+    iterations: int = 3000
+    initial_temperature: float = 0.05
+    final_temperature: float = 1e-4
+    restarts: int = 3
+
+    def __post_init__(self) -> None:
+        if self.iterations <= 0:
+            raise PlacementError("iterations must be positive")
+        if self.initial_temperature < 0 or self.final_temperature < 0:
+            raise PlacementError("temperatures must be non-negative")
+        if self.restarts <= 0:
+            raise PlacementError("restarts must be positive")
+
+    def temperature(self, iteration: int) -> float:
+        """Temperature at ``iteration`` (geometric interpolation)."""
+        if self.initial_temperature <= 0:
+            return 0.0
+        if self.iterations == 1:
+            return self.initial_temperature
+        floor = max(self.final_temperature, 1e-12)
+        ratio = floor / self.initial_temperature
+        return self.initial_temperature * ratio ** (
+            iteration / (self.iterations - 1)
+        )
+
+
+@dataclass
+class SearchResult:
+    """Outcome of an annealing search."""
+
+    placement: Placement
+    energy: float
+    evaluations: int
+    accepted_moves: int
+    energy_trajectory: List[float]
+
+
+class SimulatedAnnealingPlacer:
+    """Searches placements by annealed unit swaps.
+
+    Parameters
+    ----------
+    energy:
+        Placement score to *minimize* (model-predicted).
+    schedule:
+        Cooling schedule.
+    seed:
+        Randomness for initial placements and move proposals.
+    """
+
+    def __init__(
+        self,
+        energy: EnergyFunction,
+        *,
+        schedule: Optional[AnnealingSchedule] = None,
+        seed: object = 0,
+    ) -> None:
+        self.energy = energy
+        self.schedule = schedule or AnnealingSchedule()
+        self._rng = make_rng(seed)
+
+    # ------------------------------------------------------------------
+    def _propose_swap(self, placement: Placement) -> Optional[Placement]:
+        """A random swap of two units of different instances."""
+        keys = [spec.instance_key for spec in placement.instances]
+        if len(keys) < 2:
+            return None
+        for _ in range(16):  # retry degenerate proposals
+            idx_a, idx_b = self._rng.choice(len(keys), size=2, replace=False)
+            key_a, key_b = keys[int(idx_a)], keys[int(idx_b)]
+            unit_a = int(self._rng.integers(placement.instance(key_a).num_units))
+            unit_b = int(self._rng.integers(placement.instance(key_b).num_units))
+            if placement.nodes_of(key_a)[unit_a] == placement.nodes_of(key_b)[unit_b]:
+                continue  # same node: a no-op swap
+            try:
+                return placement.swap_units(key_a, unit_a, key_b, unit_b)
+            except PlacementError:
+                continue
+        return None
+
+    def search_from(self, initial: Placement) -> SearchResult:
+        """Run one annealing pass from a given placement."""
+        current = initial
+        current_energy = self.energy(current)
+        best, best_energy = current, current_energy
+        evaluations = 1
+        accepted = 0
+        trajectory = [current_energy]
+        for iteration in range(self.schedule.iterations):
+            candidate = self._propose_swap(current)
+            if candidate is None:
+                continue
+            candidate_energy = self.energy(candidate)
+            evaluations += 1
+            delta = candidate_energy - current_energy
+            temperature = self.schedule.temperature(iteration)
+            accept = delta <= 0 or (
+                temperature > 0
+                and self._rng.random() < math.exp(-delta / temperature)
+            )
+            if accept:
+                current, current_energy = candidate, candidate_energy
+                accepted += 1
+                if current_energy < best_energy:
+                    best, best_energy = current, current_energy
+            trajectory.append(current_energy)
+        return SearchResult(
+            placement=best,
+            energy=best_energy,
+            evaluations=evaluations,
+            accepted_moves=accepted,
+            energy_trajectory=trajectory,
+        )
+
+    def search(
+        self, initial_factory: Callable[[object], Placement]
+    ) -> SearchResult:
+        """Best result across the schedule's restarts.
+
+        Parameters
+        ----------
+        initial_factory:
+            Called with a seed per restart to produce the starting
+            placement (typically :meth:`Placement.random`).
+        """
+        best: Optional[SearchResult] = None
+        for restart in range(self.schedule.restarts):
+            seed = int(self._rng.integers(0, 2**31))
+            result = self.search_from(initial_factory(seed))
+            if best is None or result.energy < best.energy:
+                best = result
+        assert best is not None
+        return best

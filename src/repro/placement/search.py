@@ -1,0 +1,165 @@
+"""Non-annealing placement baselines.
+
+* :func:`random_placements` — the paper's ``Random`` reference
+  (the average of five random placements in Figure 11).
+* :class:`GreedyPlacer` — a pack-greedily baseline used by the
+  ablation benches to show what the annealing search buys.
+* :func:`exhaustive_best` — exact search for tiny problems, used by
+  tests to certify the annealing search's quality.
+"""
+
+from __future__ import annotations
+
+from itertools import permutations
+from typing import Callable, List, Sequence, Tuple
+
+from repro._util import stable_seed
+from repro.cluster.cluster import ClusterSpec
+from repro.errors import PlacementError
+from repro.placement.assignment import InstanceSpec, Placement
+from repro.placement.objectives import predict_placement, weighted_total_time
+
+
+def random_placements(
+    cluster_spec: ClusterSpec,
+    instances: Sequence[InstanceSpec],
+    *,
+    count: int = 5,
+    seed: object = 0,
+) -> List[Placement]:
+    """``count`` independent uniformly random placements."""
+    if count <= 0:
+        raise PlacementError("count must be positive")
+    return [
+        Placement.random(
+            cluster_spec, instances, seed=stable_seed(seed, "random-placement", i)
+        )
+        for i in range(count)
+    ]
+
+
+class GreedyPlacer:
+    """Greedy baseline: place units one at a time, cheapest node first.
+
+    Instances are placed in descending bubble-score order (the loudest
+    first); each unit goes to the free slot whose node currently holds
+    the least combined pressure.  No backtracking — the gap to the
+    annealing result is what the ablation bench measures.
+    """
+
+    def __init__(self, model, cluster_spec: ClusterSpec) -> None:
+        self.model = model
+        self.cluster_spec = cluster_spec
+
+    def place(
+        self, instances: Sequence[InstanceSpec], *, unit_slots_per_node: int = 2
+    ) -> Placement:
+        """Build a placement greedily."""
+        free = {
+            node: unit_slots_per_node for node in range(self.cluster_spec.num_nodes)
+        }
+        node_pressure = {node: 0.0 for node in free}
+        node_residents: dict = {node: set() for node in free}
+        ordered = sorted(
+            instances,
+            key=lambda spec: -self.model.profile(spec.workload).bubble_score,
+        )
+        assignment = {}
+        for spec in ordered:
+            score = self.model.profile(spec.workload).bubble_score
+            nodes = []
+            for _ in range(spec.num_units):
+                candidates = [
+                    node
+                    for node, slots in free.items()
+                    if slots > 0
+                    and spec.instance_key not in node_residents[node]
+                    and len(node_residents[node])
+                    < self.cluster_spec.max_workloads_per_node
+                ]
+                if not candidates:
+                    raise PlacementError("greedy placement ran out of slots")
+                target = min(candidates, key=lambda n: (node_pressure[n], n))
+                nodes.append(target)
+                free[target] -= 1
+                node_pressure[target] += score
+                node_residents[target].add(spec.instance_key)
+            assignment[spec.instance_key] = nodes
+        return Placement(
+            self.cluster_spec,
+            instances,
+            assignment,
+            unit_slots_per_node=unit_slots_per_node,
+        )
+
+
+def exhaustive_best(
+    cluster_spec: ClusterSpec,
+    instances: Sequence[InstanceSpec],
+    energy: Callable[[Placement], float],
+    *,
+    unit_slots_per_node: int = 2,
+) -> Tuple[Placement, float]:
+    """Exact minimum-energy placement by enumeration.
+
+    Only feasible for tiny problems (tests); the number of assignments
+    grows factorially with units.
+    """
+    slots = [
+        node
+        for node in range(cluster_spec.num_nodes)
+        for _ in range(unit_slots_per_node)
+    ]
+    unit_owners: List[str] = []
+    for spec in instances:
+        unit_owners.extend([spec.instance_key] * spec.num_units)
+    if len(unit_owners) > len(slots):
+        raise PlacementError("instances do not fit the cluster")
+    if len(slots) > 8:
+        raise PlacementError(
+            "exhaustive search is only supported for <= 8 unit slots"
+        )
+
+    best: Tuple[Placement, float] | None = None
+    seen = set()
+    for perm in permutations(range(len(slots)), len(unit_owners)):
+        assignment: dict = {spec.instance_key: [] for spec in instances}
+        for owner, slot_idx in zip(unit_owners, perm):
+            assignment[owner].append(slots[slot_idx])
+        signature = tuple(
+            (key, tuple(sorted(nodes))) for key, nodes in sorted(assignment.items())
+        )
+        if signature in seen:
+            continue
+        seen.add(signature)
+        try:
+            placement = Placement(
+                cluster_spec,
+                instances,
+                assignment,
+                unit_slots_per_node=unit_slots_per_node,
+            )
+        except PlacementError:
+            continue
+        value = energy(placement)
+        if best is None or value < best[1]:
+            best = (placement, value)
+    if best is None:
+        raise PlacementError("no feasible placement exists")
+    return best
+
+
+def average_random_total_time(
+    model,
+    cluster_spec: ClusterSpec,
+    instances: Sequence[InstanceSpec],
+    *,
+    count: int = 5,
+    seed: object = 0,
+) -> float:
+    """Mean predicted total weighted time across random placements."""
+    placements = random_placements(cluster_spec, instances, count=count, seed=seed)
+    totals = [
+        weighted_total_time(predict_placement(model, p), p) for p in placements
+    ]
+    return sum(totals) / len(totals)

@@ -1,0 +1,104 @@
+"""Discrete-event simulation core.
+
+A minimal, fast event loop: callbacks are scheduled at absolute or
+relative simulated times and executed in time order (FIFO among
+same-time events).  The executor in :mod:`repro.sim.execution` builds
+task/stage semantics on top of this.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, List, Tuple
+
+from repro.errors import SimulationError
+
+Callback = Callable[[], None]
+
+
+class Engine:
+    """Event-driven simulation clock.
+
+    Events fire in non-decreasing time order; ties break in scheduling
+    order so runs are fully deterministic.
+    """
+
+    def __init__(self) -> None:
+        self._heap: List[Tuple[float, int, Callback]] = []
+        self._now: float = 0.0
+        self._seq: int = 0
+        self._events_processed: int = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulated time."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Number of events executed so far (diagnostics)."""
+        return self._events_processed
+
+    @property
+    def pending(self) -> int:
+        """Number of events still queued."""
+        return len(self._heap)
+
+    def schedule(self, delay: float, callback: Callback) -> None:
+        """Schedule ``callback`` to run ``delay`` after the current time.
+
+        Raises
+        ------
+        SimulationError
+            If ``delay`` is negative (events may not fire in the past).
+        """
+        if delay < 0.0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        heapq.heappush(self._heap, (self._now + delay, self._seq, callback))
+        self._seq += 1
+
+    def schedule_at(self, when: float, callback: Callback) -> None:
+        """Schedule ``callback`` at absolute simulated time ``when``."""
+        self.schedule(when - self._now, callback)
+
+    def run(self, *, max_events: int = 50_000_000) -> float:
+        """Drain the event queue; return the final simulated time.
+
+        Parameters
+        ----------
+        max_events:
+            Safety valve against runaway simulations.
+
+        Raises
+        ------
+        SimulationError
+            If more than ``max_events`` events fire.
+        """
+        while self._heap:
+            when, _seq, callback = heapq.heappop(self._heap)
+            if when < self._now:
+                raise SimulationError("event queue produced a time regression")
+            self._now = when
+            self._events_processed += 1
+            if self._events_processed > max_events:
+                raise SimulationError(
+                    f"simulation exceeded {max_events} events; likely livelock"
+                )
+            callback()
+        return self._now
+
+    def stop(self) -> None:
+        """Discard all pending events; :meth:`run` returns immediately.
+
+        Used by sustained co-runs: once every instance of interest has
+        completed its first pass, the remaining (looping) work is
+        irrelevant.
+        """
+        self._heap.clear()
+
+    def reset(self) -> None:
+        """Discard pending events and rewind the clock to zero."""
+        self._heap.clear()
+        self._now = 0.0
+        self._seq = 0
+        self._events_processed = 0

@@ -1,0 +1,360 @@
+"""Co-run executor: runs deployed workloads to completion.
+
+This is the simulated equivalent of "launch the VMs and wait": given a
+set of :class:`DeployedInstance` objects (workload + unit-to-node map),
+the executor drives each instance's program through the discrete-event
+engine.  Task durations are scaled by the workload's sensitivity to the
+pressure currently present on the slot's node; when an instance
+finishes, its pressure disappears and co-runners speed up from their
+next task onward.
+
+The executor is the *only* ground truth in this reproduction — the
+interference model (:mod:`repro.core`) sees nothing but the execution
+times it returns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Sequence
+
+from repro._util import child_rng, make_rng
+from repro.apps.base import Stage, Workload
+from repro.errors import ConfigurationError, SimulationError
+from repro.sim.engine import Engine
+from repro.sim.noise import NoiseProfile, PRIVATE_TESTBED_NOISE, TaskJitter
+from repro.sim.pressure import PressureField
+from repro.sim.trace import ExecutionTrace
+
+
+@dataclass(frozen=True)
+class DeployedInstance:
+    """A workload instance mapped onto cluster nodes.
+
+    Parameters
+    ----------
+    instance_key:
+        Unique identifier within the co-run (e.g. ``"M.lmps#0"``).
+    workload:
+        Behavioural model (provides the program and sensitivities).
+    units_to_nodes:
+        Mapping of VM-unit index to hosting node id.  Unit 0 hosts the
+        master.
+    """
+
+    instance_key: str
+    workload: Workload
+    units_to_nodes: Mapping[int, int]
+
+    def __post_init__(self) -> None:
+        if not self.units_to_nodes and not self.workload.is_passive:
+            raise ConfigurationError(
+                f"active instance {self.instance_key!r} deployed with no units"
+            )
+
+    @property
+    def num_units(self) -> int:
+        """Number of placed VM units."""
+        return len(self.units_to_nodes)
+
+    @property
+    def num_slots(self) -> int:
+        """Total execution slots across all units."""
+        return self.num_units * self.workload.spec.slots_per_unit
+
+    def slot_nodes(self) -> List[int]:
+        """Node id of each slot, in slot order (unit-major)."""
+        spu = self.workload.spec.slots_per_unit
+        nodes: List[int] = []
+        for unit_index in sorted(self.units_to_nodes):
+            nodes.extend([self.units_to_nodes[unit_index]] * spu)
+        return nodes
+
+    def spanned_nodes(self) -> List[int]:
+        """Sorted distinct node ids the instance occupies."""
+        return sorted(set(self.units_to_nodes.values()))
+
+
+@dataclass
+class InstanceResult:
+    """Outcome of one instance in a co-run."""
+
+    instance_key: str
+    workload_name: str
+    finish_time: float
+    tasks_executed: int
+    stages_completed: int
+    #: Mean pressure experienced across the instance's nodes at start.
+    mean_pressure_seen: float
+    #: True if the instance was a passive pressure source (bubble).
+    passive: bool = False
+
+
+class _InstanceController:
+    """Drives one instance's program through the engine."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        pressure: PressureField,
+        deployed: DeployedInstance,
+        jitter: TaskJitter,
+        noise: NoiseProfile,
+        rng,
+        on_finish: Callable[[str], None],
+        trace: Optional[ExecutionTrace],
+        loop: bool = False,
+        keep_running: Optional[Callable[[], bool]] = None,
+    ) -> None:
+        self._engine = engine
+        self._pressure = pressure
+        self._deployed = deployed
+        self._jitter = jitter
+        self._noise = noise
+        self._rng = rng
+        self._on_finish = on_finish
+        self._trace = trace
+        self._loop = loop
+        self._keep_running = keep_running or (lambda: False)
+        self._sensitivity = deployed.workload.spec.sensitivity
+        self._slot_nodes = deployed.slot_nodes()
+        self._program: List[Stage] = deployed.workload.build_program(
+            max(deployed.num_slots, 1)
+        )
+        self._stage_index = -1
+        self._stage: Optional[Stage] = None
+        self._tasks_not_started = 0
+        self._tasks_running = 0
+        self._slot_pending: List[int] = []
+        self.tasks_executed = 0
+        self.stages_completed = 0
+        self.finish_time: Optional[float] = None
+
+    @property
+    def key(self) -> str:
+        return self._deployed.instance_key
+
+    def start(self) -> None:
+        """Begin executing the program (no-op for empty programs)."""
+        if not self._program:
+            self._finish()
+            return
+        self._advance_stage()
+
+    def _advance_stage(self) -> None:
+        self._stage_index += 1
+        if self._stage_index >= len(self._program):
+            self._finish()
+            return
+        stage = self._program[self._stage_index]
+        self._stage = stage
+        self._tasks_not_started = stage.n_tasks
+        self._tasks_running = 0
+        num_slots = len(self._slot_nodes)
+        if stage.dynamic:
+            self._slot_pending = []
+            for slot in range(min(num_slots, stage.n_tasks)):
+                self._begin_task(slot)
+        else:
+            base, extra = divmod(stage.n_tasks, num_slots)
+            self._slot_pending = [
+                base + (1 if slot < extra else 0) for slot in range(num_slots)
+            ]
+            for slot in range(num_slots):
+                if self._slot_pending[slot] > 0:
+                    self._begin_task(slot)
+
+    def _begin_task(self, slot: int) -> None:
+        stage = self._stage
+        assert stage is not None
+        if self._tasks_not_started <= 0:
+            raise SimulationError("attempted to start more tasks than the stage has")
+        self._tasks_not_started -= 1
+        self._tasks_running += 1
+        node = self._slot_nodes[slot]
+        pressure = self._pressure.pressure_seen(self.key, node)
+        slowdown = self._sensitivity.slowdown(pressure)
+        duration = stage.task_time * slowdown * self._jitter.sample()
+        duration *= self._noise.stall.factor(
+            self._rng, pressure, reacts=slowdown > 1.0
+        )
+        self._engine.schedule(duration, lambda: self._complete_task(slot))
+
+    def _complete_task(self, slot: int) -> None:
+        stage = self._stage
+        assert stage is not None
+        self._tasks_running -= 1
+        self.tasks_executed += 1
+        if stage.dynamic:
+            if self._tasks_not_started > 0:
+                self._begin_task(slot)
+        else:
+            self._slot_pending[slot] -= 1
+            if self._slot_pending[slot] > 0:
+                self._begin_task(slot)
+        if self._tasks_running == 0 and self._tasks_not_started == 0:
+            self._end_stage()
+
+    def _end_stage(self) -> None:
+        stage = self._stage
+        assert stage is not None
+        self.stages_completed += 1
+        if self._trace is not None:
+            self._trace.record_stage(self.key, stage.name, self._engine.now)
+        if stage.sync_cost > 0.0:
+            self._engine.schedule(stage.sync_cost, self._advance_stage)
+        else:
+            self._advance_stage()
+
+    def _finish(self) -> None:
+        if self.finish_time is None:
+            self.finish_time = self._engine.now
+            self._on_finish(self.key)
+        if self._loop and self._program and self._keep_running():
+            # Sustained co-run: restart the program so this instance
+            # keeps exerting (and receiving) interference while slower
+            # co-runners complete their first pass.
+            self._stage_index = -1
+            self._advance_stage()
+
+
+class CoRunExecutor:
+    """Runs a set of deployed instances concurrently.
+
+    Parameters
+    ----------
+    instances:
+        The deployed instances; keys must be unique.  At least one must
+        be active (non-passive), otherwise the run would never end.
+    seed:
+        Seed for all stochastic behaviour in this run.
+    noise:
+        Environment noise profile (jitter scale + ambient pressure).
+    num_nodes:
+        Number of physical nodes; needed to draw ambient pressure.
+        Inferred from deployments when omitted.
+    trace:
+        Optional trace collector for stage-level timing.
+    sustained:
+        If true, every instance restarts its program after completing
+        it, so interference stays present until the *slowest* instance
+        finishes its first pass; reported finish times are first-pass
+        completions.  This matches the paper's measurement methodology,
+        where co-runners execute continuously during validation and
+        placement experiments.
+    """
+
+    def __init__(
+        self,
+        instances: Sequence[DeployedInstance],
+        *,
+        seed: object = 0,
+        noise: NoiseProfile = PRIVATE_TESTBED_NOISE,
+        num_nodes: Optional[int] = None,
+        trace: Optional[ExecutionTrace] = None,
+        sustained: bool = False,
+    ) -> None:
+        keys = [inst.instance_key for inst in instances]
+        if len(set(keys)) != len(keys):
+            raise ConfigurationError(f"duplicate instance keys in co-run: {keys}")
+        if not any(not inst.workload.is_passive for inst in instances):
+            raise ConfigurationError("a co-run needs at least one active instance")
+        self._instances = list(instances)
+        self._rng = make_rng(seed)
+        self._noise = noise
+        self._trace = trace
+        if num_nodes is None:
+            spanned = [n for inst in instances for n in inst.spanned_nodes()]
+            num_nodes = (max(spanned) + 1) if spanned else 1
+        self._num_nodes = num_nodes
+        self._sustained = sustained
+
+    def run(self) -> Dict[str, InstanceResult]:
+        """Execute the co-run and return per-instance results."""
+        engine = Engine()
+        ambient: Mapping[int, float] = {}
+        if self._noise.ambient is not None:
+            ambient = self._noise.ambient.draw(
+                self._num_nodes, child_rng(self._rng, "ambient")
+            )
+        field = PressureField(ambient)
+        for inst in self._instances:
+            field.register(inst.instance_key, inst.workload, inst.units_to_nodes)
+
+        active_remaining = sum(
+            1 for inst in self._instances if not inst.workload.is_passive
+        )
+        finish_order: List[str] = []
+
+        def on_finish(key: str) -> None:
+            nonlocal active_remaining
+            finish_order.append(key)
+            active_remaining -= 1
+            if self._sustained:
+                # Pressure stays present (the instance loops) until the
+                # last first-pass completion, then the run is over.
+                if active_remaining == 0:
+                    engine.stop()
+            else:
+                field.deactivate(key)
+
+        def keep_running() -> bool:
+            return active_remaining > 0
+
+        controllers: Dict[str, _InstanceController] = {}
+        for inst in self._instances:
+            if inst.workload.is_passive:
+                continue
+            rng = child_rng(self._rng, inst.instance_key)
+            cv = inst.workload.spec.noise_cv * self._noise.jitter_scale
+            jitter = TaskJitter(cv, rng)
+            controllers[inst.instance_key] = _InstanceController(
+                engine, field, inst, jitter, self._noise, rng, on_finish,
+                self._trace, loop=self._sustained, keep_running=keep_running,
+            )
+
+        start_pressures = {
+            inst.instance_key: self._mean_pressure(field, inst)
+            for inst in self._instances
+        }
+        for controller in controllers.values():
+            controller.start()
+        end_time = engine.run()
+
+        results: Dict[str, InstanceResult] = {}
+        for inst in self._instances:
+            key = inst.instance_key
+            if inst.workload.is_passive:
+                results[key] = InstanceResult(
+                    instance_key=key,
+                    workload_name=inst.workload.name,
+                    finish_time=end_time,
+                    tasks_executed=0,
+                    stages_completed=0,
+                    mean_pressure_seen=start_pressures[key],
+                    passive=True,
+                )
+            else:
+                controller = controllers[key]
+                if controller.finish_time is None:
+                    raise SimulationError(
+                        f"instance {key!r} did not finish; simulation deadlock"
+                    )
+                results[key] = InstanceResult(
+                    instance_key=key,
+                    workload_name=inst.workload.name,
+                    finish_time=controller.finish_time,
+                    tasks_executed=controller.tasks_executed,
+                    stages_completed=controller.stages_completed,
+                    mean_pressure_seen=start_pressures[key],
+                )
+        return results
+
+    @staticmethod
+    def _mean_pressure(field: PressureField, inst: DeployedInstance) -> float:
+        nodes = inst.spanned_nodes()
+        if not nodes:
+            return 0.0
+        return sum(field.pressure_seen(inst.instance_key, n) for n in nodes) / len(
+            nodes
+        )

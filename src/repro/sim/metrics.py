@@ -1,0 +1,97 @@
+"""Run metrics derived from execution traces.
+
+Diagnostics the examples and reports use to explain *where* time went
+in a co-run: per-stage statistics, iteration-time variability (the
+straggler signal behind the propagation classes), and simple
+cross-instance comparisons.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.sim.trace import ExecutionTrace
+
+
+@dataclass(frozen=True)
+class StageStats:
+    """Summary of one instance's stage durations."""
+
+    instance_key: str
+    stages: int
+    total_time: float
+    mean_stage_time: float
+    max_stage_time: float
+    stage_time_cv: float
+
+    @property
+    def straggler_ratio(self) -> float:
+        """Slowest stage over the mean — the barrier-stall signal.
+
+        High-propagation applications under partial interference show
+        elevated ratios: most iterations run clean, but the stalled
+        ones pay the max over all ranks.
+        """
+        if self.mean_stage_time == 0:
+            return 1.0
+        return self.max_stage_time / self.mean_stage_time
+
+
+def stage_stats(trace: ExecutionTrace, instance_key: str) -> StageStats:
+    """Compute stage statistics for one instance from a trace.
+
+    Raises
+    ------
+    SimulationError
+        If the trace holds no stages for the instance.
+    """
+    durations = [d for _name, d in trace.stage_durations(instance_key)]
+    if not durations:
+        raise SimulationError(f"no traced stages for {instance_key!r}")
+    arr = np.asarray(durations, dtype=float)
+    mean = float(arr.mean())
+    return StageStats(
+        instance_key=instance_key,
+        stages=int(arr.size),
+        total_time=float(arr.sum()),
+        mean_stage_time=mean,
+        max_stage_time=float(arr.max()),
+        stage_time_cv=float(arr.std() / mean) if mean > 0 else 0.0,
+    )
+
+
+def all_stage_stats(trace: ExecutionTrace) -> Dict[str, StageStats]:
+    """Stage statistics for every instance present in the trace."""
+    return {
+        instance_key: stage_stats(trace, instance_key)
+        for instance_key in sorted(trace.summary())
+    }
+
+
+def slowdown_breakdown(
+    solo: ExecutionTrace, contended: ExecutionTrace, instance_key: str
+) -> List[float]:
+    """Per-stage slowdown of a contended run against its solo run.
+
+    Both traces must record the same stage count for the instance;
+    the result is the elementwise duration ratio, which localizes
+    interference in time (useful for phase-behaviour diagnostics,
+    Section 4.4's "Static Profiling" limitation).
+    """
+    solo_durations = [d for _n, d in solo.stage_durations(instance_key)]
+    contended_durations = [d for _n, d in contended.stage_durations(instance_key)]
+    if len(solo_durations) != len(contended_durations):
+        raise SimulationError(
+            f"stage count mismatch for {instance_key!r}: "
+            f"{len(solo_durations)} solo vs {len(contended_durations)} contended"
+        )
+    if not solo_durations:
+        raise SimulationError(f"no traced stages for {instance_key!r}")
+    return [
+        contended / max(solo, 1e-12)
+        for solo, contended in zip(solo_durations, contended_durations)
+    ]

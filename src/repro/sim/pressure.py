@@ -1,0 +1,105 @@
+"""Time-varying interference pressure bookkeeping.
+
+The :class:`PressureField` answers the simulator's central question:
+*what pressure does instance X experience on node N right now?*  The
+answer combines the per-unit generated pressures of every *other*
+active instance resident on the node (plus any ambient background
+pressure), using the logarithmic combination rule of
+:func:`repro.cluster.contention.combine_pressures`.
+
+When an instance finishes it is deactivated and its pressure vanishes
+— co-runners speed up from their next task onward, which reproduces
+the dynamics of real consolidated runs where applications end at
+different times.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Tuple
+
+from repro.apps.base import Workload
+from repro.cluster.contention import combine_pressures
+from repro.errors import SimulationError
+
+
+class PressureField:
+    """Tracks which instance exerts what pressure on which node."""
+
+    def __init__(self, ambient: Mapping[int, float] | None = None) -> None:
+        # instance_key -> node_id -> list of per-unit pressures
+        self._contributions: Dict[str, Dict[int, List[float]]] = {}
+        self._active: Dict[str, bool] = {}
+        self._ambient: Dict[int, float] = dict(ambient or {})
+        self._cache: Dict[Tuple[str, int], float] = {}
+
+    def register(
+        self, instance_key: str, workload: Workload, units_to_nodes: Mapping[int, int]
+    ) -> None:
+        """Register a deployed instance's pressure contributions.
+
+        Parameters
+        ----------
+        instance_key:
+            Unique identifier of the instance.
+        workload:
+            The workload, providing per-unit generated pressure (the
+            master unit may exert a discounted pressure).
+        units_to_nodes:
+            Mapping of unit index to hosting node id.
+        """
+        if instance_key in self._contributions:
+            raise SimulationError(f"instance {instance_key!r} registered twice")
+        per_node: Dict[int, List[float]] = {}
+        for unit_index, node_id in units_to_nodes.items():
+            per_node.setdefault(node_id, []).append(
+                workload.generated_pressure_for(unit_index)
+            )
+        self._contributions[instance_key] = per_node
+        self._active[instance_key] = True
+        self._cache.clear()
+
+    def deactivate(self, instance_key: str) -> None:
+        """Remove a finished instance's pressure from the field."""
+        if instance_key not in self._active:
+            raise SimulationError(f"unknown instance {instance_key!r}")
+        self._active[instance_key] = False
+        self._cache.clear()
+
+    def is_active(self, instance_key: str) -> bool:
+        """Whether the instance still exerts pressure."""
+        return self._active.get(instance_key, False)
+
+    def pressure_seen(self, instance_key: str, node_id: int) -> float:
+        """Effective pressure ``instance_key`` experiences on ``node_id``.
+
+        Combines all other active instances' contributions on the node
+        and the ambient background pressure.  Results are cached until
+        the next activation change.
+        """
+        cache_key = (instance_key, node_id)
+        cached = self._cache.get(cache_key)
+        if cached is not None:
+            return cached
+        sources: List[float] = []
+        ambient = self._ambient.get(node_id, 0.0)
+        if ambient > 0.0:
+            sources.append(ambient)
+        for other_key, per_node in self._contributions.items():
+            if other_key == instance_key or not self._active[other_key]:
+                continue
+            sources.extend(per_node.get(node_id, ()))
+        pressure = combine_pressures(sources)
+        self._cache[cache_key] = pressure
+        return pressure
+
+    def generated_on(self, node_id: int, *, exclude: str | None = None) -> float:
+        """Total pressure present on a node (diagnostics/reporting)."""
+        sources: List[float] = []
+        ambient = self._ambient.get(node_id, 0.0)
+        if ambient > 0.0:
+            sources.append(ambient)
+        for key, per_node in self._contributions.items():
+            if key == exclude or not self._active[key]:
+                continue
+            sources.extend(per_node.get(node_id, ()))
+        return combine_pressures(sources)

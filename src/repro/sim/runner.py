@@ -1,0 +1,298 @@
+"""The measurement oracle: profiling-time access to the "testbed".
+
+The paper's model construction only ever observes wall-clock execution
+times of controlled runs: the target application deployed across the
+cluster, with bubble generators pinned to a chosen subset of nodes at a
+chosen pressure (Section 4.1's ``measure`` function).
+:class:`ClusterRunner` provides exactly that interface on top of the
+simulator, plus the pairwise co-run used for validation (Section 4.3),
+and counts every measurement so profiling *cost* can be reported as in
+Table 3.
+
+Determinism: each distinct measurement setting maps to a stable seed,
+so repeating a measurement returns the same time (like re-reading a
+log), while a different ``rep`` index models an independent repeated
+run.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro._util import stable_seed
+from repro.apps.base import Workload
+from repro.apps.catalog import get_workload, make_bubble
+from repro.cluster.cluster import ClusterSpec
+from repro.errors import ConfigurationError
+from repro.sim.execution import CoRunExecutor, DeployedInstance
+from repro.sim.noise import NoiseProfile, PRIVATE_TESTBED_NOISE
+from repro.units import MAX_PRESSURE
+
+
+class ClusterRunner:
+    """Runs controlled experiments on the simulated cluster.
+
+    Parameters
+    ----------
+    spec:
+        Cluster shape; defaults to the paper's private 8-node testbed.
+    noise:
+        Environment noise profile.
+    base_seed:
+        Root seed; every measurement derives a stable child seed.
+    workload_factory:
+        Hook for substituting the catalog (used by the EC2 environment
+        and by tests with synthetic workloads).
+    """
+
+    def __init__(
+        self,
+        spec: Optional[ClusterSpec] = None,
+        *,
+        noise: NoiseProfile = PRIVATE_TESTBED_NOISE,
+        base_seed: int = 2016,
+        workload_factory=get_workload,
+    ) -> None:
+        self.spec = spec or ClusterSpec()
+        self.noise = noise
+        self.base_seed = base_seed
+        self._workload_factory = workload_factory
+        self._solo_cache: Dict[Tuple[str, int], float] = {}
+        self.measurement_count = 0
+
+    # ------------------------------------------------------------------
+    # Deployment construction
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        """Number of physical hosts in the environment."""
+        return self.spec.num_nodes
+
+    def workload(self, abbrev: str) -> Workload:
+        """Instantiate the workload behind ``abbrev``."""
+        return self._workload_factory(abbrev)
+
+    def full_span_deployment(
+        self, abbrev: str, *, instance_key: Optional[str] = None,
+        span: Optional[int] = None,
+    ) -> DeployedInstance:
+        """Deploy one unit of ``abbrev`` per node on nodes 0..span-1.
+
+        ``span`` defaults to the whole cluster (Section 3.1's
+        configuration); Section 5 profiles at span 4, the deployment
+        size its placements use.
+        """
+        span = span if span is not None else self.num_nodes
+        if not 0 < span <= self.num_nodes:
+            raise ConfigurationError(
+                f"span {span} outside (0, {self.num_nodes}]"
+            )
+        workload = self.workload(abbrev)
+        units = {i: i for i in range(span)}
+        return DeployedInstance(
+            instance_key=instance_key or abbrev,
+            workload=workload,
+            units_to_nodes=units,
+        )
+
+    def _bubble_instances(
+        self, node_pressures: Mapping[int, float]
+    ) -> List[DeployedInstance]:
+        instances: List[DeployedInstance] = []
+        for node_id, level in sorted(node_pressures.items()):
+            if level <= 0.0:
+                continue
+            if not 0 <= node_id < self.num_nodes:
+                raise ConfigurationError(
+                    f"interfering node {node_id} outside the {self.num_nodes}-node cluster"
+                )
+            bubble = make_bubble(min(level, MAX_PRESSURE))
+            instances.append(
+                DeployedInstance(
+                    instance_key=f"bubble@n{node_id}",
+                    workload=bubble,
+                    units_to_nodes={0: node_id},
+                )
+            )
+        return instances
+
+    def interfering_nodes(self, count: int, *, span: Optional[int] = None) -> List[int]:
+        """Which nodes host bubbles for a ``count``-node setting.
+
+        Bubbles fill from the highest-numbered spanned node downward so
+        the master (node 0) is interfered with last, mirroring the
+        common experimental practice of keeping the head node clean as
+        long as possible.
+        """
+        span = span if span is not None else self.num_nodes
+        if not 0 <= count <= span <= self.num_nodes:
+            raise ConfigurationError(
+                f"interfering-node count {count} outside [0, span {span}]"
+            )
+        return list(range(span - count, span))
+
+    # ------------------------------------------------------------------
+    # Measurements (the profiling interface)
+    # ------------------------------------------------------------------
+    #: Repetitions averaged into the solo baseline.  The baseline is the
+    #: denominator of every normalized time, so it is measured more
+    #: carefully than individual interference settings.
+    SOLO_REPS = 3
+
+    def solo_time(self, abbrev: str, *, num_units: Optional[int] = None) -> float:
+        """Execution time of the workload with no interference.
+
+        Cached: the paper measures the solo baseline once per workload
+        (we average :attr:`SOLO_REPS` runs to stabilize the
+        normalization denominator).
+        """
+        num_units = num_units if num_units is not None else self.num_nodes
+        key = (abbrev, num_units)
+        cached = self._solo_cache.get(key)
+        if cached is not None:
+            return cached
+        units = {i: i % self.num_nodes for i in range(num_units)}
+        times = []
+        for rep in range(self.SOLO_REPS):
+            instance = DeployedInstance(abbrev, self.workload(abbrev), units)
+            seed = stable_seed(self.base_seed, abbrev, "solo", num_units, rep)
+            result = CoRunExecutor(
+                [instance], seed=seed, noise=self.noise, num_nodes=self.num_nodes
+            ).run()[abbrev]
+            times.append(result.finish_time)
+        solo = sum(times) / len(times)
+        self._solo_cache[key] = solo
+        return solo
+
+    def measure_time(
+        self, abbrev: str, pressure: float, interfering: int, *, rep: int = 0,
+        span: Optional[int] = None,
+    ) -> float:
+        """Absolute time with ``interfering`` nodes at ``pressure``.
+
+        This is the paper's ``measure(i, j)`` (Algorithm 1/2), counted
+        toward profiling cost.  ``span`` selects the deployment size
+        the model is being profiled for.
+        """
+        if pressure == 0.0 or interfering == 0:
+            return self.solo_time(abbrev, num_units=span)
+        nodes = self.interfering_nodes(interfering, span=span)
+        node_pressures = {n: pressure for n in nodes}
+        return self.measure_heterogeneous_time(
+            abbrev, node_pressures, rep=rep, span=span,
+            _label=("hom", pressure, interfering, span),
+        )
+
+    def measure(
+        self, abbrev: str, pressure: float, interfering: int, *, rep: int = 0,
+        span: Optional[int] = None,
+    ) -> float:
+        """Normalized time with ``interfering`` nodes at ``pressure``."""
+        return self.measure_time(
+            abbrev, pressure, interfering, rep=rep, span=span
+        ) / self.solo_time(abbrev, num_units=span)
+
+    def measure_heterogeneous_time(
+        self,
+        abbrev: str,
+        node_pressures: Mapping[int, float],
+        *,
+        rep: int = 0,
+        span: Optional[int] = None,
+        _label: Optional[Tuple] = None,
+    ) -> float:
+        """Absolute time with an arbitrary per-node bubble assignment."""
+        target = self.full_span_deployment(abbrev, span=span)
+        bubbles = self._bubble_instances(node_pressures)
+        label = _label or (
+            ("het", span) + tuple(sorted(node_pressures.items()))
+        )
+        seed = stable_seed(self.base_seed, abbrev, rep, *label)
+        executor = CoRunExecutor(
+            [target] + bubbles, seed=seed, noise=self.noise, num_nodes=self.num_nodes
+        )
+        self.measurement_count += 1
+        return executor.run()[abbrev].finish_time
+
+    def measure_heterogeneous(
+        self, abbrev: str, node_pressures: Mapping[int, float], *, rep: int = 0,
+        span: Optional[int] = None,
+    ) -> float:
+        """Normalized time under a heterogeneous bubble assignment."""
+        if all(p <= 0.0 for p in node_pressures.values()):
+            return 1.0
+        time = self.measure_heterogeneous_time(
+            abbrev, node_pressures, rep=rep, span=span
+        )
+        return time / self.solo_time(abbrev, num_units=span)
+
+    # ------------------------------------------------------------------
+    # Co-runs (validation and placement ground truth)
+    # ------------------------------------------------------------------
+    def corun_pair(
+        self, abbrev_a: str, abbrev_b: str, *, rep: int = 0
+    ) -> Dict[str, float]:
+        """Run two workloads spanning all nodes together (Section 4.3).
+
+        Returns normalized execution times keyed by instance key
+        (``"<abbrev>#0"`` / ``"<abbrev>#1"`` so identical workloads can
+        co-run with themselves).
+        """
+        key_a, key_b = f"{abbrev_a}#0", f"{abbrev_b}#1"
+        inst_a = self.full_span_deployment(abbrev_a, instance_key=key_a)
+        inst_b = self.full_span_deployment(abbrev_b, instance_key=key_b)
+        seed = stable_seed(self.base_seed, "corun", abbrev_a, abbrev_b, rep)
+        results = CoRunExecutor(
+            [inst_a, inst_b],
+            seed=seed,
+            noise=self.noise,
+            num_nodes=self.num_nodes,
+            sustained=True,
+        ).run()
+        return {
+            key_a: results[key_a].finish_time / self.solo_time(abbrev_a),
+            key_b: results[key_b].finish_time / self.solo_time(abbrev_b),
+        }
+
+    def run_deployments(
+        self,
+        deployments: Sequence[Tuple[str, str, Mapping[int, int]]],
+        *,
+        rep: int = 0,
+    ) -> Dict[str, float]:
+        """Co-run arbitrary deployments; return normalized times.
+
+        Parameters
+        ----------
+        deployments:
+            Tuples of (instance_key, workload abbrev, unit->node map).
+        rep:
+            Independent-repetition index.
+
+        Returns
+        -------
+        dict
+            Normalized execution time per instance key; each instance
+            is normalized against a solo run of the same unit count.
+        """
+        instances = [
+            DeployedInstance(key, self.workload(abbrev), dict(units))
+            for key, abbrev, units in deployments
+        ]
+        label = tuple(
+            (key, abbrev, tuple(sorted(units.items())))
+            for key, abbrev, units in deployments
+        )
+        seed = stable_seed(self.base_seed, "deploy", rep, *map(str, label))
+        results = CoRunExecutor(
+            instances,
+            seed=seed,
+            noise=self.noise,
+            num_nodes=self.num_nodes,
+            sustained=True,
+        ).run()
+        normalized: Dict[str, float] = {}
+        for key, abbrev, units in deployments:
+            solo = self.solo_time(abbrev, num_units=len(units))
+            normalized[key] = results[key].finish_time / solo
+        return normalized

@@ -1,0 +1,52 @@
+"""Execution traces for simulator diagnostics.
+
+An :class:`ExecutionTrace` collects per-stage completion timestamps so
+tests can assert clock monotonicity and examples can show where time
+goes inside a run.  Tracing is optional and off by default.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+
+@dataclass(frozen=True)
+class StageRecord:
+    """Completion of one stage of one instance."""
+
+    instance_key: str
+    stage_name: str
+    completed_at: float
+
+
+@dataclass
+class ExecutionTrace:
+    """Time-ordered record of stage completions."""
+
+    records: List[StageRecord] = field(default_factory=list)
+
+    def record_stage(self, instance_key: str, stage_name: str, now: float) -> None:
+        """Append one stage-completion record."""
+        self.records.append(StageRecord(instance_key, stage_name, now))
+
+    def stages_of(self, instance_key: str) -> List[StageRecord]:
+        """Records belonging to one instance, in completion order."""
+        return [r for r in self.records if r.instance_key == instance_key]
+
+    def stage_durations(self, instance_key: str) -> List[Tuple[str, float]]:
+        """(stage name, duration) pairs for one instance."""
+        records = self.stages_of(instance_key)
+        durations: List[Tuple[str, float]] = []
+        previous = 0.0
+        for record in records:
+            durations.append((record.stage_name, record.completed_at - previous))
+            previous = record.completed_at
+        return durations
+
+    def summary(self) -> Dict[str, int]:
+        """Number of recorded stages per instance."""
+        counts: Dict[str, int] = {}
+        for record in self.records:
+            counts[record.instance_key] = counts.get(record.instance_key, 0) + 1
+        return counts

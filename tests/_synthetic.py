@@ -1,0 +1,114 @@
+"""Synthetic workloads and environments for fast, exact unit tests.
+
+The catalog workloads carry jitter and stalls tuned for realism; unit
+tests instead want small, deterministic programs whose expected
+execution times can be computed by hand.  These helpers build them.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.apps.base import (
+    PropagationClass,
+    Workload,
+    WorkloadFamily,
+    WorkloadSpec,
+)
+from repro.apps.batch import BatchWorkload
+from repro.apps.mpi import BSPWorkload, CollectiveType, LooselyCoupledWorkload
+from repro.cluster.cluster import ClusterSpec
+from repro.cluster.contention import LinearSensitivity, SensitivityFunction
+from repro.cluster.topology import SwitchTopology
+from repro.sim.noise import NoiseProfile, StallModel
+from repro.sim.runner import ClusterRunner
+
+#: Noise-free environment: no jitter scaling effect, no stalls.
+QUIET_NOISE = NoiseProfile(jitter_scale=0.0, ambient=None, stall=StallModel(0.0))
+
+#: Zero-cost interconnect for exact arithmetic on stage times.
+FREE_NETWORK = SwitchTopology(base_latency=0.0, per_node_cost=0.0)
+
+
+def synthetic_spec(
+    name: str = "synth",
+    *,
+    sensitivity: Optional[SensitivityFunction] = None,
+    score: float = 2.0,
+    base_time: float = 10.0,
+    noise_cv: float = 0.0,
+    master_factor: float = 1.0,
+    slots_per_unit: int = 2,
+) -> WorkloadSpec:
+    """A minimal workload spec with controllable knobs."""
+    return WorkloadSpec(
+        name=name,
+        abbrev=name,
+        family=WorkloadFamily.SYNTHETIC,
+        propagation_class=PropagationClass.HIGH,
+        sensitivity=sensitivity or LinearSensitivity(max_slowdown=2.0),
+        generated_pressure=score,
+        base_time=base_time,
+        noise_cv=noise_cv,
+        master_pressure_factor=master_factor,
+        slots_per_unit=slots_per_unit,
+    )
+
+
+def bsp_workload(
+    name: str = "synth-bsp", *, iterations: int = 4, **spec_kwargs
+) -> BSPWorkload:
+    """Deterministic BSP workload with a free network."""
+    return BSPWorkload(
+        synthetic_spec(name, **spec_kwargs),
+        iterations=iterations,
+        collective=CollectiveType.BARRIER,
+        topology=FREE_NETWORK,
+    )
+
+
+def loose_workload(
+    name: str = "synth-loose", *, phases: int = 2, chunks_per_slot: int = 4,
+    **spec_kwargs,
+) -> LooselyCoupledWorkload:
+    """Deterministic loosely-coupled workload with a free network."""
+    return LooselyCoupledWorkload(
+        synthetic_spec(name, **spec_kwargs),
+        phases=phases,
+        chunks_per_slot=chunks_per_slot,
+        topology=FREE_NETWORK,
+    )
+
+
+def batch_workload(
+    name: str = "synth-batch", *, chunks: int = 4, **spec_kwargs
+) -> BatchWorkload:
+    """Deterministic batch workload."""
+    return BatchWorkload(synthetic_spec(name, **spec_kwargs), chunks=chunks)
+
+
+def synthetic_factory(**overrides):
+    """A ``workload_factory`` mapping any abbreviation to a BSP synth.
+
+    Per-abbreviation keyword overrides can be supplied as
+    ``synthetic_factory(appA={"score": 4.0})``.
+    """
+
+    def factory(abbrev: str) -> Workload:
+        kwargs = overrides.get(abbrev, {})
+        return bsp_workload(abbrev, **kwargs)
+
+    return factory
+
+
+def quiet_runner(
+    num_nodes: int = 4, *, factory=None, base_seed: int = 1
+) -> ClusterRunner:
+    """A small, noise-free measurement environment."""
+    spec = ClusterSpec(num_nodes=num_nodes, cores_per_node=16)
+    return ClusterRunner(
+        spec,
+        noise=QUIET_NOISE,
+        base_seed=base_seed,
+        workload_factory=factory or synthetic_factory(),
+    )

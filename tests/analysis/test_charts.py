@@ -1,0 +1,61 @@
+"""Tests for the ASCII chart renderers."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.charts import ascii_chart, propagation_chart
+from repro.core.curves import PropagationMatrix
+from repro.errors import ConfigurationError
+
+
+class TestAsciiChart:
+    def test_contains_glyphs_and_legend(self):
+        text = ascii_chart([0, 1, 2], {"a": [1.0, 1.5, 2.0], "b": [1.0, 1.1, 1.2]})
+        assert "o=a" in text and "x=b" in text
+        assert "o" in text and "x" in text
+
+    def test_axis_labels(self):
+        text = ascii_chart([0, 8], {"a": [1.0, 2.0]})
+        assert "2.00" in text and "1.00" in text
+        assert text.rstrip().splitlines()[-2].strip().startswith("0")
+
+    def test_extremes_plotted_at_edges(self):
+        text = ascii_chart([0, 1], {"a": [1.0, 2.0]}, width=10, height=5)
+        lines = text.splitlines()
+        assert "o" in lines[0]   # max value on the top row
+        assert "o" in lines[4]   # min value on the bottom row
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ascii_chart([0, 1], {})
+        with pytest.raises(ConfigurationError):
+            ascii_chart([0, 1], {"a": [1.0]})
+        with pytest.raises(ConfigurationError):
+            ascii_chart([0], {"a": [1.0]})
+        with pytest.raises(ConfigurationError):
+            ascii_chart([0, 1], {"a": [1, 2]}, width=2)
+
+    def test_flat_series_does_not_crash(self):
+        text = ascii_chart([0, 1, 2], {"a": [1.0, 1.0, 1.0]})
+        assert "o" in text
+
+
+class TestPropagationChart:
+    def _matrix(self):
+        return PropagationMatrix(
+            [2.0, 5.0, 8.0],
+            [0.0, 1.0, 2.0],
+            np.array([[1.0, 1.1, 1.2], [1.0, 1.3, 1.5], [1.0, 1.6, 2.0]]),
+        )
+
+    def test_default_rows(self):
+        text = propagation_chart(self._matrix())
+        assert "p2" in text and "p5" in text and "p8" in text
+
+    def test_explicit_rows(self):
+        text = propagation_chart(self._matrix(), pressures=[8.0])
+        assert "p8" in text and "p2" not in text
+
+    def test_unknown_pressure(self):
+        with pytest.raises(ConfigurationError):
+            propagation_chart(self._matrix(), pressures=[3.0])

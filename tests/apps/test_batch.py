@@ -1,0 +1,27 @@
+"""Tests for single-node batch workloads."""
+
+import pytest
+
+from repro.apps.batch import BatchWorkload
+from repro.errors import ConfigurationError
+from tests._synthetic import batch_workload, synthetic_spec
+
+
+class TestBatchWorkload:
+    def test_single_stage(self):
+        program = batch_workload(chunks=4).build_program(num_slots=8)
+        assert len(program) == 1
+
+    def test_static_chunks(self):
+        stage = batch_workload(chunks=4).build_program(num_slots=8)[0]
+        assert not stage.dynamic
+        assert stage.n_tasks == 32
+        assert stage.sync_cost == 0.0
+
+    def test_per_instance_work(self):
+        stage = batch_workload(chunks=5, base_time=10.0).build_program(4)[0]
+        assert stage.task_time * 5 == pytest.approx(10.0)
+
+    def test_invalid_chunks(self):
+        with pytest.raises(ConfigurationError):
+            BatchWorkload(synthetic_spec(), chunks=0)

@@ -1,0 +1,42 @@
+"""Tests for the bubble interference generator."""
+
+import pytest
+
+from repro.apps.bubble import BUBBLE_MAX_SLOWDOWN, BubbleWorkload, bubble_sensitivity
+from repro.errors import ConfigurationError
+from repro.units import MAX_PRESSURE
+
+
+class TestBubbleWorkload:
+    def test_is_passive(self):
+        assert BubbleWorkload(3.0).is_passive
+
+    def test_empty_program(self):
+        assert BubbleWorkload(3.0).build_program(4) == []
+
+    def test_generates_its_level(self):
+        bubble = BubbleWorkload(5.5)
+        assert bubble.generated_pressure_for(0) == 5.5
+
+    def test_level_bounds(self):
+        with pytest.raises(ConfigurationError):
+            BubbleWorkload(0.0)
+        with pytest.raises(ConfigurationError):
+            BubbleWorkload(MAX_PRESSURE + 0.1)
+
+    def test_max_level_accepted(self):
+        assert BubbleWorkload(MAX_PRESSURE).level == MAX_PRESSURE
+
+    def test_name_encodes_level(self):
+        assert "3" in BubbleWorkload(3.0).name
+
+
+class TestBubbleSensitivity:
+    def test_highly_sensitive(self):
+        f = bubble_sensitivity()
+        assert f.slowdown(MAX_PRESSURE) == pytest.approx(BUBBLE_MAX_SLOWDOWN)
+
+    def test_reacts_at_low_pressure(self):
+        # The bubble is the measurement probe: it must react to any
+        # pressure, so its threshold is zero.
+        assert bubble_sensitivity().slowdown(0.5) > 1.0

@@ -1,0 +1,117 @@
+"""Tests for the Table 1 workload catalog."""
+
+import pytest
+
+from repro.apps.base import PropagationClass, WorkloadFamily
+from repro.apps.batch import BatchWorkload
+from repro.apps.catalog import (
+    ALL_WORKLOADS,
+    BATCH_WORKLOADS,
+    DISTRIBUTED_WORKLOADS,
+    catalog_entry,
+    get_workload,
+    make_bubble,
+    table1_rows,
+)
+from repro.apps.mapreduce import MapReduceWorkload
+from repro.apps.mpi import BSPWorkload, LooselyCoupledWorkload
+from repro.apps.spark import SparkWorkload
+from repro.errors import CatalogError
+
+#: Table 4 of the paper: the calibrated ground-truth bubble scores.
+PAPER_TABLE4 = {
+    "M.milc": 4.3, "M.lesl": 3.9, "M.Gems": 2.4, "M.lmps": 1.0,
+    "M.zeus": 1.4, "M.lu": 4.6, "N.cg": 3.9, "N.mg": 5.0,
+    "H.KM": 0.2, "S.WC": 0.3, "S.CF": 0.5, "S.PR": 0.7,
+    "C.gcc": 4.8, "C.mcf": 5.4, "C.cact": 3.8, "C.sopl": 4.9,
+    "C.libq": 6.6, "C.xbmk": 4.3,
+}
+
+
+class TestCatalogContents:
+    def test_eighteen_workloads(self):
+        assert len(ALL_WORKLOADS) == 18
+
+    def test_twelve_distributed(self):
+        assert len(DISTRIBUTED_WORKLOADS) == 12
+
+    def test_six_batch(self):
+        assert len(BATCH_WORKLOADS) == 6
+        assert set(BATCH_WORKLOADS) == {
+            "C.gcc", "C.mcf", "C.cact", "C.sopl", "C.libq", "C.xbmk"
+        }
+
+    def test_table4_scores_are_ground_truth(self):
+        for abbrev, score in PAPER_TABLE4.items():
+            workload = get_workload(abbrev)
+            assert workload.spec.generated_pressure == pytest.approx(score), abbrev
+
+    def test_unknown_workload(self):
+        with pytest.raises(CatalogError, match="unknown workload"):
+            get_workload("X.unknown")
+
+    def test_table1_rows(self):
+        rows = table1_rows()
+        assert len(rows) == 18
+        assert ("SPEC MPI2007", "126.lammps", "mref", "M.lmps") in rows
+
+
+class TestWorkloadTypes:
+    def test_gems_is_loosely_coupled(self):
+        # Section 3.2: GemsFDTD has no allreduce/allgather and few
+        # barriers -> proportional propagation.
+        workload = get_workload("M.Gems")
+        assert isinstance(workload, LooselyCoupledWorkload)
+        assert workload.spec.propagation_class is PropagationClass.PROPORTIONAL
+
+    def test_mpi_apps_are_bsp(self):
+        for abbrev in ("M.milc", "M.lesl", "M.lmps", "M.zeus", "M.lu"):
+            assert isinstance(get_workload(abbrev), BSPWorkload), abbrev
+
+    def test_npb_apps_are_bsp(self):
+        for abbrev in ("N.cg", "N.mg"):
+            assert isinstance(get_workload(abbrev), BSPWorkload)
+
+    def test_hadoop_is_mapreduce(self):
+        assert isinstance(get_workload("H.KM"), MapReduceWorkload)
+
+    def test_spark_apps(self):
+        for abbrev in ("S.WC", "S.CF", "S.PR"):
+            assert isinstance(get_workload(abbrev), SparkWorkload), abbrev
+
+    def test_batch_apps(self):
+        for abbrev in BATCH_WORKLOADS:
+            workload = get_workload(abbrev)
+            assert isinstance(workload, BatchWorkload)
+            # Two single-threaded instances per dual-core VM.
+            assert workload.spec.slots_per_unit == 8
+
+    def test_framework_masters_discounted(self):
+        # Hadoop/Spark masters schedule without processing (Section 3.4).
+        for abbrev in ("H.KM", "S.WC", "S.CF", "S.PR"):
+            assert get_workload(abbrev).spec.master_pressure_factor < 1.0
+
+    def test_mpi_masters_not_discounted(self):
+        for abbrev in ("M.milc", "M.Gems", "N.cg"):
+            assert get_workload(abbrev).spec.master_pressure_factor == 1.0
+
+    def test_fresh_instances(self):
+        assert get_workload("M.milc") is not get_workload("M.milc")
+
+    def test_families_match_prefixes(self):
+        for abbrev in ALL_WORKLOADS:
+            family = catalog_entry(abbrev).family
+            prefix = abbrev.split(".")[0]
+            expected = {
+                "M": WorkloadFamily.SPEC_MPI,
+                "N": WorkloadFamily.NPB,
+                "H": WorkloadFamily.HADOOP,
+                "S": WorkloadFamily.SPARK,
+                "C": WorkloadFamily.SPEC_CPU,
+            }[prefix]
+            assert family is expected, abbrev
+
+
+class TestMakeBubble:
+    def test_level(self):
+        assert make_bubble(4.0).level == 4.0

@@ -1,0 +1,61 @@
+"""Tests for MapReduce workload programs."""
+
+import pytest
+
+from repro.apps.mapreduce import MapReduceWorkload
+from repro.errors import ConfigurationError
+from tests._synthetic import FREE_NETWORK, synthetic_spec
+
+
+def make(rounds=2, **kwargs):
+    return MapReduceWorkload(
+        synthetic_spec("mr", base_time=12.0),
+        rounds=rounds,
+        topology=FREE_NETWORK,
+        **kwargs,
+    )
+
+
+class TestMapReduceWorkload:
+    def test_two_stages_per_round(self):
+        program = make(rounds=3).build_program(num_slots=4)
+        assert len(program) == 6
+        assert [s.name for s in program[:2]] == ["map0", "reduce0"]
+
+    def test_all_stages_dynamic(self):
+        for stage in make().build_program(4):
+            assert stage.dynamic
+
+    def test_map_task_counts(self):
+        program = make(rounds=1, map_tasks_per_slot=4, reduce_tasks_per_slot=1)
+        stages = program.build_program(num_slots=4)
+        assert stages[0].n_tasks == 16
+        assert stages[1].n_tasks == 4
+
+    def test_wall_time_budget(self):
+        # One round at 12s with map_fraction 0.75: map wall time 9s,
+        # reduce 3s, regardless of task granularity.
+        stages = make(rounds=1, map_tasks_per_slot=3).build_program(num_slots=4)
+        map_wall = stages[0].task_time * 3  # 3 waves per slot
+        reduce_wall = stages[1].task_time * 1
+        assert map_wall == pytest.approx(9.0)
+        assert reduce_wall == pytest.approx(3.0)
+
+    def test_shuffle_after_map_only(self):
+        spec = synthetic_spec("mr")
+        workload = MapReduceWorkload(spec, rounds=1)
+        stages = workload.build_program(4)
+        assert stages[0].sync_cost > 0.0
+        assert stages[1].sync_cost == 0.0
+
+    def test_invalid_rounds(self):
+        with pytest.raises(ConfigurationError):
+            MapReduceWorkload(synthetic_spec(), rounds=0)
+
+    def test_invalid_map_fraction(self):
+        with pytest.raises(ConfigurationError):
+            MapReduceWorkload(synthetic_spec(), map_fraction=1.0)
+
+    def test_invalid_tasks_per_slot(self):
+        with pytest.raises(ConfigurationError):
+            MapReduceWorkload(synthetic_spec(), map_tasks_per_slot=0)

@@ -1,0 +1,75 @@
+"""Tests for MPI-style workload programs."""
+
+import pytest
+
+from repro.apps.mpi import BSPWorkload, CollectiveType, LooselyCoupledWorkload
+from repro.cluster.topology import SwitchTopology
+from repro.errors import ConfigurationError
+from tests._synthetic import bsp_workload, loose_workload, synthetic_spec
+
+
+class TestBSPWorkload:
+    def test_one_stage_per_iteration(self):
+        workload = bsp_workload(iterations=5)
+        program = workload.build_program(num_slots=8)
+        assert len(program) == 5
+
+    def test_static_binding_one_task_per_slot(self):
+        program = bsp_workload(iterations=3).build_program(num_slots=8)
+        for stage in program:
+            assert stage.n_tasks == 8
+            assert not stage.dynamic
+
+    def test_per_slot_work_is_base_time(self):
+        program = bsp_workload(iterations=4, base_time=12.0).build_program(8)
+        assert sum(s.task_time for s in program) == pytest.approx(12.0)
+
+    def test_allreduce_costs_more_than_barrier(self):
+        spec = synthetic_spec()
+        topo = SwitchTopology(base_latency=0.01, per_node_cost=0.001)
+        allreduce = BSPWorkload(
+            spec, iterations=2, collective=CollectiveType.ALLREDUCE, topology=topo
+        ).build_program(8)
+        barrier = BSPWorkload(
+            spec, iterations=2, collective=CollectiveType.BARRIER, topology=topo
+        ).build_program(8)
+        none = BSPWorkload(
+            spec, iterations=2, collective=CollectiveType.NONE, topology=topo
+        ).build_program(8)
+        assert allreduce[0].sync_cost > barrier[0].sync_cost > none[0].sync_cost
+        assert none[0].sync_cost == 0.0
+
+    def test_invalid_iterations(self):
+        with pytest.raises(ConfigurationError):
+            BSPWorkload(synthetic_spec(), iterations=0)
+
+    def test_invalid_slots(self):
+        with pytest.raises(ConfigurationError):
+            bsp_workload().build_program(0)
+
+
+class TestLooselyCoupledWorkload:
+    def test_one_stage_per_phase(self):
+        program = loose_workload(phases=3).build_program(num_slots=4)
+        assert len(program) == 3
+
+    def test_dynamic_shared_pool(self):
+        program = loose_workload(phases=2, chunks_per_slot=4).build_program(4)
+        for stage in program:
+            assert stage.dynamic
+            assert stage.n_tasks == 16  # 4 slots x 4 chunks
+
+    def test_per_slot_work_is_base_time(self):
+        workload = loose_workload(phases=2, chunks_per_slot=4, base_time=8.0)
+        program = workload.build_program(4)
+        # Each slot processes chunks_per_slot tasks per phase on average.
+        per_slot = sum(s.task_time * s.n_tasks / 4 for s in program)
+        assert per_slot == pytest.approx(8.0)
+
+    def test_invalid_phases(self):
+        with pytest.raises(ConfigurationError):
+            LooselyCoupledWorkload(synthetic_spec(), phases=0)
+
+    def test_invalid_chunks(self):
+        with pytest.raises(ConfigurationError):
+            LooselyCoupledWorkload(synthetic_spec(), chunks_per_slot=0)

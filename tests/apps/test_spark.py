@@ -1,0 +1,55 @@
+"""Tests for Spark workload programs."""
+
+import pytest
+
+from repro.apps.spark import SparkWorkload
+from repro.errors import ConfigurationError
+from tests._synthetic import FREE_NETWORK, synthetic_spec
+
+
+def make(**kwargs):
+    kwargs.setdefault("topology", FREE_NETWORK)
+    return SparkWorkload(synthetic_spec("sp", base_time=10.0), **kwargs)
+
+
+class TestSparkWorkload:
+    def test_one_stage_per_weight(self):
+        program = make(stage_weights=(1.0, 2.0, 1.0)).build_program(4)
+        assert len(program) == 3
+
+    def test_stage_weights_split_time(self):
+        program = make(stage_weights=(1.0, 3.0), tasks_per_slot=2).build_program(4)
+        wall0 = program[0].task_time * 2
+        wall1 = program[1].task_time * 2
+        assert wall0 == pytest.approx(2.5)
+        assert wall1 == pytest.approx(7.5)
+
+    def test_dynamic_tasks(self):
+        for stage in make().build_program(4):
+            assert stage.dynamic
+            assert stage.n_tasks == 8  # 4 slots x 2 waves
+
+    def test_selective_shuffles(self):
+        workload = SparkWorkload(
+            synthetic_spec("sp"), stage_weights=(1.0, 1.0, 1.0), shuffle_stages=(1,)
+        )
+        stages = workload.build_program(4)
+        assert stages[0].sync_cost == 0.0
+        assert stages[1].sync_cost > 0.0
+        assert stages[2].sync_cost == 0.0
+
+    def test_empty_weights_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SparkWorkload(synthetic_spec(), stage_weights=())
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SparkWorkload(synthetic_spec(), stage_weights=(1.0, -1.0))
+
+    def test_invalid_tasks_per_slot(self):
+        with pytest.raises(ConfigurationError):
+            SparkWorkload(synthetic_spec(), tasks_per_slot=0)
+
+    def test_invalid_slots(self):
+        with pytest.raises(ConfigurationError):
+            make().build_program(0)

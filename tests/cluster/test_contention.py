@@ -1,0 +1,136 @@
+"""Tests for sensitivity functions and pressure combination."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.cluster.contention import (
+    ExponentialSensitivity,
+    FlatSensitivity,
+    LinearSensitivity,
+    combine_pressures,
+)
+from repro.units import MAX_PRESSURE
+
+pressures = st.floats(min_value=0.0, max_value=MAX_PRESSURE)
+
+
+class TestExponentialSensitivity:
+    def test_no_pressure_no_slowdown(self):
+        f = ExponentialSensitivity(max_slowdown=2.0)
+        assert f.slowdown(0.0) == 1.0
+
+    def test_max_pressure_hits_max_slowdown(self):
+        f = ExponentialSensitivity(max_slowdown=2.0)
+        assert f.slowdown(MAX_PRESSURE) == pytest.approx(2.0)
+
+    def test_above_max_clamps(self):
+        f = ExponentialSensitivity(max_slowdown=2.0)
+        assert f.slowdown(20.0) == pytest.approx(2.0)
+
+    def test_threshold_gates_response(self):
+        f = ExponentialSensitivity(max_slowdown=2.0, threshold=3.0)
+        assert f.slowdown(2.9) == 1.0
+        assert f.slowdown(3.5) > 1.0
+        assert f.slowdown(MAX_PRESSURE) == pytest.approx(2.0)
+
+    def test_zero_curvature_is_linear(self):
+        f = ExponentialSensitivity(max_slowdown=3.0, curvature=0.0)
+        assert f.slowdown(4.0) == pytest.approx(2.0)
+
+    def test_convexity(self):
+        # With positive curvature the response is back-loaded: the
+        # midpoint slowdown is below the linear midpoint.
+        f = ExponentialSensitivity(max_slowdown=3.0, curvature=0.5)
+        assert f.slowdown(4.0) < 2.0
+
+    @given(p1=pressures, p2=pressures)
+    def test_monotone(self, p1, p2):
+        f = ExponentialSensitivity(max_slowdown=2.5, curvature=0.4, threshold=1.0)
+        lo, hi = sorted([p1, p2])
+        assert f.slowdown(lo) <= f.slowdown(hi) + 1e-12
+
+    def test_invalid_max_slowdown(self):
+        with pytest.raises(ValueError):
+            ExponentialSensitivity(max_slowdown=0.9)
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            ExponentialSensitivity(max_slowdown=2.0, threshold=MAX_PRESSURE)
+
+    def test_invalid_curvature(self):
+        with pytest.raises(ValueError):
+            ExponentialSensitivity(max_slowdown=2.0, curvature=-1.0)
+
+    def test_callable(self):
+        f = ExponentialSensitivity(max_slowdown=2.0)
+        assert f(4.0) == f.slowdown(4.0)
+
+
+class TestLinearSensitivity:
+    def test_endpoints(self):
+        f = LinearSensitivity(max_slowdown=3.0)
+        assert f.slowdown(0.0) == 1.0
+        assert f.slowdown(MAX_PRESSURE) == 3.0
+
+    def test_midpoint(self):
+        f = LinearSensitivity(max_slowdown=3.0)
+        assert f.slowdown(4.0) == pytest.approx(2.0)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            LinearSensitivity(max_slowdown=0.5)
+
+
+class TestFlatSensitivity:
+    @given(p=pressures)
+    def test_always_one(self, p):
+        assert FlatSensitivity().slowdown(p) == 1.0
+
+
+class TestCombinePressures:
+    def test_empty(self):
+        assert combine_pressures([]) == 0.0
+
+    def test_zeros_ignored(self):
+        assert combine_pressures([0.0, 0.0, 3.0]) == 3.0
+
+    def test_single_passthrough(self):
+        assert combine_pressures([4.2]) == 4.2
+
+    def test_equal_scores_add_one_plus_surcharge(self):
+        # Section 4.4: combining two equal scores S gives S + 1 plus
+        # the collision surcharge.
+        assert combine_pressures([3.0, 3.0], collision_surcharge=0.0) == (
+            pytest.approx(4.0)
+        )
+        assert combine_pressures([3.0, 3.0], collision_surcharge=0.15) == (
+            pytest.approx(4.15)
+        )
+
+    def test_log_combination(self):
+        expected = math.log2(2**2 + 2**5)
+        assert combine_pressures([2.0, 5.0], collision_surcharge=0.0) == (
+            pytest.approx(expected)
+        )
+
+    def test_clamped_to_max(self):
+        assert combine_pressures([8.0, 8.0]) == MAX_PRESSURE
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            combine_pressures([-1.0])
+
+    @given(scores=st.lists(pressures, min_size=1, max_size=4))
+    def test_bounds(self, scores):
+        combined = combine_pressures(scores)
+        assert 0.0 <= combined <= MAX_PRESSURE
+        positive = [s for s in scores if s > 0]
+        if positive:
+            assert combined >= min(max(positive), MAX_PRESSURE) - 1e-12
+
+    @given(scores=st.lists(pressures, min_size=1, max_size=4), extra=pressures)
+    def test_monotone_in_sources(self, scores, extra):
+        base = combine_pressures(scores)
+        assert combine_pressures(scores + [extra]) >= base - 1e-12

@@ -1,0 +1,88 @@
+"""Tests for the physical host model."""
+
+import pytest
+
+from repro.cluster.node import PhysicalNode
+from repro.errors import PlacementError
+
+
+class TestConstruction:
+    def test_defaults(self):
+        node = PhysicalNode(node_id=0)
+        assert node.cores == 16
+        assert node.free_vcpus == 16
+        assert node.used_vcpus == 0
+
+    def test_invalid_id(self):
+        with pytest.raises(ValueError):
+            PhysicalNode(node_id=-1)
+
+    def test_invalid_cores(self):
+        with pytest.raises(ValueError):
+            PhysicalNode(node_id=0, cores=0)
+
+
+class TestAssignment:
+    def test_assign_tracks_usage(self):
+        node = PhysicalNode(node_id=0)
+        node.assign("a", 8)
+        assert node.used_vcpus == 8
+        assert node.free_vcpus == 8
+        assert node.vcpus_of("a") == 8
+
+    def test_assign_accumulates(self):
+        node = PhysicalNode(node_id=0)
+        node.assign("a", 4)
+        node.assign("a", 4)
+        assert node.vcpus_of("a") == 8
+
+    def test_overcommit_rejected(self):
+        node = PhysicalNode(node_id=0, cores=16)
+        node.assign("a", 8)
+        with pytest.raises(PlacementError, match="cannot assign"):
+            node.assign("b", 10)
+
+    def test_pairwise_limit(self):
+        node = PhysicalNode(node_id=0)
+        node.assign("a", 4)
+        node.assign("b", 4)
+        with pytest.raises(PlacementError, match="pairwise"):
+            node.assign("c", 4)
+
+    def test_custom_workload_limit(self):
+        node = PhysicalNode(node_id=0)
+        node.assign("a", 4)
+        with pytest.raises(PlacementError):
+            node.assign("b", 4, max_workloads=1)
+
+    def test_zero_vcpus_rejected(self):
+        node = PhysicalNode(node_id=0)
+        with pytest.raises(ValueError):
+            node.assign("a", 0)
+
+    def test_resident_workloads_sorted(self):
+        node = PhysicalNode(node_id=0)
+        node.assign("b", 4)
+        node.assign("a", 4)
+        assert node.resident_workloads == ["a", "b"]
+
+
+class TestRelease:
+    def test_release(self):
+        node = PhysicalNode(node_id=0)
+        node.assign("a", 8)
+        node.release("a")
+        assert node.free_vcpus == 16
+        assert node.vcpus_of("a") == 0
+
+    def test_release_unknown_is_noop(self):
+        node = PhysicalNode(node_id=0)
+        node.release("ghost")
+
+    def test_clear(self):
+        node = PhysicalNode(node_id=0)
+        node.assign("a", 4)
+        node.assign("b", 4)
+        node.clear()
+        assert node.used_vcpus == 0
+        assert node.resident_workloads == []

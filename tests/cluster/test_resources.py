@@ -1,0 +1,44 @@
+"""Tests for memory-subsystem accounting."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.cluster.resources import (
+    MemorySubsystem,
+    miss_rate_to_pressure,
+    pressure_to_miss_rate,
+)
+from repro.units import MAX_PRESSURE
+
+
+class TestMemorySubsystem:
+    def test_defaults(self):
+        mem = MemorySubsystem()
+        assert mem.llc_mb == 40.0
+        assert mem.saturation_pressure() == MAX_PRESSURE
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            MemorySubsystem(llc_mb=0)
+        with pytest.raises(ValueError):
+            MemorySubsystem(bandwidth_gbps=-1)
+
+
+class TestPressureMissRateConversion:
+    def test_zero_maps_to_zero(self):
+        assert pressure_to_miss_rate(0.0) == 0.0
+        assert miss_rate_to_pressure(0.0) == 0.0
+
+    def test_doubling_per_level(self):
+        # Section 4.4: +1 pressure level == doubled LLC misses.
+        assert pressure_to_miss_rate(4.0) == pytest.approx(
+            2.0 * pressure_to_miss_rate(3.0)
+        )
+
+    def test_negative_miss_rate_rejected(self):
+        with pytest.raises(ValueError):
+            miss_rate_to_pressure(-1.0)
+
+    @given(p=st.floats(min_value=0.1, max_value=MAX_PRESSURE))
+    def test_roundtrip(self, p):
+        assert miss_rate_to_pressure(pressure_to_miss_rate(p)) == pytest.approx(p)

@@ -1,0 +1,47 @@
+"""Tests for VM and VM-unit models."""
+
+import pytest
+
+from repro.cluster.vm import VirtualMachine, VMUnit
+
+
+class TestVirtualMachine:
+    def test_defaults_match_testbed(self):
+        vm = VirtualMachine(vm_id=0)
+        assert vm.vcpus == 2
+        assert vm.memory_gb == 5
+
+    def test_invalid_id(self):
+        with pytest.raises(ValueError):
+            VirtualMachine(vm_id=-1)
+
+    def test_invalid_vcpus(self):
+        with pytest.raises(ValueError):
+            VirtualMachine(vm_id=0, vcpus=0)
+
+    def test_frozen(self):
+        vm = VirtualMachine(vm_id=0)
+        with pytest.raises(AttributeError):
+            vm.vcpus = 4
+
+
+class TestVMUnit:
+    def test_vcpus(self):
+        unit = VMUnit(instance_key="a", unit_index=0)
+        assert unit.vcpus == 8  # 4 VMs x 2 vCPUs
+
+    def test_label(self):
+        unit = VMUnit(instance_key="M.lmps#0", unit_index=2)
+        assert unit.label == "M.lmps#0/u2"
+
+    def test_invalid_unit_index(self):
+        with pytest.raises(ValueError):
+            VMUnit(instance_key="a", unit_index=-1)
+
+    def test_invalid_vms(self):
+        with pytest.raises(ValueError):
+            VMUnit(instance_key="a", unit_index=0, vms=0)
+
+    def test_custom_shape(self):
+        unit = VMUnit(instance_key="a", unit_index=0, vms=2, vcpus_per_vm=4)
+        assert unit.vcpus == 8

@@ -1,0 +1,20 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.runner import ClusterRunner
+from tests._synthetic import quiet_runner
+
+
+@pytest.fixture
+def small_runner() -> ClusterRunner:
+    """A noise-free 4-node environment with synthetic BSP workloads."""
+    return quiet_runner(num_nodes=4)
+
+
+@pytest.fixture(scope="session")
+def catalog_runner() -> ClusterRunner:
+    """The real 8-node testbed with the Table 1 catalog (shared)."""
+    return ClusterRunner(base_seed=99)

@@ -1,0 +1,101 @@
+"""Tests for the beyond-pairwise co-location extension."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.cluster.cluster import ClusterSpec
+from repro.core.curves import PropagationMatrix
+from repro.core.model import InterferenceModel, InterferenceProfile
+from repro.core.multiway import (
+    MultiwayPredictor,
+    combined_score,
+    relaxed_cluster_spec,
+)
+from repro.errors import ModelError
+from repro.units import MAX_PRESSURE
+
+
+def model_with_scores(**scores):
+    matrix = PropagationMatrix(
+        [4.0, 8.0],
+        [0.0, 1.0, 2.0],
+        np.array([[1.0, 1.2, 1.4], [1.0, 1.5, 2.0]]),
+    )
+    profiles = {
+        name: InterferenceProfile(
+            workload=name, matrix=matrix, policy_name="N MAX", bubble_score=score
+        )
+        for name, score in scores.items()
+    }
+    return InterferenceModel(profiles)
+
+
+class TestCombinedScore:
+    def test_section_4_4_rule(self):
+        # Two equal scores S combine to S + 1.
+        assert combined_score([3.0, 3.0]) == pytest.approx(4.0)
+
+    def test_three_equal_scores(self):
+        assert combined_score([3.0, 3.0, 3.0]) == pytest.approx(3.0 + math.log2(3))
+
+    def test_surcharge_per_extra_source(self):
+        base = combined_score([2.0, 2.0, 2.0])
+        charged = combined_score([2.0, 2.0, 2.0], collision_surcharge=0.1)
+        assert charged == pytest.approx(base + 0.2)
+
+    def test_zero_sources_ignored(self):
+        assert combined_score([0.0, 5.0, 0.0]) == 5.0
+
+    def test_empty(self):
+        assert combined_score([]) == 0.0
+
+    def test_clamped(self):
+        assert combined_score([8.0, 8.0, 8.0]) == MAX_PRESSURE
+
+    def test_negative_rejected(self):
+        with pytest.raises(ModelError):
+            combined_score([-1.0, 2.0])
+
+
+class TestMultiwayPredictor:
+    def test_pairwise_reduces_to_base_model(self):
+        model = model_with_scores(target=1.0, other=8.0)
+        predictor = MultiwayPredictor(model)
+        multi = predictor.predict_under_corunners("target", [0, 1], {0: ["other"]})
+        base = model.predict_under_corunners("target", [0, 1], {0: ["other"]})
+        assert multi == base
+
+    def test_three_way_exceeds_pairwise(self):
+        model = model_with_scores(target=1.0, a=4.0, b=4.0)
+        predictor = MultiwayPredictor(model)
+        pairwise = predictor.predict_under_corunners("target", [0, 1], {0: ["a"]})
+        threeway = predictor.predict_under_corunners(
+            "target", [0, 1], {0: ["a", "b"]}
+        )
+        assert threeway > pairwise
+
+    def test_pressure_vector(self):
+        model = model_with_scores(target=1.0, a=3.0, b=3.0)
+        predictor = MultiwayPredictor(model)
+        vector = predictor.pressure_vector([0, 1], {0: ["a", "b"], 1: ["a"]})
+        assert vector[0] == pytest.approx(4.0)
+        assert vector[1] == 3.0
+
+    def test_invalid_surcharge(self):
+        with pytest.raises(ModelError):
+            MultiwayPredictor(model_with_scores(a=1.0), collision_surcharge=-1)
+
+
+class TestRelaxedSpec:
+    def test_relaxes_workload_limit_only(self):
+        base = ClusterSpec()
+        relaxed = relaxed_cluster_spec(base, max_workloads=3)
+        assert relaxed.max_workloads_per_node == 3
+        assert relaxed.num_nodes == base.num_nodes
+        assert relaxed.cores_per_node == base.cores_per_node
+
+    def test_minimum_two(self):
+        with pytest.raises(ModelError):
+            relaxed_cluster_spec(max_workloads=1)

@@ -1,0 +1,140 @@
+"""Tests for the heterogeneity mapping policies.
+
+The central fixture is the worked example of Figure 5: four workloads
+with pressure lists and their converted homogeneous equivalents.
+"""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.policies import (
+    AllMaxPolicy,
+    InterpolatePolicy,
+    NMaxPolicy,
+    NPlusOneMaxPolicy,
+    POLICY_CLASSES,
+    all_policies,
+    get_policy,
+)
+from repro.errors import ModelError
+
+vectors = st.lists(
+    st.floats(min_value=0.0, max_value=8.0), min_size=1, max_size=8
+)
+
+
+class TestFigure5Examples:
+    def test_workload_a_n_plus_one_max(self):
+        # A: [3, 2, 1, 1] -> [3, 3, 0, 0]
+        setting = NPlusOneMaxPolicy().convert([3, 2, 1, 1])
+        assert (setting.pressure, setting.count) == (3.0, 2.0)
+
+    def test_workload_b_all_max(self):
+        # B: [5, 2, 2, 1] -> [5, 5, 5, 5]
+        setting = AllMaxPolicy().convert([5, 2, 2, 1])
+        assert (setting.pressure, setting.count) == (5.0, 4.0)
+
+    def test_workload_c_interpolate(self):
+        # C: [3, 5, 3, 1] -> [3, 3, 3, 3]
+        setting = InterpolatePolicy().convert([3, 5, 3, 1])
+        assert (setting.pressure, setting.count) == (3.0, 4.0)
+
+    def test_workload_d_n_max(self):
+        # D: [5, 5, 3, 2] -> [5, 5, 0, 0]
+        setting = NMaxPolicy().convert([5, 5, 3, 2])
+        assert (setting.pressure, setting.count) == (5.0, 2.0)
+
+
+class TestNMax:
+    def test_single_peak(self):
+        setting = NMaxPolicy().convert([7, 1, 0, 0])
+        assert (setting.pressure, setting.count) == (7.0, 1.0)
+
+    def test_all_zero(self):
+        setting = NMaxPolicy().convert([0, 0, 0])
+        assert (setting.pressure, setting.count) == (0.0, 0.0)
+
+    def test_band_groups_near_ties(self):
+        setting = NMaxPolicy(band=0.5).convert([5.0, 4.7, 1.0])
+        assert setting.count == 2.0
+
+    def test_negative_band_rejected(self):
+        with pytest.raises(ModelError):
+            NMaxPolicy(band=-0.1)
+
+
+class TestNPlusOneMax:
+    def test_no_milder_nodes_no_extra(self):
+        # All interfering nodes already at the peak: nothing to merge.
+        setting = NPlusOneMaxPolicy().convert([5, 5, 0, 0])
+        assert setting.count == 2.0
+
+    def test_count_capped_at_span(self):
+        setting = NPlusOneMaxPolicy().convert([5, 5, 5, 3])
+        assert setting.count == 4.0
+
+    def test_all_zero(self):
+        setting = NPlusOneMaxPolicy().convert([0, 0])
+        assert (setting.pressure, setting.count) == (0.0, 0.0)
+
+
+class TestAllMax:
+    def test_single_loud_node_propagates(self):
+        setting = AllMaxPolicy().convert([6, 0, 0, 0, 0, 0, 0, 0])
+        assert (setting.pressure, setting.count) == (6.0, 8.0)
+
+    def test_all_zero(self):
+        setting = AllMaxPolicy().convert([0])
+        assert (setting.pressure, setting.count) == (0.0, 0.0)
+
+
+class TestInterpolate:
+    def test_zeros_count_toward_average(self):
+        setting = InterpolatePolicy().convert([8, 0, 0, 0])
+        assert (setting.pressure, setting.count) == (2.0, 4.0)
+
+    def test_all_zero(self):
+        setting = InterpolatePolicy().convert([0, 0])
+        assert (setting.pressure, setting.count) == (0.0, 0.0)
+
+
+class TestRegistry:
+    def test_four_policies(self):
+        assert set(POLICY_CLASSES) == {"N MAX", "N+1 MAX", "ALL MAX", "INTERPOLATE"}
+
+    def test_all_policies_fresh(self):
+        assert len(all_policies()) == 4
+
+    def test_get_policy(self):
+        assert isinstance(get_policy("N MAX"), NMaxPolicy)
+
+    def test_get_unknown(self):
+        with pytest.raises(ModelError, match="unknown policy"):
+            get_policy("MEDIAN")
+
+
+class TestInvariants:
+    @given(vector=vectors)
+    def test_count_bounded_by_span(self, vector):
+        for policy in all_policies():
+            setting = policy.convert(vector)
+            assert 0.0 <= setting.count <= len(vector)
+
+    @given(vector=vectors)
+    def test_pressure_bounded_by_peak(self, vector):
+        for policy in all_policies():
+            setting = policy.convert(vector)
+            assert setting.pressure <= max(vector) + 1e-12
+
+    @given(vector=vectors)
+    def test_max_family_count_ordering(self, vector):
+        # N max <= N+1 max <= ALL max in converted node count.
+        n = NMaxPolicy().convert(vector)
+        n1 = NPlusOneMaxPolicy().convert(vector)
+        allm = AllMaxPolicy().convert(vector)
+        assert n.count <= n1.count <= allm.count
+
+    @given(vector=vectors)
+    def test_empty_rejected(self, vector):
+        with pytest.raises(ModelError):
+            NMaxPolicy().convert([])

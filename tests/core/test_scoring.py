@@ -1,0 +1,77 @@
+"""Tests for bubble-score measurement."""
+
+import pytest
+
+from repro.core.scoring import BubbleCalibration, BubbleScoreMeter, calibrate_probe
+from repro.errors import ModelError
+from tests._synthetic import quiet_runner, synthetic_factory
+
+
+class TestCalibration:
+    def test_default_levels(self):
+        calibration = calibrate_probe()
+        assert list(calibration.reference_pressures) == [1, 2, 3, 4, 5, 6, 7, 8]
+
+    def test_slowdowns_increase(self):
+        calibration = calibrate_probe()
+        slowdowns = list(calibration.slowdowns)
+        assert slowdowns == sorted(slowdowns)
+        assert slowdowns[0] > 1.0
+
+    def test_inversion_roundtrip(self):
+        calibration = calibrate_probe()
+        for level, slowdown in zip(
+            calibration.reference_pressures, calibration.slowdowns
+        ):
+            assert calibration.pressure_for(slowdown) == pytest.approx(level)
+
+    def test_no_slowdown_is_zero_pressure(self):
+        assert calibrate_probe().pressure_for(1.0) == 0.0
+        assert calibrate_probe().pressure_for(0.9) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            BubbleCalibration((1.0,), (1.5,))  # too few points
+        with pytest.raises(ModelError):
+            BubbleCalibration((1.0, 2.0), (1.5,))  # length mismatch
+        with pytest.raises(ModelError):
+            BubbleCalibration((1.0, 2.0), (1.5, 1.4))  # non-monotone
+
+
+class TestScoreMeter:
+    def test_recovers_generated_pressure(self):
+        runner = quiet_runner(factory=synthetic_factory(loud={"score": 5.0}))
+        meter = BubbleScoreMeter(runner)
+        assert meter.score("loud") == pytest.approx(5.0, abs=0.15)
+
+    def test_quiet_app_scores_low(self):
+        runner = quiet_runner(factory=synthetic_factory(quietapp={"score": 0.2}))
+        meter = BubbleScoreMeter(runner)
+        assert meter.score("quietapp") == pytest.approx(0.2, abs=0.1)
+
+    def test_master_discount_lowers_average(self):
+        runner = quiet_runner(
+            factory=synthetic_factory(
+                framework={"score": 2.0, "master_factor": 0.25}
+            )
+        )
+        meter = BubbleScoreMeter(runner)
+        # 4 nodes: one master unit at 0.5, three at 2.0 -> mean 1.625.
+        assert meter.score("framework") == pytest.approx(1.625, abs=0.1)
+
+    def test_node_readings_cover_cluster(self):
+        runner = quiet_runner(factory=synthetic_factory(app={"score": 3.0}))
+        readings = BubbleScoreMeter(runner).node_readings("app")
+        assert set(readings) == set(range(4))
+
+    def test_score_table(self):
+        runner = quiet_runner(
+            factory=synthetic_factory(a={"score": 1.0}, b={"score": 4.0})
+        )
+        table = BubbleScoreMeter(runner).score_table(["a", "b"])
+        assert table["b"] > table["a"]
+
+    def test_invalid_probe_level(self):
+        runner = quiet_runner()
+        with pytest.raises(ModelError):
+            BubbleScoreMeter(runner, probe_level=0.0)

@@ -1,0 +1,48 @@
+"""Tests for the shared experiment context (on a synthetic runner)."""
+
+import pytest
+
+from repro.experiments.context import ExperimentContext
+from repro.sim.runner import ClusterRunner
+
+
+@pytest.fixture(scope="module")
+def context():
+    # Small sampling keeps this fast; the catalog runner is the real one.
+    return ExperimentContext(
+        ClusterRunner(base_seed=77), policy_samples=6, seed=77
+    )
+
+
+class TestLazyArtifacts:
+    def test_truth_matrix_cached(self, context):
+        first = context.truth_matrix("M.lmps")
+        assert context.truth_matrix("M.lmps") is first
+        assert first.is_complete()
+
+    def test_oracle_shared(self, context):
+        assert context.oracle("M.lmps") is context.oracle("M.lmps")
+
+    def test_workload_lists(self, context):
+        assert len(context.distributed_workloads()) == 12
+        assert len(context.batch_workloads()) == 6
+
+    def test_policy_selection_cached(self, context):
+        first = context.policy_selection("M.lmps")
+        assert context.policy_selection("M.lmps") is first
+        assert first.samples == 6
+
+
+class TestAxes:
+    def test_default_axes_match_cluster(self, context):
+        assert context.counts == [0, 1, 2, 3, 4, 5, 6, 7, 8]
+        assert context.pressures == [1, 2, 3, 4, 5, 6, 7, 8]
+
+    def test_custom_counts(self):
+        custom = ExperimentContext(
+            ClusterRunner(base_seed=1), counts=[0.0, 2.0, 4.0]
+        )
+        assert custom.counts == [0.0, 2.0, 4.0]
+
+    def test_placement_span_constant(self, context):
+        assert context.PLACEMENT_SPAN == 4

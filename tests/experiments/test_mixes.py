@@ -1,0 +1,99 @@
+"""Tests for the Table 5 mixes and QoS mix definitions."""
+
+import pytest
+
+from repro.apps.catalog import ALL_WORKLOADS
+from repro.errors import ConfigurationError
+from repro.experiments.table5_mixes import (
+    MixSpec,
+    QOS_MIXES,
+    TABLE5_MIXES,
+    mix_by_name,
+    render_table5,
+    workload_pool,
+)
+
+
+class TestTable5Contents:
+    def test_ten_mixes(self):
+        assert len(TABLE5_MIXES) == 10
+
+    def test_paper_names(self):
+        names = [mix.name for mix in TABLE5_MIXES]
+        assert names == [
+            "HW1", "HW2", "HW3", "HM1", "HM2", "HM3", "MW", "MM", "MB", "L"
+        ]
+
+    def test_exact_paper_rows(self):
+        assert mix_by_name("HW1").workloads == ("N.mg", "N.cg", "H.KM", "M.lmps")
+        assert mix_by_name("HM3").workloads == ("S.CF", "H.KM", "M.Gems", "M.Gems")
+        assert mix_by_name("L").workloads == ("M.lesl", "M.zeus", "M.zeus", "N.mg")
+
+    def test_difficulty_bands(self):
+        bands = {mix.name: mix.difficulty for mix in TABLE5_MIXES}
+        assert bands["HW1"] == "high"
+        assert bands["MB"] == "medium"
+        assert bands["L"] == "low"
+
+    def test_all_workloads_in_catalog(self):
+        for mix in TABLE5_MIXES + QOS_MIXES:
+            for abbrev in mix.workloads:
+                assert abbrev in ALL_WORKLOADS, (mix.name, abbrev)
+
+    def test_render(self):
+        assert "HW1" in render_table5()
+
+    def test_workload_pool(self):
+        pool = workload_pool()
+        assert pool["H.KM"] >= 4  # K-means appears in many mixes
+        assert pool["M.Gems"] >= 4
+
+
+class TestMixInstances:
+    def test_unique_keys_with_duplicates(self):
+        # HM3 runs M.Gems twice: keys must stay unique.
+        instances = mix_by_name("HM3").instances()
+        keys = [spec.instance_key for spec in instances]
+        assert len(set(keys)) == 4
+        assert "M.Gems#2" in keys and "M.Gems#3" in keys
+
+    def test_default_four_units(self):
+        for spec in mix_by_name("HW1").instances():
+            assert spec.num_units == 4
+
+    def test_qos_mix_unit_counts(self):
+        instances = QOS_MIXES[0].instances()
+        counts = [spec.num_units for spec in instances]
+        assert counts == [4, 4, 4, 2, 2]
+        assert sum(counts) == 16  # fills the 8x2 unit slots
+
+    def test_qos_instance_key(self):
+        mix = QOS_MIXES[0]
+        assert mix.qos_instance_key == f"{mix.workloads[0]}#0"
+
+    def test_qos_key_requires_target(self):
+        with pytest.raises(ConfigurationError):
+            mix_by_name("HW1").qos_instance_key
+
+    def test_weights_proportional_to_units(self):
+        instances = QOS_MIXES[0].instances()
+        assert instances[0].weight == 1.0
+        assert instances[3].weight == 0.5
+
+
+class TestMixValidation:
+    def test_too_few_workloads(self):
+        with pytest.raises(ConfigurationError):
+            MixSpec("x", ("A",))
+
+    def test_unit_count_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            MixSpec("x", ("A", "B"), unit_counts=(4,))
+
+    def test_qos_index_bounds(self):
+        with pytest.raises(ConfigurationError):
+            MixSpec("x", ("A", "B"), qos_index=2)
+
+    def test_unknown_mix(self):
+        with pytest.raises(ConfigurationError):
+            mix_by_name("ZZ")

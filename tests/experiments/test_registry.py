@@ -1,0 +1,34 @@
+"""Tests for the experiment registry."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.registry import (
+    REGISTRY,
+    all_experiment_ids,
+    get_experiment,
+)
+
+
+class TestRegistry:
+    def test_every_paper_artifact_present(self):
+        ids = set(all_experiment_ids())
+        assert {
+            "fig2", "fig3", "fig4", "table3", "table4",
+            "fig8", "fig9", "fig10", "fig11",
+            "fig12", "table6", "fig13",
+        } <= ids
+
+    def test_entries_have_descriptions(self):
+        for entry in REGISTRY.values():
+            assert entry.description
+            assert entry.paper_artifact
+            assert callable(entry.run)
+            assert callable(entry.render)
+
+    def test_lookup(self):
+        assert get_experiment("fig2").paper_artifact == "Figure 2"
+
+    def test_unknown(self):
+        with pytest.raises(ConfigurationError, match="unknown experiment"):
+            get_experiment("fig99")

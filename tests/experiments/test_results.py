@@ -1,0 +1,92 @@
+"""Unit tests for experiment result classes (no simulation needed)."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.cluster import ClusterSpec
+from repro.core.curves import PropagationMatrix
+from repro.experiments.fig2_motivation import Fig2Result
+from repro.experiments.fig3_propagation import Fig3Result
+from repro.experiments.fig9_gems import Fig9Result
+from repro.experiments.fig11_performance import Fig11Result, MixPerformance
+from repro.experiments.fig13_ec2_validation import Fig13Result
+from repro.experiments.table4_bubble_scores import Table4Result
+from repro.experiments.table5_mixes import MixSpec
+
+
+class TestFig2Result:
+    def test_render_columns(self):
+        result = Fig2Result(
+            counts=[0, 1], real=[1.0, 1.5], naive=[1.0, 1.1]
+        )
+        text = result.render()
+        assert "naive expectation" in text and "real execution" in text
+        assert "1.500" in text
+
+
+class TestFig3Result:
+    def _result(self):
+        matrix = PropagationMatrix(
+            [4.0, 8.0], [0.0, 1.0], np.array([[1.0, 1.2], [1.0, 1.5]])
+        )
+        return Fig3Result(matrices={"app": matrix})
+
+    def test_curve_extraction(self):
+        assert self._result().curve("app", 8.0) == [1.0, 1.5]
+
+    def test_render_all_headers(self):
+        assert "== app ==" in self._result().render_all()
+
+
+class TestFig9Result:
+    def test_errors(self):
+        result = Fig9Result(
+            workloads=("a",), predicted=(1.1,), actual=(1.0,)
+        )
+        assert result.errors()[0] == pytest.approx(10.0)
+        assert "a" in result.render()
+
+
+class TestFig11Result:
+    def _result(self):
+        mixes = []
+        for name, best in (("X", 1.30), ("Y", 1.10), ("Z", 1.02)):
+            mixes.append(
+                MixPerformance(
+                    mix=MixSpec(name, ("A", "B", "C", "D")),
+                    speedups={
+                        "best": best, "random": 1.0,
+                        "naive": 1.0, "worst": 1.0,
+                    },
+                    measured_times={},
+                )
+            )
+        return Fig11Result(mixes=tuple(mixes))
+
+    def test_measured_bands(self):
+        bands = self._result().measured_bands()
+        assert bands == {"X": "high", "Y": "medium", "Z": "low"}
+
+    def test_improvement_percent(self):
+        result = self._result()
+        assert result.mixes[0].best_improvement_percent == pytest.approx(30.0)
+
+    def test_rows_order(self):
+        rows = self._result().rows()
+        assert rows[0][0] == "X"
+        assert rows[0][1] == 1.30
+
+
+class TestFig13Result:
+    def test_summary_and_render(self):
+        result = Fig13Result(errors={"a": [2.0, 4.0]})
+        assert result.average_errors() == {"a": 3.0}
+        assert "a" in result.render()
+
+
+class TestTable4Result:
+    def test_rows_include_paper_column(self):
+        result = Table4Result(scores={"M.lmps": 1.1})
+        rows = result.rows()
+        assert rows[0] == ("M.lmps", 1.1, 1.0)
+        assert "M.lmps" in result.render()

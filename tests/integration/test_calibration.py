@@ -1,0 +1,61 @@
+"""Calibration integration tests: the substrate reproduces Section 3.2.
+
+These tests pin the qualitative claims of the paper's characterization
+— the three propagation classes and the bubble-score ordering — which
+every downstream experiment depends on.
+"""
+
+import pytest
+
+from repro.core.scoring import BubbleScoreMeter
+
+
+class TestPropagationClasses:
+    def test_high_propagation_jumps_at_one_node(self, catalog_runner):
+        # M.milc: a single interfering node captures most of the
+        # all-nodes damage (Figure 3's high-propagation shape).
+        one = catalog_runner.measure("M.milc", 8.0, 1)
+        all_nodes = catalog_runner.measure("M.milc", 8.0, 8)
+        assert one > 1.7
+        # Far above the proportional expectation of 1/8 of the damage.
+        assert (one - 1.0) / (all_nodes - 1.0) > 0.35
+
+    def test_proportional_propagation_grows_gradually(self, catalog_runner):
+        # M.Gems: the first interfering node causes only a modest share
+        # of the total damage, growing roughly linearly (Section 3.2).
+        one = catalog_runner.measure("M.Gems", 8.0, 1)
+        four = catalog_runner.measure("M.Gems", 8.0, 4)
+        all_nodes = catalog_runner.measure("M.Gems", 8.0, 8)
+        assert (one - 1.0) / (all_nodes - 1.0) < 0.3
+        assert one < four < all_nodes
+
+    def test_low_propagation_resilient(self, catalog_runner):
+        # H.KM reacts far less than the high-propagation codes even at
+        # the maximum bubble pressure.
+        assert catalog_runner.measure("H.KM", 8.0, 8) < 1.7
+        assert catalog_runner.measure("H.KM", 8.0, 8) < (
+            catalog_runner.measure("M.milc", 8.0, 8) - 0.7
+        )
+
+    def test_naive_model_breaks_on_lammps(self, catalog_runner):
+        # Figure 2's motivation: lammps with one interfering node is
+        # far above the naive 1/8 proportional expectation.
+        one = catalog_runner.measure("M.lmps", 8.0, 1)
+        all_nodes = catalog_runner.measure("M.lmps", 8.0, 8)
+        naive_expectation = 1.0 + (all_nodes - 1.0) / 8.0
+        assert one > naive_expectation * 1.2
+
+
+class TestBubbleScoreOrdering:
+    def test_table4_extremes(self, catalog_runner):
+        meter = BubbleScoreMeter(catalog_runner)
+        libq = meter.score("C.libq")
+        kmeans = meter.score("H.KM")
+        assert libq > 6.0  # paper: 6.6
+        assert kmeans < 0.5  # paper: 0.2
+
+    def test_scores_close_to_table4(self, catalog_runner):
+        meter = BubbleScoreMeter(catalog_runner)
+        paper = {"M.milc": 4.3, "N.mg": 5.0, "M.zeus": 1.4, "S.PR": 0.7}
+        for abbrev, expected in paper.items():
+            assert meter.score(abbrev) == pytest.approx(expected, abs=0.6), abbrev

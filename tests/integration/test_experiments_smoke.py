@@ -1,0 +1,90 @@
+"""Smoke tests: every experiment runs end-to-end on a reduced scale.
+
+These use a dedicated shared context with reduced sampling; they check
+structure and the paper's headline directions, not exact numbers (the
+benchmarks regenerate the full artifacts).
+"""
+
+import pytest
+
+from repro.experiments.context import ExperimentContext
+from repro.experiments.fig2_motivation import run_fig2
+from repro.experiments.fig3_propagation import run_fig3
+from repro.experiments.fig4_heterogeneity import run_fig4
+from repro.experiments.fig8_validation import run_fig8
+from repro.experiments.fig9_gems import run_fig9
+from repro.experiments.table3_profiling import run_table3
+from repro.experiments.table4_bubble_scores import run_table4
+from repro.sim.runner import ClusterRunner
+
+SUBSET = ["M.milc", "M.Gems", "H.KM"]
+
+
+@pytest.fixture(scope="module")
+def context():
+    return ExperimentContext(ClusterRunner(base_seed=55), policy_samples=10, seed=55)
+
+
+class TestFig2:
+    def test_headline_direction(self, context):
+        result = run_fig2(context)
+        assert result.counts[0] == 0 and result.real[0] == 1.0
+        # One interfering node: reality far above the naive line.
+        assert result.real[1] > result.naive[1] * 1.15
+        text = result.render()
+        assert "naive" in text and "real" in text
+
+
+class TestFig3:
+    def test_matrices_and_render(self, context):
+        result = run_fig3(context, workloads=SUBSET)
+        assert set(result.matrices) == set(SUBSET)
+        curve = result.curve("M.milc", 8.0)
+        assert curve[0] == 1.0 and curve[-1] > 1.5
+        assert "pressure 8" in result.render("M.milc")
+
+
+class TestFig4:
+    def test_selection_and_margin(self, context):
+        result = run_fig4(context, workloads=SUBSET)
+        rows = result.table2_rows()
+        assert len(rows) == 3
+        best = {w: policy for w, policy, _err, _sd in rows}
+        assert best["M.Gems"] == "INTERPOLATE"
+        assert result.population_size == 12870
+        assert result.best_policy_margin("M.milc") > 0
+        assert "INTERPOLATE" in result.render_table2()
+
+
+class TestTable3:
+    def test_cost_accuracy_tradeoff(self, context):
+        result = run_table3(context, workloads=["M.milc"])
+        rows = {name: (cost, err) for name, cost, err in result.table3_rows()}
+        assert rows["binary-optimized"][0] < rows["binary-brute"][0]
+        assert rows["binary-brute"][1] < rows["random-30%"][1]
+        assert "binary-optimized" in result.render_table3()
+        assert result.per_app_errors()["binary-brute"]["M.milc"] >= 0
+
+
+class TestTable4:
+    def test_scores(self, context):
+        result = run_table4(context, workloads=["C.libq", "H.KM"])
+        assert result.scores["C.libq"] > result.scores["H.KM"]
+        assert "C.libq" in result.render()
+
+
+class TestFig8:
+    def test_errors_reasonable(self, context):
+        result = run_fig8(context, targets=["M.lmps"], co_runners=SUBSET)
+        summary = result.summary("M.lmps")
+        assert summary.count == 3
+        assert summary.mean < 25.0
+        assert "M.lmps" in result.render()
+
+
+class TestFig9:
+    def test_gems_corun(self, context):
+        result = run_fig9(context, targets=["M.milc", "H.KM"])
+        assert len(result.errors()) == 2
+        assert all(a >= 0.9 for a in result.actual)
+        assert "M.milc" in result.render()

@@ -1,0 +1,107 @@
+"""Tests for the simulated-annealing search."""
+
+import pytest
+
+from repro.cluster.cluster import ClusterSpec
+from repro.errors import PlacementError
+from repro.placement.annealing import (
+    AnnealingSchedule,
+    SimulatedAnnealingPlacer,
+)
+from repro.placement.assignment import InstanceSpec, Placement
+
+SPEC = ClusterSpec(num_nodes=4)
+
+
+def instances():
+    return [
+        InstanceSpec("a", "a", num_units=2),
+        InstanceSpec("b", "b", num_units=2),
+        InstanceSpec("c", "c", num_units=2),
+        InstanceSpec("d", "d", num_units=2),
+    ]
+
+
+def adjacency_energy(placement: Placement) -> float:
+    """Penalize a and b sharing nodes — a simple, known-optimum target."""
+    shared = set(placement.nodes_of("a")) & set(placement.nodes_of("b"))
+    return float(len(shared))
+
+
+class TestSchedule:
+    def test_temperature_decays(self):
+        schedule = AnnealingSchedule(
+            iterations=100, initial_temperature=1.0, final_temperature=0.01
+        )
+        assert schedule.temperature(0) == pytest.approx(1.0)
+        assert schedule.temperature(99) == pytest.approx(0.01)
+        assert schedule.temperature(50) < schedule.temperature(10)
+
+    def test_zero_start_is_hill_climbing(self):
+        schedule = AnnealingSchedule(initial_temperature=0.0)
+        assert schedule.temperature(0) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(PlacementError):
+            AnnealingSchedule(iterations=0)
+        with pytest.raises(PlacementError):
+            AnnealingSchedule(initial_temperature=-1.0)
+        with pytest.raises(PlacementError):
+            AnnealingSchedule(restarts=0)
+
+
+class TestSearch:
+    def test_finds_separating_placement(self):
+        placer = SimulatedAnnealingPlacer(
+            adjacency_energy,
+            schedule=AnnealingSchedule(iterations=500, restarts=2),
+            seed=1,
+        )
+        result = placer.search(
+            lambda seed: Placement.random(SPEC, instances(), seed=seed)
+        )
+        assert result.energy == 0.0
+
+    def test_never_worse_than_initial(self):
+        initial = Placement.random(SPEC, instances(), seed=3)
+        placer = SimulatedAnnealingPlacer(
+            adjacency_energy,
+            schedule=AnnealingSchedule(iterations=50),
+            seed=2,
+        )
+        result = placer.search_from(initial)
+        assert result.energy <= adjacency_energy(initial)
+
+    def test_result_placement_valid(self):
+        placer = SimulatedAnnealingPlacer(
+            adjacency_energy,
+            schedule=AnnealingSchedule(iterations=100),
+            seed=4,
+        )
+        result = placer.search_from(Placement.random(SPEC, instances(), seed=0))
+        for spec in result.placement.instances:
+            nodes = result.placement.nodes_of(spec.instance_key)
+            assert len(set(nodes)) == len(nodes)
+
+    def test_trajectory_recorded(self):
+        placer = SimulatedAnnealingPlacer(
+            adjacency_energy,
+            schedule=AnnealingSchedule(iterations=20),
+            seed=5,
+        )
+        result = placer.search_from(Placement.random(SPEC, instances(), seed=0))
+        assert len(result.energy_trajectory) >= 1
+        assert result.evaluations >= 1
+
+    def test_deterministic_per_seed(self):
+        def run(seed):
+            placer = SimulatedAnnealingPlacer(
+                adjacency_energy,
+                schedule=AnnealingSchedule(iterations=100),
+                seed=seed,
+            )
+            return placer.search(
+                lambda s: Placement.random(SPEC, instances(), seed=s)
+            )
+
+        assert run(7).placement == run(7).placement

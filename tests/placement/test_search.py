@@ -1,0 +1,94 @@
+"""Tests for non-annealing placement baselines."""
+
+import pytest
+
+from repro.cluster.cluster import ClusterSpec
+from repro.errors import PlacementError
+from repro.placement.annealing import AnnealingSchedule, SimulatedAnnealingPlacer
+from repro.placement.assignment import InstanceSpec, Placement
+from repro.placement.objectives import predict_placement, weighted_total_time
+from repro.placement.search import (
+    GreedyPlacer,
+    average_random_total_time,
+    exhaustive_best,
+    random_placements,
+)
+from tests.placement.test_placers import SPEC, instances, make_model
+
+
+class TestRandomPlacements:
+    def test_count(self):
+        placements = random_placements(SPEC, instances(), count=5, seed=1)
+        assert len(placements) == 5
+
+    def test_independent(self):
+        placements = random_placements(SPEC, instances(), count=5, seed=1)
+        assert len({p for p in placements}) > 1
+
+    def test_deterministic(self):
+        a = random_placements(SPEC, instances(), count=3, seed=2)
+        b = random_placements(SPEC, instances(), count=3, seed=2)
+        assert a == b
+
+    def test_invalid_count(self):
+        with pytest.raises(PlacementError):
+            random_placements(SPEC, instances(), count=0)
+
+
+class TestGreedyPlacer:
+    def test_valid_placement(self):
+        placement = GreedyPlacer(make_model(), SPEC).place(instances())
+        for spec in placement.instances:
+            nodes = placement.nodes_of(spec.instance_key)
+            assert len(set(nodes)) == len(nodes)
+
+    def test_spreads_loud_units(self):
+        # The loudest app is placed first; its units land on the
+        # least-pressured nodes, so they never stack.
+        placement = GreedyPlacer(make_model(), SPEC).place(instances())
+        loud_nodes = placement.nodes_of("loud#1")
+        assert len(set(loud_nodes)) == 2
+
+
+class TestExhaustiveBest:
+    def _small(self):
+        small_spec = ClusterSpec(num_nodes=4)
+        small_instances = [
+            InstanceSpec("target#0", "target", num_units=2),
+            InstanceSpec("loud#1", "loud", num_units=2),
+            InstanceSpec("quiet#2", "quiet", num_units=2),
+            InstanceSpec("sensitive#3", "sensitive", num_units=2),
+        ]
+        model = make_model()
+
+        def energy(placement: Placement) -> float:
+            return weighted_total_time(predict_placement(model, placement), placement)
+
+        return small_spec, small_instances, energy
+
+    def test_annealing_matches_exhaustive(self):
+        spec, insts, energy = self._small()
+        optimal, optimal_energy = exhaustive_best(spec, insts, energy)
+        placer = SimulatedAnnealingPlacer(
+            energy, schedule=AnnealingSchedule(iterations=600, restarts=3), seed=3
+        )
+        result = placer.search(lambda s: Placement.random(spec, insts, seed=s))
+        assert result.energy == pytest.approx(optimal_energy, rel=0.01)
+
+    def test_too_large_rejected(self):
+        big = ClusterSpec(num_nodes=8)
+        with pytest.raises(PlacementError, match="exhaustive"):
+            exhaustive_best(big, instances(), lambda p: 0.0)
+
+
+class TestAverageRandom:
+    def test_between_best_and_worst(self):
+        model = make_model()
+
+        def energy(placement):
+            return weighted_total_time(predict_placement(model, placement), placement)
+
+        spec, insts, energy_fn = (SPEC, instances(), energy)
+        average = average_random_total_time(model, spec, insts, count=5, seed=4)
+        optimal, optimal_energy = exhaustive_best(spec, insts, energy_fn)
+        assert average >= optimal_energy - 1e-9

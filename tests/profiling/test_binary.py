@@ -1,0 +1,131 @@
+"""Tests for Algorithms 1 and 2 against analytic oracles."""
+
+import numpy as np
+import pytest
+
+from repro.core.curves import PropagationMatrix
+from repro.core.profiling.binary import (
+    binary_brute,
+    binary_optimized,
+    interpolate_all,
+    interpolate_col,
+    interpolate_row,
+    profile_binary_row,
+)
+from repro.core.profiling.plan import ProfilingSession
+from repro.errors import ProfilingError
+
+PRESSURES = [float(p) for p in range(1, 9)]
+COUNTS = [float(c) for c in range(9)]
+
+
+class AnalyticOracle:
+    """Oracle with a closed-form separable response surface."""
+
+    def __init__(self, fn=None):
+        self.abbrev = "analytic"
+        self.calls = 0
+        self._fn = fn or (lambda p, k: 1.0 + (p / 8.0) * (0.5 + 0.5 * k / 8.0))
+
+    def normalized(self, pressure, count):
+        if pressure == 0 or count == 0:
+            return 1.0
+        self.calls += 1
+        return self._fn(pressure, count)
+
+    def truth(self):
+        matrix = PropagationMatrix.empty(PRESSURES, COUNTS)
+        for i, p in enumerate(PRESSURES):
+            for j, c in enumerate(COUNTS[1:], start=1):
+                matrix.set(i, j, self._fn(p, c))
+        return matrix
+
+
+class TestBinaryBrute:
+    def test_complete_and_accurate(self):
+        oracle = AnalyticOracle()
+        outcome = binary_brute(oracle, PRESSURES, COUNTS, threshold=0.02)
+        assert outcome.matrix.is_complete()
+        assert outcome.error_against(oracle.truth()) < 1.0
+
+    def test_cheaper_than_exhaustive(self):
+        oracle = AnalyticOracle()
+        outcome = binary_brute(oracle, PRESSURES, COUNTS, threshold=0.05)
+        assert outcome.settings_measured < 64
+
+    def test_flat_curve_costs_one_point_per_row(self):
+        # A workload that never slows down: every row needs only the
+        # all-hosts endpoint.
+        oracle = AnalyticOracle(fn=lambda p, k: 1.0)
+        outcome = binary_brute(oracle, PRESSURES, COUNTS, threshold=0.05)
+        assert outcome.settings_measured == len(PRESSURES)
+        assert outcome.matrix.is_complete()
+
+    def test_steep_curve_measures_more(self):
+        flat = AnalyticOracle(fn=lambda p, k: 1.0 + 0.01 * k)
+        steep = AnalyticOracle(fn=lambda p, k: 1.0 + 0.2 * k * p / 8.0)
+        flat_cost = binary_brute(flat, PRESSURES, COUNTS).settings_measured
+        steep_cost = binary_brute(steep, PRESSURES, COUNTS).settings_measured
+        assert steep_cost > flat_cost
+
+
+class TestBinaryOptimized:
+    def test_complete_and_accurate_on_separable_surface(self):
+        # The algorithm assumes curves share their shape across
+        # pressures; a separable surface satisfies that exactly.
+        oracle = AnalyticOracle(
+            fn=lambda p, k: 1.0 + (p / 8.0) * (k / 8.0)
+        )
+        outcome = binary_optimized(oracle, PRESSURES, COUNTS, threshold=0.02)
+        assert outcome.matrix.is_complete()
+        assert outcome.error_against(oracle.truth()) < 1.5
+
+    def test_cheaper_than_brute(self):
+        brute_oracle = AnalyticOracle()
+        optimized_oracle = AnalyticOracle()
+        brute = binary_brute(brute_oracle, PRESSURES, COUNTS)
+        optimized = binary_optimized(optimized_oracle, PRESSURES, COUNTS)
+        assert optimized.settings_measured < brute.settings_measured
+
+    def test_reconstruction_formula(self):
+        # T[i][j] = 1 + (T[i][m]-1)(T[n-1][j]-1)/(T[n-1][m]-1).
+        matrix = PropagationMatrix.empty([1.0, 2.0], [0.0, 1.0, 2.0])
+        matrix.set(0, 2, 1.3)
+        matrix.set(1, 1, 1.4)
+        matrix.set(1, 2, 1.6)
+        interpolate_all(matrix)
+        assert matrix.get(0, 1) == pytest.approx(1.0 + 0.3 * 0.4 / 0.6)
+
+    def test_reconstruction_flat_top_fallback(self):
+        matrix = PropagationMatrix.empty([1.0, 2.0], [0.0, 1.0, 2.0])
+        matrix.set(0, 2, 1.4)
+        matrix.set(1, 1, 1.0)
+        matrix.set(1, 2, 1.0)  # flat top curve -> degenerate ratio
+        interpolate_all(matrix)
+        assert matrix.get(0, 1) == pytest.approx(1.2)  # count-ratio fallback
+
+
+class TestHelpers:
+    def test_profile_binary_row_requires_endpoints(self):
+        matrix = PropagationMatrix.empty(PRESSURES, COUNTS)
+        session = ProfilingSession(AnalyticOracle())
+        with pytest.raises(ProfilingError, match="endpoints"):
+            profile_binary_row(matrix, session, 0, 0, 8, 0.05)
+
+    def test_interpolate_row_needs_two_points(self):
+        matrix = PropagationMatrix.empty(PRESSURES, COUNTS)
+        with pytest.raises(ProfilingError):
+            interpolate_row(matrix, 0)
+
+    def test_interpolate_row_linear(self):
+        matrix = PropagationMatrix.empty([1.0], [0.0, 1.0, 2.0, 3.0, 4.0])
+        matrix.set(0, 4, 2.0)
+        interpolate_row(matrix, 0)
+        assert matrix.get(0, 2) == pytest.approx(1.5)
+
+    def test_interpolate_col_linear(self):
+        matrix = PropagationMatrix.empty([1.0, 2.0, 3.0], [0.0, 1.0])
+        matrix.set(0, 1, 1.2)
+        matrix.set(2, 1, 1.6)
+        interpolate_col(matrix, 1)
+        assert matrix.get(1, 1) == pytest.approx(1.4)

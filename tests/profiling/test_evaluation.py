@@ -1,0 +1,68 @@
+"""Tests for the profiler cost/accuracy comparison."""
+
+import pytest
+
+from repro.core.profiling.evaluation import (
+    ALGORITHM_ORDER,
+    ProfilerComparison,
+    ProfilerScore,
+    exhaustive_truth,
+    run_profilers,
+)
+from tests.profiling.test_binary import AnalyticOracle, COUNTS, PRESSURES
+
+
+class TestExhaustiveTruth:
+    def test_measures_full_grid(self):
+        oracle = AnalyticOracle()
+        truth = exhaustive_truth(oracle, PRESSURES, COUNTS)
+        assert truth.is_complete()
+        assert oracle.calls == 64
+
+
+class TestRunProfilers:
+    def test_all_four_algorithms(self):
+        outcomes = run_profilers(AnalyticOracle(), PRESSURES, COUNTS)
+        assert set(outcomes) == set(ALGORITHM_ORDER)
+
+    def test_every_outcome_complete(self):
+        for outcome in run_profilers(AnalyticOracle(), PRESSURES, COUNTS).values():
+            assert outcome.matrix.is_complete()
+
+    def test_cost_ordering(self):
+        # binary-optimized must be the cheapest; binary-brute is the
+        # most expensive of the non-exhaustive algorithms (Table 3).
+        outcomes = run_profilers(AnalyticOracle(), PRESSURES, COUNTS)
+        assert (
+            outcomes["binary-optimized"].settings_measured
+            < outcomes["random-30%"].settings_measured
+            < outcomes["random-50%"].settings_measured
+        )
+
+
+class TestProfilerComparison:
+    def _comparison(self):
+        scores = [
+            ProfilerScore("binary-brute", "a", 60.0, 0.5),
+            ProfilerScore("binary-brute", "b", 58.0, 0.7),
+            ProfilerScore("binary-optimized", "a", 18.0, 3.0),
+            ProfilerScore("binary-optimized", "b", 20.0, 3.4),
+            ProfilerScore("random-50%", "a", 50.0, 5.0),
+            ProfilerScore("random-50%", "b", 48.0, 5.6),
+            ProfilerScore("random-30%", "a", 30.0, 13.0),
+            ProfilerScore("random-30%", "b", 28.0, 14.0),
+        ]
+        return ProfilerComparison(tuple(scores))
+
+    def test_averages(self):
+        comparison = self._comparison()
+        assert comparison.average_cost("binary-brute") == pytest.approx(59.0)
+        assert comparison.average_error("binary-optimized") == pytest.approx(3.2)
+
+    def test_table3_rows_in_paper_order(self):
+        rows = self._comparison().table3_rows()
+        assert [r[0] for r in rows] == list(ALGORITHM_ORDER)
+
+    def test_by_algorithm(self):
+        comparison = self._comparison()
+        assert len(comparison.by_algorithm("random-30%")) == 2

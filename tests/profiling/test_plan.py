@@ -1,0 +1,113 @@
+"""Tests for profiling bookkeeping."""
+
+import numpy as np
+import pytest
+
+from repro.core.curves import PropagationMatrix
+from repro.core.profiling.plan import (
+    MeasurementOracle,
+    ProfilingOutcome,
+    ProfilingSession,
+    total_settings_of,
+)
+from repro.errors import ProfilingError
+from tests._synthetic import quiet_runner
+
+
+@pytest.fixture
+def oracle():
+    return MeasurementOracle(quiet_runner(num_nodes=4), "app")
+
+
+class TestMeasurementOracle:
+    def test_trivial_settings_free(self, oracle):
+        assert oracle.normalized(0.0, 3) == 1.0
+        assert oracle.normalized(5.0, 0) == 1.0
+        assert oracle.distinct_settings_measured == 0
+
+    def test_caching(self, oracle):
+        first = oracle.normalized(4.0, 2)
+        runs_after_first = oracle.runner.measurement_count
+        second = oracle.normalized(4.0, 2)
+        assert first == second
+        assert oracle.runner.measurement_count == runs_after_first
+        assert oracle.distinct_settings_measured == 1
+
+
+class TestProfilingSession:
+    def test_tracks_distinct_cells(self, oracle):
+        session = ProfilingSession(oracle)
+        session.measure(4.0, 2)
+        session.measure(4.0, 2)
+        session.measure(8.0, 1)
+        assert session.settings_measured == 2
+
+    def test_trivial_cells_not_counted(self, oracle):
+        session = ProfilingSession(oracle)
+        session.measure(0.0, 2)
+        session.measure(4.0, 0)
+        assert session.settings_measured == 0
+
+    def test_sessions_share_oracle_cache(self, oracle):
+        first = ProfilingSession(oracle)
+        value = first.measure(4.0, 2)
+        second = ProfilingSession(oracle)
+        assert second.measure(4.0, 2) == value
+        assert second.settings_measured == 1
+
+
+class TestProfilingOutcome:
+    def _complete_matrix(self):
+        return PropagationMatrix(
+            [4.0, 8.0], [0.0, 1.0], np.array([[1.0, 1.2], [1.0, 1.5]])
+        )
+
+    def test_cost_percent(self):
+        outcome = ProfilingOutcome(
+            algorithm="x", workload="app",
+            matrix=self._complete_matrix(),
+            settings_measured=1, total_settings=2,
+        )
+        assert outcome.cost_percent == 50.0
+
+    def test_incomplete_matrix_rejected(self):
+        matrix = PropagationMatrix.empty([4.0], [0.0, 1.0])
+        with pytest.raises(ProfilingError, match="unfilled"):
+            ProfilingOutcome(
+                algorithm="x", workload="app", matrix=matrix,
+                settings_measured=0, total_settings=1,
+            )
+
+    def test_bad_counts_rejected(self):
+        with pytest.raises(ProfilingError):
+            ProfilingOutcome(
+                algorithm="x", workload="app",
+                matrix=self._complete_matrix(),
+                settings_measured=5, total_settings=2,
+            )
+
+    def test_error_against_truth(self):
+        truth = self._complete_matrix()
+        estimate = truth.copy()
+        estimate.set(0, 1, 1.32)  # 10% off the true 1.2
+        outcome = ProfilingOutcome(
+            algorithm="x", workload="app", matrix=estimate,
+            settings_measured=2, total_settings=2,
+        )
+        assert outcome.error_against(truth) == pytest.approx(5.0)  # mean of 10%, 0%
+
+    def test_error_shape_mismatch(self):
+        other = PropagationMatrix(
+            [4.0], [0.0, 1.0], np.array([[1.0, 1.2]])
+        )
+        outcome = ProfilingOutcome(
+            algorithm="x", workload="app", matrix=self._complete_matrix(),
+            settings_measured=2, total_settings=2,
+        )
+        with pytest.raises(ProfilingError):
+            outcome.error_against(other)
+
+
+def test_total_settings():
+    matrix = PropagationMatrix.empty([1.0, 2.0, 3.0], [0.0, 1.0, 2.0])
+    assert total_settings_of(matrix) == 6

@@ -1,0 +1,102 @@
+"""Tests for heterogeneity-policy selection."""
+
+import numpy as np
+import pytest
+
+from repro._util import make_rng
+from repro.core.profiling.evaluation import exhaustive_truth
+from repro.core.profiling.plan import MeasurementOracle
+from repro.core.profiling.policy_selection import (
+    PolicyEvaluation,
+    heterogeneous_space_size,
+    sample_heterogeneous_config,
+    select_policy,
+)
+from repro.errors import ProfilingError
+from tests._synthetic import quiet_runner, synthetic_factory
+
+
+class TestSpaceSize:
+    def test_paper_number(self):
+        # Section 3.3: 8 hosts, levels 0..8 -> 12,870 settings.
+        assert heterogeneous_space_size(8, 8) == 12870
+
+    def test_small_case(self):
+        # Multisets of size 2 over {0, 1, 2}: C(4, 2) = 6.
+        assert heterogeneous_space_size(2, 2) == 6
+
+    def test_invalid(self):
+        with pytest.raises(ProfilingError):
+            heterogeneous_space_size(0, 8)
+
+
+class TestSampling:
+    def test_valid_configs(self):
+        rng = make_rng(0)
+        for _ in range(200):
+            config = sample_heterogeneous_config(rng, 8, 8)
+            assert len(config) == 8
+            assert all(0 <= level <= 8 for level in config)
+            assert list(config) == sorted(config, reverse=True)
+
+    def test_covers_space(self):
+        rng = make_rng(1)
+        seen = {sample_heterogeneous_config(rng, 2, 2) for _ in range(500)}
+        # All 6 multisets of size 2 over {0,1,2} should appear.
+        assert len(seen) == 6
+
+    def test_roughly_uniform(self):
+        rng = make_rng(2)
+        counts = {}
+        n = 6000
+        for _ in range(n):
+            config = sample_heterogeneous_config(rng, 2, 2)
+            counts[config] = counts.get(config, 0) + 1
+        for config, count in counts.items():
+            assert count / n == pytest.approx(1 / 6, abs=0.03), config
+
+
+class TestSelectPolicy:
+    def test_bsp_app_prefers_max_family(self):
+        # A noise-free BSP app is exactly max-dominated, so the
+        # max-family policies beat INTERPOLATE decisively.
+        runner = quiet_runner(num_nodes=4, factory=synthetic_factory())
+        oracle = MeasurementOracle(runner, "app")
+        truth = exhaustive_truth(
+            oracle, [float(p) for p in range(1, 9)], [float(c) for c in range(5)]
+        )
+        result = select_policy(runner, "app", truth, samples=25, seed=3)
+        best = result.best
+        interp = result.evaluation("INTERPOLATE")
+        assert best.policy_name in {"N MAX", "N+1 MAX", "ALL MAX"}
+        assert best.average_error < interp.average_error
+
+    def test_sample_count_respected(self):
+        runner = quiet_runner(num_nodes=4)
+        oracle = MeasurementOracle(runner, "app")
+        truth = exhaustive_truth(
+            oracle, [float(p) for p in range(1, 9)], [float(c) for c in range(5)]
+        )
+        result = select_policy(runner, "app", truth, samples=10, seed=4)
+        assert result.samples == 10
+        for evaluation in result.evaluations:
+            assert len(evaluation.errors_percent) == 10
+
+    def test_invalid_samples(self):
+        runner = quiet_runner(num_nodes=4)
+        oracle = MeasurementOracle(runner, "app")
+        truth = exhaustive_truth(oracle, [1.0], [0.0, 1.0])
+        with pytest.raises(ProfilingError):
+            select_policy(runner, "app", truth, samples=0)
+
+    def test_unknown_policy_lookup(self):
+        result_eval = PolicyEvaluation("N MAX", (1.0, 2.0))
+        assert result_eval.average_error == 1.5
+        assert result_eval.min_error == 1.0
+        assert result_eval.max_error == 2.0
+        assert result_eval.std_dev == pytest.approx(np.std([1, 2], ddof=1))
+
+
+class TestPolicyEvaluationStats:
+    def test_single_sample_std(self):
+        assert PolicyEvaluation("N MAX", (3.0,)).std_dev == 0.0

@@ -1,0 +1,46 @@
+"""Tests for the random-sampling profiling baselines."""
+
+import pytest
+
+from repro.core.profiling.random_sampling import random_sampling
+from repro.errors import ProfilingError
+from tests.profiling.test_binary import AnalyticOracle, COUNTS, PRESSURES
+
+
+class TestRandomSampling:
+    def test_budget_respected(self):
+        oracle = AnalyticOracle()
+        outcome = random_sampling(oracle, PRESSURES, COUNTS, fraction=0.3, seed=1)
+        assert outcome.settings_measured == pytest.approx(0.3 * 64, abs=1)
+        assert outcome.matrix.is_complete()
+
+    def test_mandatory_all_hosts_cells_always_measured(self):
+        oracle = AnalyticOracle()
+        random_sampling(oracle, PRESSURES, COUNTS, fraction=0.2, seed=2)
+        # The all-hosts column was actually measured, not interpolated:
+        # each of the 8 rows required one oracle call at count 8.
+        assert oracle.calls >= len(PRESSURES)
+
+    def test_full_fraction_measures_everything_interior(self):
+        oracle = AnalyticOracle()
+        outcome = random_sampling(oracle, PRESSURES, COUNTS, fraction=1.0, seed=3)
+        # Column m is mandatory; interior cells fill the budget.
+        assert outcome.cost_percent == pytest.approx(100.0, abs=2.0)
+
+    def test_deterministic_per_seed(self):
+        a = random_sampling(AnalyticOracle(), PRESSURES, COUNTS, fraction=0.3, seed=4)
+        b = random_sampling(AnalyticOracle(), PRESSURES, COUNTS, fraction=0.3, seed=4)
+        assert (a.matrix.values == b.matrix.values).all()
+
+    def test_higher_fraction_lower_error(self):
+        oracle = AnalyticOracle(fn=lambda p, k: 1.0 + (p / 8.0) * (k / 8.0) ** 0.3)
+        truth = oracle.truth()
+        low = random_sampling(oracle, PRESSURES, COUNTS, fraction=0.2, seed=5)
+        high = random_sampling(oracle, PRESSURES, COUNTS, fraction=0.8, seed=5)
+        assert high.error_against(truth) <= low.error_against(truth)
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ProfilingError):
+            random_sampling(AnalyticOracle(), PRESSURES, COUNTS, fraction=0.0)
+        with pytest.raises(ProfilingError):
+            random_sampling(AnalyticOracle(), PRESSURES, COUNTS, fraction=1.5)

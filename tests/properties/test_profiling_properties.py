@@ -1,0 +1,132 @@
+"""Property-based tests for the profiling algorithms.
+
+Random monotone response surfaces stand in for arbitrary workloads:
+whatever the surface, the profilers must terminate, fill the matrix,
+respect their cost accounting, and (for binary-brute) keep the
+interpolation error commensurate with the subdivision threshold.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.profiling.binary import binary_brute, binary_optimized
+from repro.core.profiling.random_sampling import random_sampling
+
+PRESSURES = [float(p) for p in range(1, 9)]
+COUNTS = [float(c) for c in range(9)]
+
+
+class SurfaceOracle:
+    """Monotone separable surface with parameterized shape."""
+
+    def __init__(self, amplitude, pressure_curve, count_curve):
+        self.abbrev = "surface"
+        self.calls = 0
+        self._amplitude = amplitude
+        self._pc = pressure_curve
+        self._cc = count_curve
+
+    def normalized(self, pressure, count):
+        if pressure == 0 or count == 0:
+            return 1.0
+        self.calls += 1
+        p_frac = (pressure / 8.0) ** self._pc
+        c_frac = (count / 8.0) ** self._cc
+        return 1.0 + self._amplitude * p_frac * c_frac
+
+    def truth(self, matrix):
+        errors = []
+        for i, p in enumerate(PRESSURES):
+            for j, c in enumerate(COUNTS[1:], start=1):
+                true = 1.0 + self._amplitude * (p / 8.0) ** self._pc * (
+                    (c / 8.0) ** self._cc
+                )
+                errors.append(abs(matrix.get(i, j) - true) / true)
+        return float(np.mean(errors)) * 100.0
+
+
+surfaces = st.builds(
+    SurfaceOracle,
+    amplitude=st.floats(min_value=0.0, max_value=2.0),
+    pressure_curve=st.floats(min_value=0.3, max_value=3.0),
+    count_curve=st.floats(min_value=0.1, max_value=3.0),
+)
+
+
+class TestBinaryBruteProperties:
+    @given(oracle=surfaces)
+    @settings(max_examples=40, deadline=None)
+    def test_completes_with_bounded_cost(self, oracle):
+        outcome = binary_brute(oracle, PRESSURES, COUNTS, threshold=0.05)
+        assert outcome.matrix.is_complete()
+        assert 0 < outcome.settings_measured <= 64
+        assert outcome.settings_measured == oracle.calls
+
+    @given(oracle=surfaces)
+    @settings(max_examples=40, deadline=None)
+    def test_error_commensurate_with_threshold(self, oracle):
+        # Any skipped interval's endpoints differ by <= threshold, so
+        # linear interpolation inside it is off by at most ~threshold.
+        outcome = binary_brute(oracle, PRESSURES, COUNTS, threshold=0.05)
+        assert oracle.truth(outcome.matrix) <= 6.0
+
+    @given(oracle=surfaces)
+    @settings(max_examples=30, deadline=None)
+    def test_tighter_threshold_never_cheaper(self, oracle):
+        loose = binary_brute(
+            SurfaceOracle(oracle._amplitude, oracle._pc, oracle._cc),
+            PRESSURES, COUNTS, threshold=0.2,
+        )
+        tight = binary_brute(
+            SurfaceOracle(oracle._amplitude, oracle._pc, oracle._cc),
+            PRESSURES, COUNTS, threshold=0.02,
+        )
+        assert tight.settings_measured >= loose.settings_measured
+
+
+class TestBinaryOptimizedProperties:
+    @given(oracle=surfaces)
+    @settings(max_examples=40, deadline=None)
+    def test_completes_and_cheaper_than_brute(self, oracle):
+        optimized = binary_optimized(
+            SurfaceOracle(oracle._amplitude, oracle._pc, oracle._cc),
+            PRESSURES, COUNTS, threshold=0.05,
+        )
+        brute = binary_brute(
+            SurfaceOracle(oracle._amplitude, oracle._pc, oracle._cc),
+            PRESSURES, COUNTS, threshold=0.05,
+        )
+        assert optimized.matrix.is_complete()
+        assert optimized.settings_measured <= brute.settings_measured
+
+    @given(oracle=surfaces)
+    @settings(max_examples=40, deadline=None)
+    def test_separable_surfaces_reconstruct_well(self, oracle):
+        # binary-optimized's reconstruction assumes shape similarity
+        # across pressures; separable surfaces satisfy it exactly, so
+        # the only error left is interpolation.
+        outcome = binary_optimized(oracle, PRESSURES, COUNTS, threshold=0.05)
+        assert oracle.truth(outcome.matrix) <= 7.0
+
+    @given(oracle=surfaces)
+    @settings(max_examples=40, deadline=None)
+    def test_values_at_least_one(self, oracle):
+        outcome = binary_optimized(oracle, PRESSURES, COUNTS, threshold=0.05)
+        assert (outcome.matrix.values >= 1.0 - 1e-9).all()
+
+
+class TestRandomSamplingProperties:
+    @given(
+        oracle=surfaces,
+        fraction=st.floats(min_value=0.15, max_value=1.0),
+        seed=st.integers(min_value=0, max_value=1000),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_budget_and_completeness(self, oracle, fraction, seed):
+        outcome = random_sampling(
+            oracle, PRESSURES, COUNTS, fraction=fraction, seed=seed
+        )
+        assert outcome.matrix.is_complete()
+        budget = max(len(PRESSURES), round(fraction * 64))
+        assert outcome.settings_measured <= budget + 1

@@ -1,0 +1,108 @@
+"""Tests for the discrete-event engine."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.engine import Engine
+
+
+class TestScheduling:
+    def test_time_order(self):
+        engine = Engine()
+        fired = []
+        engine.schedule(2.0, lambda: fired.append("b"))
+        engine.schedule(1.0, lambda: fired.append("a"))
+        engine.run()
+        assert fired == ["a", "b"]
+
+    def test_fifo_among_ties(self):
+        engine = Engine()
+        fired = []
+        engine.schedule(1.0, lambda: fired.append("first"))
+        engine.schedule(1.0, lambda: fired.append("second"))
+        engine.run()
+        assert fired == ["first", "second"]
+
+    def test_clock_advances(self):
+        engine = Engine()
+        times = []
+        engine.schedule(1.5, lambda: times.append(engine.now))
+        engine.schedule(3.0, lambda: times.append(engine.now))
+        end = engine.run()
+        assert times == [1.5, 3.0]
+        assert end == 3.0
+
+    def test_nested_scheduling(self):
+        engine = Engine()
+        fired = []
+
+        def outer():
+            engine.schedule(1.0, lambda: fired.append(engine.now))
+
+        engine.schedule(1.0, outer)
+        engine.run()
+        assert fired == [2.0]
+
+    def test_negative_delay_rejected(self):
+        engine = Engine()
+        with pytest.raises(SimulationError):
+            engine.schedule(-1.0, lambda: None)
+
+    def test_schedule_at(self):
+        engine = Engine()
+        fired = []
+        engine.schedule_at(4.0, lambda: fired.append(engine.now))
+        engine.run()
+        assert fired == [4.0]
+
+    def test_zero_delay_runs_now(self):
+        engine = Engine()
+        fired = []
+        engine.schedule(0.0, lambda: fired.append(engine.now))
+        engine.run()
+        assert fired == [0.0]
+
+
+class TestControls:
+    def test_max_events_guard(self):
+        engine = Engine()
+
+        def forever():
+            engine.schedule(1.0, forever)
+
+        engine.schedule(1.0, forever)
+        with pytest.raises(SimulationError, match="events"):
+            engine.run(max_events=100)
+
+    def test_stop_discards_pending(self):
+        engine = Engine()
+        fired = []
+
+        def stop_now():
+            fired.append(1)
+            engine.stop()
+
+        engine.schedule(1.0, stop_now)
+        engine.schedule(2.0, lambda: fired.append(2))
+        engine.run()
+        assert fired == [1]
+        assert engine.pending == 0
+
+    def test_reset(self):
+        engine = Engine()
+        engine.schedule(1.0, lambda: None)
+        engine.run()
+        engine.reset()
+        assert engine.now == 0.0
+        assert engine.pending == 0
+        assert engine.events_processed == 0
+
+    def test_events_processed_counter(self):
+        engine = Engine()
+        for _ in range(5):
+            engine.schedule(1.0, lambda: None)
+        engine.run()
+        assert engine.events_processed == 5
+
+    def test_empty_run_returns_zero(self):
+        assert Engine().run() == 0.0

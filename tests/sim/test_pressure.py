@@ -1,0 +1,89 @@
+"""Tests for the pressure field."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.pressure import PressureField
+from tests._synthetic import bsp_workload
+
+
+def make_field():
+    field = PressureField()
+    field.register("a", bsp_workload("a", score=3.0), {0: 0, 1: 1})
+    field.register("b", bsp_workload("b", score=2.0), {0: 1, 1: 2})
+    return field
+
+
+class TestPressureSeen:
+    def test_excludes_own_contribution(self):
+        field = make_field()
+        assert field.pressure_seen("a", 0) == 0.0
+
+    def test_sees_co_runner(self):
+        field = make_field()
+        assert field.pressure_seen("a", 1) == 2.0
+        assert field.pressure_seen("b", 1) == 3.0
+
+    def test_node_without_contributions(self):
+        field = make_field()
+        assert field.pressure_seen("a", 5) == 0.0
+
+    def test_deactivation_removes_pressure(self):
+        field = make_field()
+        field.deactivate("b")
+        assert field.pressure_seen("a", 1) == 0.0
+
+    def test_deactivate_unknown_raises(self):
+        with pytest.raises(SimulationError):
+            PressureField().deactivate("ghost")
+
+    def test_double_registration_rejected(self):
+        field = make_field()
+        with pytest.raises(SimulationError):
+            field.register("a", bsp_workload("a"), {0: 0})
+
+    def test_is_active(self):
+        field = make_field()
+        assert field.is_active("a")
+        field.deactivate("a")
+        assert not field.is_active("a")
+        assert not field.is_active("ghost")
+
+    def test_master_unit_discount(self):
+        field = PressureField()
+        field.register(
+            "h", bsp_workload("h", score=1.0, master_factor=0.5), {0: 0, 1: 1}
+        )
+        field.register("x", bsp_workload("x", score=0.0), {0: 0, 1: 1})
+        assert field.pressure_seen("x", 0) == 0.5  # master node
+        assert field.pressure_seen("x", 1) == 1.0
+
+    def test_two_units_same_node_combine(self):
+        field = PressureField()
+        field.register("a", bsp_workload("a", score=3.0), {0: 0, 1: 0})
+        field.register("x", bsp_workload("x", score=0.0), {0: 0})
+        # Two equal sources combine to S + 1 (+ surcharge).
+        assert field.pressure_seen("x", 0) > 4.0
+
+
+class TestAmbient:
+    def test_ambient_contributes(self):
+        field = PressureField(ambient={0: 1.5})
+        field.register("a", bsp_workload("a", score=0.0), {0: 0})
+        assert field.pressure_seen("a", 0) == 1.5
+
+    def test_ambient_combines_with_sources(self):
+        field = PressureField(ambient={0: 2.0})
+        field.register("a", bsp_workload("a", score=2.0), {0: 0})
+        field.register("x", bsp_workload("x", score=0.0), {0: 0})
+        assert field.pressure_seen("x", 0) > 2.9
+
+
+class TestGeneratedOn:
+    def test_total_on_node(self):
+        field = make_field()
+        assert field.generated_on(1) > 3.0  # both a and b contribute
+
+    def test_exclude(self):
+        field = make_field()
+        assert field.generated_on(1, exclude="a") == 2.0

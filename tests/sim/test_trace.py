@@ -1,0 +1,34 @@
+"""Tests for execution traces."""
+
+from repro.sim.trace import ExecutionTrace, StageRecord
+
+
+class TestExecutionTrace:
+    def test_record_and_query(self):
+        trace = ExecutionTrace()
+        trace.record_stage("a", "s0", 1.0)
+        trace.record_stage("b", "s0", 1.5)
+        trace.record_stage("a", "s1", 2.5)
+        assert [r.stage_name for r in trace.stages_of("a")] == ["s0", "s1"]
+
+    def test_stage_durations(self):
+        trace = ExecutionTrace()
+        trace.record_stage("a", "s0", 1.0)
+        trace.record_stage("a", "s1", 2.5)
+        assert trace.stage_durations("a") == [("s0", 1.0), ("s1", 1.5)]
+
+    def test_summary(self):
+        trace = ExecutionTrace()
+        trace.record_stage("a", "s0", 1.0)
+        trace.record_stage("a", "s1", 2.0)
+        trace.record_stage("b", "s0", 1.0)
+        assert trace.summary() == {"a": 2, "b": 1}
+
+    def test_empty(self):
+        trace = ExecutionTrace()
+        assert trace.stages_of("x") == []
+        assert trace.summary() == {}
+
+    def test_record_is_frozen(self):
+        record = StageRecord("a", "s", 1.0)
+        assert record.completed_at == 1.0

@@ -1,0 +1,73 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_validates_experiment(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "fig99"])
+
+
+class TestListCommand:
+    def test_lists_catalog_and_experiments(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "M.lmps" in out
+        assert "fig2" in out
+        assert "fig13" in out
+
+
+class TestProfilePredictRoundtrip:
+    def test_profile_then_predict(self, tmp_path, capsys):
+        model_path = str(tmp_path / "model.json")
+        code = main(
+            [
+                "profile", "M.lmps",
+                "--out", model_path,
+                "--policy-samples", "5",
+                "--seed", "4",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "M.lmps" in out and "Bubble score" in out
+
+        code = main(
+            [
+                "predict", "--model", model_path,
+                "--workload", "M.lmps",
+                "--pressure", "6", "--count", "2",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "M.lmps" in out and "x solo time" in out
+
+    def test_predict_heterogeneous(self, tmp_path, capsys):
+        model_path = str(tmp_path / "model.json")
+        main(["profile", "M.lmps", "--out", model_path,
+              "--policy-samples", "5", "--seed", "4"])
+        capsys.readouterr()
+        code = main(
+            [
+                "predict", "--model", model_path,
+                "--workload", "M.lmps",
+                "--pressures", "6,3,0,0,0,0,0,0",
+            ]
+        )
+        assert code == 0
+        assert "heterogeneous" in capsys.readouterr().out
+
+    def test_predict_missing_model_errors(self, capsys):
+        code = main(
+            ["predict", "--model", "/nonexistent.json", "--workload", "M.lmps"]
+        )
+        assert code == 1
+        assert "error:" in capsys.readouterr().err

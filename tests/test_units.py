@@ -1,0 +1,47 @@
+"""Tests for pressure-scale conventions."""
+
+import pytest
+
+from repro import units
+
+
+class TestValidatePressure:
+    def test_accepts_zero(self):
+        assert units.validate_pressure(0.0) == 0.0
+
+    def test_accepts_max(self):
+        assert units.validate_pressure(units.MAX_PRESSURE) == 8.0
+
+    def test_accepts_above_max(self):
+        # Validation only rejects nonsense, not out-of-scale values;
+        # clamping is the caller's policy decision.
+        assert units.validate_pressure(12.5) == 12.5
+
+    def test_coerces_int(self):
+        assert units.validate_pressure(3) == 3.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            units.validate_pressure(-0.1)
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError, match="NaN"):
+            units.validate_pressure(float("nan"))
+
+    def test_error_names_parameter(self):
+        with pytest.raises(ValueError, match="intensity"):
+            units.validate_pressure(-1, name="intensity")
+
+
+class TestConstants:
+    def test_pressure_scale(self):
+        assert units.MAX_PRESSURE == 8.0
+        assert units.NUM_PRESSURE_LEVELS == 8
+        assert units.NO_PRESSURE == 0.0
+
+    def test_testbed_shape(self):
+        # Section 3.1: 8 hosts x 16 cores, dual-vCPU VMs, 4-VM units.
+        assert units.DEFAULT_NUM_HOSTS == 8
+        assert units.DEFAULT_CORES_PER_HOST == 16
+        assert units.DEFAULT_VCPUS_PER_VM == 2
+        assert units.DEFAULT_VMS_PER_UNIT == 4

@@ -1,0 +1,101 @@
+"""Tests for internal helpers."""
+
+import numpy as np
+import pytest
+
+from repro._util import (
+    child_rng,
+    make_rng,
+    mean,
+    percent_error,
+    stable_seed,
+    weighted_mean,
+)
+
+
+class TestMakeRng:
+    def test_returns_generator(self):
+        assert isinstance(make_rng(0), np.random.Generator)
+
+    def test_passthrough_generator(self):
+        rng = np.random.default_rng(1)
+        assert make_rng(rng) is rng
+
+    def test_same_seed_same_stream(self):
+        assert make_rng(5).random() == make_rng(5).random()
+
+    def test_none_allowed(self):
+        assert isinstance(make_rng(None), np.random.Generator)
+
+
+class TestChildRng:
+    def test_deterministic_given_parent_state(self):
+        a = child_rng(make_rng(7), "x")
+        b = child_rng(make_rng(7), "x")
+        assert a.random() == b.random()
+
+    def test_different_labels_differ(self):
+        parent = make_rng(7)
+        a = child_rng(parent, "x")
+        parent2 = make_rng(7)
+        b = child_rng(parent2, "y")
+        assert a.random() != b.random()
+
+
+class TestStableSeed:
+    def test_deterministic(self):
+        assert stable_seed("a", 1, 2.5) == stable_seed("a", 1, 2.5)
+
+    def test_order_sensitive(self):
+        assert stable_seed("a", "b") != stable_seed("b", "a")
+
+    def test_fits_32_bits(self):
+        assert 0 <= stable_seed("workload", "solo", 3) < 2**32
+
+    def test_label_boundaries_matter(self):
+        # ("ab", "c") must differ from ("a", "bc").
+        assert stable_seed("ab", "c") != stable_seed("a", "bc")
+
+
+class TestMean:
+    def test_basic(self):
+        assert mean([1.0, 2.0, 3.0]) == 2.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            mean([])
+
+
+class TestWeightedMean:
+    def test_equal_weights(self):
+        assert weighted_mean([2.0, 4.0], [1.0, 1.0]) == 3.0
+
+    def test_unequal_weights(self):
+        assert weighted_mean([2.0, 4.0], [3.0, 1.0]) == 2.5
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError, match="same length"):
+            weighted_mean([1.0], [1.0, 2.0])
+
+    def test_zero_weights(self):
+        with pytest.raises(ValueError, match="positive"):
+            weighted_mean([1.0], [0.0])
+
+    def test_empty(self):
+        with pytest.raises(ValueError):
+            weighted_mean([], [])
+
+
+class TestPercentError:
+    def test_exact(self):
+        assert percent_error(1.0, 1.0) == 0.0
+
+    def test_over(self):
+        assert percent_error(1.2, 1.0) == pytest.approx(20.0)
+
+    def test_under(self):
+        assert percent_error(0.8, 1.0) == pytest.approx(20.0)
+
+    def test_zero_actual(self):
+        with pytest.raises(ValueError):
+            percent_error(1.0, 0.0)
