@@ -1,0 +1,238 @@
+"""Before/after microbenchmarks for the three hot-path optimizations.
+
+Covers the PR's fast paths, each against the slow path it replaces:
+
+* **Incremental annealing energy** — delta evaluation re-predicts only
+  the instances on the two swapped nodes, versus re-predicting the
+  whole mix every proposal.  Same seeds, bit-identical results.
+* **Parallel measurement fan-out** — a pairwise co-run sweep shipped
+  through ``measure_many`` with worker processes, versus the serial
+  loop.  (The speedup floor is only asserted on machines with >= 4
+  cores; bit-identity is asserted everywhere.)
+* **Persistent measurement cache** — a cold sweep that simulates and
+  records, versus a warm sweep that replays the recorded times.
+
+Numbers land in ``benchmarks/results/perf_hotpaths.txt`` (plus a JSON
+twin for tooling).  The tier-1 ``perf_smoke`` regression guard
+(``tests/perf/``) checks a scaled-down version of the same paths
+against the checked-in baseline.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import numpy as np
+
+from repro.cluster.cluster import ClusterSpec
+from repro.core.curves import PropagationMatrix
+from repro.core.model import InterferenceModel, InterferenceProfile
+from repro.placement.annealing import AnnealingSchedule, SimulatedAnnealingPlacer
+from repro.placement.assignment import InstanceSpec, Placement
+from repro.placement.objectives import (
+    WeightedTimeEnergy,
+    predict_placement,
+    weighted_total_time,
+)
+from repro.sim.cache import MeasurementCache
+from repro.sim.runner import ClusterRunner, MeasurementRequest
+
+#: Section 5-like shape, scaled up so the per-proposal win is visible:
+#: 16 applications x 4 units on 32 two-slot nodes.  A full evaluation
+#: re-predicts 16 instances; a swap touches 2 nodes, so delta
+#: evaluation re-predicts at most 4.
+NUM_NODES = 32
+NUM_INSTANCES = 16
+UNITS_PER_INSTANCE = 4
+SEARCH_SCHEDULE = AnnealingSchedule(iterations=2000, restarts=1)
+
+SWEEP_TARGETS = ("M.lmps", "M.Gems", "N.cg", "S.PR")
+SWEEP_CO_RUNNERS = ("C.gcc", "C.mcf", "C.libq", "S.WC", "H.KM")
+
+
+def _make_matrix(max_slowdown: float) -> PropagationMatrix:
+    amplitude = max_slowdown - 1.0
+    counts = list(range(UNITS_PER_INSTANCE + 1))
+    pressures = [2.0, 4.0, 6.0, 8.0]
+    values = np.array(
+        [
+            [
+                1.0 + amplitude * (p / 8.0) * (c / UNITS_PER_INSTANCE) ** 0.5
+                for c in counts
+            ]
+            for p in pressures
+        ]
+    )
+    return PropagationMatrix(pressures, counts, values)
+
+
+def make_search_model() -> InterferenceModel:
+    kinds = [
+        ("loud", 1.3, 8.0, "N+1 MAX"),
+        ("quiet", 1.05, 0.5, "INTERPOLATE"),
+        ("sensitive", 2.0, 2.0, "N+1 MAX"),
+    ]
+    profiles = {
+        name: InterferenceProfile(
+            workload=name,
+            matrix=_make_matrix(slowdown),
+            policy_name=policy,
+            bubble_score=score,
+        )
+        for name, slowdown, score, policy in kinds
+    }
+    return InterferenceModel(profiles)
+
+
+def search_instances():
+    kinds = ("loud", "quiet", "sensitive")
+    return [
+        InstanceSpec(f"{kinds[i % 3]}#{i}", kinds[i % 3], UNITS_PER_INSTANCE)
+        for i in range(NUM_INSTANCES)
+    ]
+
+
+def full_energy(model):
+    def energy(placement: Placement) -> float:
+        return weighted_total_time(predict_placement(model, placement), placement)
+
+    return energy
+
+
+def assignment_of(placement: Placement):
+    return {
+        spec.instance_key: tuple(placement.nodes_of(spec.instance_key))
+        for spec in placement.instances
+    }
+
+
+def sweep_requests():
+    return [
+        MeasurementRequest.corun(target, co)
+        for target in SWEEP_TARGETS
+        for co in SWEEP_CO_RUNNERS
+    ] + [
+        MeasurementRequest.measure(target, pressure, 4)
+        for target in SWEEP_TARGETS
+        for pressure in (2.0, 4.0, 6.0, 8.0)
+    ]
+
+
+def _timed(fn):
+    start = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - start
+
+
+RESULTS: dict = {}
+
+
+def _record_json(artifact_dir):
+    (artifact_dir / "perf_hotpaths.json").write_text(
+        json.dumps(RESULTS, indent=2) + "\n"
+    )
+
+
+def test_incremental_vs_full_search(record_artifact, artifact_dir):
+    model = make_search_model()
+    spec = ClusterSpec(num_nodes=NUM_NODES)
+    initial = Placement.random(spec, search_instances(), seed=11)
+
+    slow_placer = SimulatedAnnealingPlacer(
+        full_energy(model), schedule=SEARCH_SCHEDULE, seed=3
+    )
+    slow, slow_s = _timed(lambda: slow_placer.search_from(initial))
+    fast_placer = SimulatedAnnealingPlacer(
+        WeightedTimeEnergy(model), schedule=SEARCH_SCHEDULE, seed=3
+    )
+    fast, fast_s = _timed(lambda: fast_placer.search_from(initial))
+
+    assert fast.energy == slow.energy
+    assert assignment_of(fast.placement) == assignment_of(slow.placement)
+    assert fast.energy_trajectory == slow.energy_trajectory
+
+    speedup = slow_s / fast_s
+    RESULTS["search"] = {
+        "full_s": slow_s, "incremental_s": fast_s, "speedup": speedup,
+    }
+    record_artifact(
+        "perf_hotpaths_search",
+        f"Annealing search ({SEARCH_SCHEDULE.iterations} proposals, "
+        f"{NUM_INSTANCES}x{UNITS_PER_INSTANCE} units on {NUM_NODES} nodes)\n"
+        f"  full evaluation:        {slow_s:8.3f} s\n"
+        f"  incremental evaluation: {fast_s:8.3f} s\n"
+        f"  speedup:                {speedup:8.2f}x (bit-identical result)",
+    )
+    _record_json(artifact_dir)
+    assert speedup >= 3.0
+
+
+def test_parallel_vs_serial_sweep(record_artifact, artifact_dir):
+    serial_runner = ClusterRunner(base_seed=7)
+    serial_results, serial_s = _timed(
+        lambda: serial_runner.measure_many(sweep_requests(), max_workers=1)
+    )
+    parallel_runner = ClusterRunner(base_seed=7)
+    parallel_results, parallel_s = _timed(
+        lambda: parallel_runner.measure_many(sweep_requests(), max_workers=-1)
+    )
+
+    assert parallel_results == serial_results
+    assert parallel_runner.measurement_count == serial_runner.measurement_count
+    assert (
+        parallel_runner.solo_measurement_count
+        == serial_runner.solo_measurement_count
+    )
+
+    speedup = serial_s / parallel_s
+    cores = os.cpu_count() or 1
+    RESULTS["sweep"] = {
+        "serial_s": serial_s, "parallel_s": parallel_s,
+        "speedup": speedup, "cores": cores,
+    }
+    record_artifact(
+        "perf_hotpaths_sweep",
+        f"Measurement sweep ({len(sweep_requests())} settings, {cores} cores)\n"
+        f"  serial:   {serial_s:8.3f} s\n"
+        f"  parallel: {parallel_s:8.3f} s\n"
+        f"  speedup:  {speedup:8.2f}x (bit-identical results and accounting)",
+    )
+    _record_json(artifact_dir)
+    if cores >= 4:
+        assert speedup >= 3.0
+
+
+def test_cache_cold_vs_warm(record_artifact, artifact_dir, tmp_path):
+    path = tmp_path / "measurements.json"
+    cold_runner = ClusterRunner(base_seed=7, cache=MeasurementCache(path))
+    cold_results, cold_s = _timed(
+        lambda: cold_runner.measure_many(sweep_requests())
+    )
+    cold_runner.cache.flush()
+
+    warm_runner = ClusterRunner(base_seed=7, cache=MeasurementCache(path))
+    warm_results, warm_s = _timed(
+        lambda: warm_runner.measure_many(sweep_requests())
+    )
+
+    assert warm_results == cold_results
+    assert warm_runner.measurement_count == cold_runner.measurement_count
+    assert (
+        warm_runner.solo_measurement_count == cold_runner.solo_measurement_count
+    )
+
+    speedup = cold_s / warm_s
+    RESULTS["cache"] = {
+        "cold_s": cold_s, "warm_s": warm_s, "speedup": speedup,
+    }
+    record_artifact(
+        "perf_hotpaths_cache",
+        f"Persistent cache ({len(sweep_requests())} settings)\n"
+        f"  cold (simulate + record): {cold_s:8.3f} s\n"
+        f"  warm (replay):            {warm_s:8.3f} s\n"
+        f"  speedup:                  {speedup:8.2f}x (identical results)",
+    )
+    _record_json(artifact_dir)
+    assert speedup >= 3.0

@@ -60,6 +60,22 @@ class MeasurementOracle:
             self._cache[key] = value
         return value
 
+    def is_cached(self, pressure: float, count: int) -> bool:
+        """Whether a setting has already been measured (or primed)."""
+        return (float(pressure), int(count)) in self._cache
+
+    def prime(self, pressure: float, count: int, value: float) -> None:
+        """Install a measurement obtained out-of-band (batch prewarm).
+
+        Lets callers fan a block of settings out through
+        :meth:`~repro.sim.runner.ClusterRunner.measure_many` and hand
+        the results to the oracle; an already-cached setting keeps its
+        existing value.
+        """
+        if count == 0 or pressure == 0.0:
+            return
+        self._cache.setdefault((float(pressure), int(count)), float(value))
+
     @property
     def distinct_settings_measured(self) -> int:
         """Number of distinct settings run so far."""

@@ -23,9 +23,19 @@ from repro.experiments.context import ExperimentContext, default_context
 
 @dataclass(frozen=True)
 class Table3Result:
-    """Profiler comparison across the workload set."""
+    """Profiler comparison across the workload set.
+
+    ``measurement_count`` / ``solo_measurement_count`` snapshot the
+    runner's accounting after the comparison: interference settings
+    simulated versus solo-baseline runs (the denominator of every
+    normalized time).  Profiling *cost* in the paper only counts the
+    former, but the baselines are real cluster time too, so they are
+    reported alongside.
+    """
 
     comparison: ProfilerComparison
+    measurement_count: int = 0
+    solo_measurement_count: int = 0
 
     def table3_rows(self) -> List[Tuple[str, float, float]]:
         """(algorithm, average cost %, average error %) rows."""
@@ -46,11 +56,17 @@ class Table3Result:
         }
 
     def render_table3(self) -> str:
-        """Table 3 as text."""
-        return format_table(
+        """Table 3 as text, with the measurement-accounting footer."""
+        table = format_table(
             ["Prediction Algorithm", "Average cost(%)", "Average error(%)"],
             self.table3_rows(),
         )
+        footer = (
+            f"Simulated runs: {self.measurement_count} interference settings"
+            f" + {self.solo_measurement_count} solo baselines"
+            f" = {self.measurement_count + self.solo_measurement_count} total"
+        )
+        return table + "\n" + footer
 
     def _render_per_app(self, data: Dict[str, Dict[str, float]], title: str) -> str:
         workloads = sorted(next(iter(data.values())))
@@ -93,4 +109,8 @@ def run_table3(
                     error_percent=outcome.error_against(truth),
                 )
             )
-    return Table3Result(comparison=ProfilerComparison(tuple(scores)))
+    return Table3Result(
+        comparison=ProfilerComparison(tuple(scores)),
+        measurement_count=context.runner.measurement_count,
+        solo_measurement_count=context.runner.solo_measurement_count,
+    )

@@ -1,0 +1,105 @@
+"""Deterministic process fan-out for measurements and searches.
+
+Every measurement in this reproduction derives a stable seed from its
+own setting (:func:`repro._util.stable_seed`), so a batch of
+measurements is embarrassingly parallel: the results are identical
+whether the batch runs in one process or many.  The same holds for
+annealing restarts once each restart owns an independent random stream.
+This module provides the one fan-out primitive both layers use.
+
+Workers are forked (where the platform allows) so they inherit the
+parent's loaded modules and caches cheaply; on platforms without
+``fork`` the pool falls back to ``spawn``.  Anything that cannot be
+pickled silently degrades to the serial path — parallelism here is an
+optimization, never a semantic switch.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, Iterable, List, Optional, Sequence, TypeVar
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+#: Environment variable overriding the default worker count.
+MAX_WORKERS_ENV = "REPRO_MAX_WORKERS"
+
+
+def default_max_workers() -> int:
+    """Worker count used when a caller asks for "parallel" without a number.
+
+    Reads :data:`MAX_WORKERS_ENV` if set, otherwise the CPU count.
+    """
+    override = os.environ.get(MAX_WORKERS_ENV)
+    if override:
+        try:
+            return max(1, int(override))
+        except ValueError:
+            pass
+    return os.cpu_count() or 1
+
+
+def resolve_workers(max_workers: Optional[int]) -> int:
+    """Normalize a ``max_workers`` argument to an effective count.
+
+    ``None``, 0 and 1 all mean "serial"; negative values mean "use the
+    default" (CPU count or :data:`MAX_WORKERS_ENV`).
+    """
+    if max_workers is None:
+        return 1
+    if max_workers < 0:
+        return default_max_workers()
+    return max(1, max_workers)
+
+
+def _pool_context():
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+
+
+def _picklable(*objects: object) -> bool:
+    try:
+        for obj in objects:
+            pickle.dumps(obj)
+    except Exception:
+        return False
+    return True
+
+
+def fan_out(
+    fn: Callable[[T], R],
+    items: Iterable[T],
+    *,
+    max_workers: Optional[int] = None,
+    initializer: Optional[Callable] = None,
+    initargs: Sequence = (),
+) -> List[R]:
+    """Order-preserving map over ``items``, optionally across processes.
+
+    The serial path is taken when ``max_workers`` resolves to 1, the
+    batch has fewer than two items, or the function/items cannot be
+    pickled.  When the serial path is taken and an ``initializer`` was
+    supplied, it runs once in-process first so ``fn`` sees the same
+    worker state either way.
+
+    Results are returned in input order; the output is bit-identical to
+    ``[fn(item) for item in items]`` for deterministic ``fn``.
+    """
+    work = list(items)
+    workers = min(resolve_workers(max_workers), len(work))
+    if workers <= 1 or not _picklable(fn, work, initargs):
+        if initializer is not None:
+            initializer(*initargs)
+        return [fn(item) for item in work]
+    chunksize = max(1, (len(work) + workers - 1) // workers)
+    with ProcessPoolExecutor(
+        max_workers=workers,
+        mp_context=_pool_context(),
+        initializer=initializer,
+        initargs=tuple(initargs),
+    ) as pool:
+        return list(pool.map(fn, work, chunksize=chunksize))

@@ -7,7 +7,11 @@ from repro.placement.annealing import (
 )
 from repro.placement.assignment import InstanceSpec, Placement
 from repro.placement.objectives import (
+    EnergyState,
+    IncrementalEnergy,
+    PredictionEnergy,
     QoSConstraint,
+    WeightedTimeEnergy,
     predict_placement,
     qos_energy,
     qos_status,
@@ -27,10 +31,14 @@ from repro.placement.throughput import ThroughputPlacementResult, ThroughputPlac
 __all__ = [
     "AnnealingSchedule",
     "DynamicRescheduler",
+    "EnergyState",
     "EpochRecord",
     "GreedyPlacer",
+    "IncrementalEnergy",
     "InstanceSpec",
     "Placement",
+    "PredictionEnergy",
+    "WeightedTimeEnergy",
     "QoSAwarePlacer",
     "QoSConstraint",
     "QoSPlacementResult",

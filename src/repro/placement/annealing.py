@@ -8,19 +8,38 @@ implementation here is a standard simulated annealing loop: worse
 moves are accepted with probability ``exp(-delta / T)`` under a
 geometric cooling schedule, which degenerates to the paper's stochastic
 hill climbing when ``initial_temperature`` is 0.
+
+Two fast paths keep large searches cheap:
+
+* **Incremental energy** — when the energy implements the
+  :class:`~repro.placement.objectives.IncrementalEnergy` protocol,
+  each proposed swap re-predicts only the instances with units on the
+  two touched nodes instead of the whole mix, carrying a per-instance
+  prediction table across moves.  Results are bit-identical to full
+  evaluation (the scalar energy is always re-aggregated from the full
+  table).
+* **Parallel restarts** — each restart owns an independent random
+  stream derived up front from the placer seed, so restarts can run
+  in worker processes (``max_workers``) with results bit-identical to
+  the serial loop.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Callable, List, Optional
+from typing import Callable, List, Optional, Tuple
 
 from repro._util import make_rng
 from repro.errors import PlacementError
+from repro.parallel import fan_out
 from repro.placement.assignment import Placement
+from repro.placement.objectives import IncrementalEnergy
 
 EnergyFunction = Callable[[Placement], float]
+
+#: Upper bound on auto-subsampled trajectory points per restart.
+MAX_TRAJECTORY_POINTS = 512
 
 
 @dataclass(frozen=True)
@@ -38,12 +57,20 @@ class AnnealingSchedule:
     restarts:
         Independent searches from fresh random placements; the best
         result across restarts is returned.
+    trajectory_stride:
+        Record every ``stride``-th accepted-energy point in
+        :attr:`SearchResult.energy_trajectory`.  ``None`` picks a
+        stride that caps the trajectory at
+        :data:`MAX_TRAJECTORY_POINTS` points, so long schedules do not
+        hold thousands of floats per restart.  Use 1 to record every
+        proposal.
     """
 
     iterations: int = 3000
     initial_temperature: float = 0.05
     final_temperature: float = 1e-4
     restarts: int = 3
+    trajectory_stride: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.iterations <= 0:
@@ -52,6 +79,8 @@ class AnnealingSchedule:
             raise PlacementError("temperatures must be non-negative")
         if self.restarts <= 0:
             raise PlacementError("restarts must be positive")
+        if self.trajectory_stride is not None and self.trajectory_stride <= 0:
+            raise PlacementError("trajectory_stride must be positive")
 
     def temperature(self, iteration: int) -> float:
         """Temperature at ``iteration`` (geometric interpolation)."""
@@ -65,6 +94,12 @@ class AnnealingSchedule:
             iteration / (self.iterations - 1)
         )
 
+    def effective_stride(self) -> int:
+        """Trajectory stride actually applied (resolves the auto mode)."""
+        if self.trajectory_stride is not None:
+            return self.trajectory_stride
+        return max(1, self.iterations // MAX_TRAJECTORY_POINTS)
+
 
 @dataclass
 class SearchResult:
@@ -77,13 +112,22 @@ class SearchResult:
     energy_trajectory: List[float]
 
 
+def _run_restart(plan: Tuple) -> SearchResult:
+    """One restart, self-contained so it can run in a worker process."""
+    energy, schedule, initial, search_seed = plan
+    placer = SimulatedAnnealingPlacer(energy, schedule=schedule, seed=search_seed)
+    return placer.search_from(initial)
+
+
 class SimulatedAnnealingPlacer:
     """Searches placements by annealed unit swaps.
 
     Parameters
     ----------
     energy:
-        Placement score to *minimize* (model-predicted).
+        Placement score to *minimize* (model-predicted).  Plain
+        callables are fully evaluated per proposal; objects
+        implementing :class:`IncrementalEnergy` get delta evaluation.
     schedule:
         Cooling schedule.
     seed:
@@ -102,49 +146,81 @@ class SimulatedAnnealingPlacer:
         self._rng = make_rng(seed)
 
     # ------------------------------------------------------------------
-    def _propose_swap(self, placement: Placement) -> Optional[Placement]:
-        """A random swap of two units of different instances."""
+    def _propose_swap(
+        self, placement: Placement, rng
+    ) -> Optional[Tuple[Placement, Tuple[int, int]]]:
+        """A random swap of two units of different instances.
+
+        Returns the new placement plus the two nodes that traded
+        residents (the delta-evaluation frontier), or ``None`` if no
+        valid proposal was found.
+        """
         keys = [spec.instance_key for spec in placement.instances]
         if len(keys) < 2:
             return None
         for _ in range(16):  # retry degenerate proposals
-            idx_a, idx_b = self._rng.choice(len(keys), size=2, replace=False)
+            idx_a, idx_b = rng.choice(len(keys), size=2, replace=False)
             key_a, key_b = keys[int(idx_a)], keys[int(idx_b)]
-            unit_a = int(self._rng.integers(placement.instance(key_a).num_units))
-            unit_b = int(self._rng.integers(placement.instance(key_b).num_units))
-            if placement.nodes_of(key_a)[unit_a] == placement.nodes_of(key_b)[unit_b]:
+            unit_a = int(rng.integers(placement.instance(key_a).num_units))
+            unit_b = int(rng.integers(placement.instance(key_b).num_units))
+            node_a = placement.nodes_of(key_a)[unit_a]
+            node_b = placement.nodes_of(key_b)[unit_b]
+            if node_a == node_b:
                 continue  # same node: a no-op swap
             try:
-                return placement.swap_units(key_a, unit_a, key_b, unit_b)
+                swapped = placement.swap_units(key_a, unit_a, key_b, unit_b)
             except PlacementError:
                 continue
+            return swapped, (node_a, node_b)
         return None
 
-    def search_from(self, initial: Placement) -> SearchResult:
+    def search_from(
+        self, initial: Placement, *, rng=None
+    ) -> SearchResult:
         """Run one annealing pass from a given placement."""
+        rng = rng if rng is not None else self._rng
+        incremental = isinstance(self.energy, IncrementalEnergy)
+        stride = self.schedule.effective_stride()
         current = initial
-        current_energy = self.energy(current)
+        if incremental:
+            state = self.energy.full_state(current)
+            current_energy = state.energy
+        else:
+            state = None
+            current_energy = self.energy(current)
         best, best_energy = current, current_energy
         evaluations = 1
         accepted = 0
         trajectory = [current_energy]
         for iteration in range(self.schedule.iterations):
-            candidate = self._propose_swap(current)
-            if candidate is None:
+            proposal = self._propose_swap(current, rng)
+            if proposal is None:
                 continue
-            candidate_energy = self.energy(candidate)
+            candidate, touched_nodes = proposal
+            if incremental:
+                candidate_state = self.energy.swap_state(
+                    state, candidate, touched_nodes
+                )
+                candidate_energy = candidate_state.energy
+            else:
+                candidate_state = None
+                candidate_energy = self.energy(candidate)
             evaluations += 1
             delta = candidate_energy - current_energy
             temperature = self.schedule.temperature(iteration)
             accept = delta <= 0 or (
                 temperature > 0
-                and self._rng.random() < math.exp(-delta / temperature)
+                and rng.random() < math.exp(-delta / temperature)
             )
             if accept:
                 current, current_energy = candidate, candidate_energy
+                state = candidate_state
                 accepted += 1
                 if current_energy < best_energy:
                     best, best_energy = current, current_energy
+            if iteration % stride == 0:
+                trajectory.append(current_energy)
+        if stride > 1:
             trajectory.append(current_energy)
         return SearchResult(
             placement=best,
@@ -155,7 +231,10 @@ class SimulatedAnnealingPlacer:
         )
 
     def search(
-        self, initial_factory: Callable[[object], Placement]
+        self,
+        initial_factory: Callable[[object], Placement],
+        *,
+        max_workers: Optional[int] = None,
     ) -> SearchResult:
         """Best result across the schedule's restarts.
 
@@ -164,11 +243,29 @@ class SimulatedAnnealingPlacer:
         initial_factory:
             Called with a seed per restart to produce the starting
             placement (typically :meth:`Placement.random`).
+        max_workers:
+            Fan restarts out over worker processes.  Every restart's
+            random stream is derived up front from the placer seed, so
+            the result is bit-identical to the serial loop
+            (``None``/``0``/``1``).
+
+        Notes
+        -----
+        Initial placements are built in the parent process (the
+        factory may close over unpicklable state); only the search
+        itself is fanned out.
         """
+        plans = []
+        for _ in range(self.schedule.restarts):
+            init_seed = int(self._rng.integers(0, 2**31))
+            search_seed = int(self._rng.integers(0, 2**31))
+            plans.append(
+                (self.energy, self.schedule, initial_factory(init_seed),
+                 search_seed)
+            )
+        results = fan_out(_run_restart, plans, max_workers=max_workers)
         best: Optional[SearchResult] = None
-        for restart in range(self.schedule.restarts):
-            seed = int(self._rng.integers(0, 2**31))
-            result = self.search_from(initial_factory(seed))
+        for result in results:
             if best is None or result.energy < best.energy:
                 best = result
         assert best is not None

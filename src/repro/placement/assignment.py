@@ -233,25 +233,44 @@ class Placement:
         PlacementError
             If indices are invalid or the swap violates constraints.
         """
-        nodes_a = list(self.nodes_of(key_a))
-        nodes_b = list(self.nodes_of(key_b))
+        nodes_a = self.nodes_of(key_a)
+        nodes_b = self.nodes_of(key_b)
         if not 0 <= unit_a < len(nodes_a):
             raise PlacementError(f"{key_a}: unit index {unit_a} out of range")
         if not 0 <= unit_b < len(nodes_b):
             raise PlacementError(f"{key_b}: unit index {unit_b} out of range")
         if key_a == key_b:
             raise PlacementError("swap requires two different instances")
-        assignment = {k: list(v) for k, v in self._assignment.items()}
-        assignment[key_a][unit_a], assignment[key_b][unit_b] = (
-            nodes_b[unit_b],
-            nodes_a[unit_a],
-        )
-        return Placement(
-            self.cluster_spec,
-            self.instances,
-            assignment,
-            unit_slots_per_node=self.unit_slots_per_node,
-        )
+        node_a, node_b = nodes_a[unit_a], nodes_b[unit_b]
+        # A 1-for-1 exchange leaves every node's unit count (and, since
+        # each resident unit belongs to a distinct instance, its
+        # workload count) untouched, so the only rule a swap can break
+        # is distinct-nodes-per-instance.  Checking just that keeps the
+        # annealing search off the full O(units) validation pass.
+        if node_b != node_a:
+            if node_b in nodes_a:
+                raise PlacementError(
+                    f"{key_a}: units must occupy distinct nodes; "
+                    f"already on node {node_b}"
+                )
+            if node_a in nodes_b:
+                raise PlacementError(
+                    f"{key_b}: units must occupy distinct nodes; "
+                    f"already on node {node_a}"
+                )
+        swapped_a = list(nodes_a)
+        swapped_b = list(nodes_b)
+        swapped_a[unit_a], swapped_b[unit_b] = node_b, node_a
+        assignment = dict(self._assignment)
+        assignment[key_a] = tuple(swapped_a)
+        assignment[key_b] = tuple(swapped_b)
+        clone = Placement.__new__(Placement)
+        clone.cluster_spec = self.cluster_spec
+        clone.instances = self.instances
+        clone.unit_slots_per_node = self.unit_slots_per_node
+        clone._by_key = self._by_key
+        clone._assignment = assignment
+        return clone
 
     def deployments(self) -> List[Tuple[str, str, Dict[int, int]]]:
         """(instance key, workload, unit->node) triples for execution."""

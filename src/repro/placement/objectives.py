@@ -14,7 +14,7 @@ time and aggregating.  Two aggregates appear in the paper:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Sequence
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from repro.errors import PlacementError
 from repro.placement.assignment import Placement
@@ -126,3 +126,170 @@ def qos_status(
 ) -> List[bool]:
     """Per-constraint satisfaction flags for measured times."""
     return [c.satisfied_by(times) for c in constraints]
+
+
+# ----------------------------------------------------------------------
+# Incremental (delta) evaluation
+# ----------------------------------------------------------------------
+#
+# The annealing search proposes *unit swaps*: one unit of instance A
+# trades nodes with one unit of instance B.  Only the two touched nodes
+# change hands, so the only instances whose predicted time can move are
+# those with a unit on either node — everyone else keeps the same
+# spanned-node set and the same co-runners.  The protocol below lets
+# the search re-predict just that handful while carrying the rest of
+# the per-instance prediction table forward unchanged, which is what
+# turns an O(instances) energy evaluation into an O(slots-per-node)
+# one.
+
+
+@dataclass
+class EnergyState:
+    """A placement with its per-instance prediction table and energy.
+
+    ``predictions`` is the cached table delta evaluation carries
+    forward; ``energy`` is always re-aggregated from the full table so
+    incremental and full evaluation agree bit-for-bit (no running-sum
+    drift).
+    """
+
+    placement: Placement
+    predictions: Dict[str, float]
+    energy: float
+
+
+class IncrementalEnergy:
+    """Protocol for placement energies that support delta evaluation.
+
+    Implementations provide :meth:`full_state` (evaluate a placement
+    from scratch) and :meth:`swap_state` (re-evaluate after a unit
+    swap given the previous state).  Instances are also plain energy
+    callables, so every consumer of ``EnergyFunction`` keeps working
+    — :class:`~repro.placement.annealing.SimulatedAnnealingPlacer`
+    simply takes the fast path when it detects the protocol.
+    """
+
+    def full_state(self, placement: Placement) -> EnergyState:
+        """Evaluate ``placement`` from scratch."""
+        raise NotImplementedError
+
+    def swap_state(
+        self,
+        state: EnergyState,
+        new_placement: Placement,
+        touched_nodes: Iterable[int],
+    ) -> EnergyState:
+        """Evaluate ``new_placement``, reusing ``state`` where valid.
+
+        ``touched_nodes`` are the nodes whose residents changed (the
+        two endpoints of a unit swap).
+        """
+        raise NotImplementedError
+
+    def __call__(self, placement: Placement) -> float:
+        return self.full_state(placement).energy
+
+
+class PredictionEnergy(IncrementalEnergy):
+    """Base class for model-prediction-driven incremental energies.
+
+    Subclasses implement :meth:`aggregate` (prediction table ->
+    scalar energy); this class owns the expensive part — maintaining
+    the per-instance prediction table across swaps — plus a memo of
+    per-instance predictions keyed by the instance's *local
+    configuration* (its spanned nodes and the exact co-runner layout),
+    which annealing revisits constantly.
+
+    Parameters
+    ----------
+    model:
+        Prediction model exposing ``predict_under_corunners``.
+    """
+
+    #: Memo entries kept before the table is dropped (a full annealing
+    #: search revisits far fewer distinct local configurations).
+    MEMO_LIMIT = 200_000
+
+    def __init__(self, model) -> None:
+        self.model = model
+        self._memo: Dict[Tuple, float] = {}
+
+    # -- subclass surface ---------------------------------------------
+    def aggregate(
+        self, predictions: Mapping[str, float], placement: Placement
+    ) -> float:
+        """Scalar energy of a full prediction table (cheap)."""
+        raise NotImplementedError
+
+    # -- prediction table maintenance ---------------------------------
+    def _predict(self, placement: Placement, key: str) -> float:
+        spec = placement.instance(key)
+        nodes = placement.spanned_nodes(key)
+        co_runners = placement.co_runner_workloads(key)
+        # The co-runner lists keep placement iteration order (NOT
+        # sorted): combining pressures sums floats in list order, so a
+        # reordered key could replay a bit-different result.
+        memo_key = (
+            spec.workload,
+            tuple((node, tuple(co_runners[node])) for node in nodes),
+        )
+        value = self._memo.get(memo_key)
+        if value is None:
+            value = self.model.predict_under_corunners(
+                spec.workload, nodes, co_runners
+            )
+            if len(self._memo) >= self.MEMO_LIMIT:
+                self._memo.clear()
+            self._memo[memo_key] = value
+        return value
+
+    def full_state(self, placement: Placement) -> EnergyState:
+        predictions = {
+            spec.instance_key: self._predict(placement, spec.instance_key)
+            for spec in placement.instances
+        }
+        return EnergyState(
+            placement, predictions, self.aggregate(predictions, placement)
+        )
+
+    def swap_state(
+        self,
+        state: EnergyState,
+        new_placement: Placement,
+        touched_nodes: Iterable[int],
+    ) -> EnergyState:
+        touched = set(touched_nodes)
+        predictions = dict(state.predictions)
+        for spec in new_placement.instances:
+            key = spec.instance_key
+            if touched.intersection(new_placement.nodes_of(key)):
+                predictions[key] = self._predict(new_placement, key)
+        return EnergyState(
+            new_placement, predictions, self.aggregate(predictions, new_placement)
+        )
+
+    def __getstate__(self) -> dict:
+        # The memo is a per-process accelerator, not state: shipping it
+        # to fan-out workers would be pure pickling weight.
+        state = dict(self.__dict__)
+        state["_memo"] = {}
+        return state
+
+
+class WeightedTimeEnergy(PredictionEnergy):
+    """Total weighted normalized runtime (Section 5.3's objective).
+
+    ``sign=-1`` turns the minimizer into the *worst-placement* search
+    of Figure 11.
+    """
+
+    def __init__(self, model, *, sign: float = 1.0) -> None:
+        super().__init__(model)
+        if sign not in (1.0, -1.0):
+            raise PlacementError("sign must be +1.0 or -1.0")
+        self.sign = sign
+
+    def aggregate(
+        self, predictions: Mapping[str, float], placement: Placement
+    ) -> float:
+        return self.sign * weighted_total_time(predictions, placement)

@@ -20,12 +20,17 @@ realizes as two annealing phases:
 Model predictions drive both phases; ground-truth evaluation afterwards
 tells whether the QoS actually held — which is exactly the comparison
 Figure 10 makes between the proposed model and the naive model.
+
+Both phase energies extend
+:class:`~repro.placement.objectives.PredictionEnergy`, so the annealing
+search evaluates swaps incrementally (only instances on the two touched
+nodes are re-predicted).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Mapping, Optional, Sequence
 
 from repro._util import mean
 from repro.cluster.cluster import ClusterSpec
@@ -36,6 +41,7 @@ from repro.placement.annealing import (
 )
 from repro.placement.assignment import InstanceSpec, Placement
 from repro.placement.objectives import (
+    PredictionEnergy,
     QoSConstraint,
     predict_placement,
     weighted_total_time,
@@ -46,6 +52,78 @@ PRESSURE_TIEBREAK = 0.05
 
 #: Energy assigned to any infeasible placement in the throughput phase.
 INFEASIBLE_ENERGY = 1e6
+
+
+class ConstrainedEnergy(PredictionEnergy):
+    """Shared shape of both QoS phase energies.
+
+    Feasible placements score their total weighted runtime; infeasible
+    ones score ``infeasible_base + violation`` plus a mean-pressure
+    tiebreaker (heterogeneity policies make the predicted time
+    piecewise-constant, so the violation alone often has no gradient
+    while a loud unit is still adjacent to the target).
+    """
+
+    def __init__(
+        self,
+        model,
+        constraints: Sequence[QoSConstraint],
+        *,
+        infeasible_base: float,
+    ) -> None:
+        super().__init__(model)
+        self.constraints = list(constraints)
+        self.infeasible_base = infeasible_base
+
+    def _target_pressure(self, placement: Placement) -> float:
+        """Mean predicted co-runner pressure on the constrained apps."""
+        pressures: List[float] = []
+        for constraint in self.constraints:
+            vector = self.model.pressure_vector(
+                placement.spanned_nodes(constraint.instance_key),
+                placement.co_runner_workloads(constraint.instance_key),
+            )
+            pressures.extend(vector)
+        return mean(pressures) if pressures else 0.0
+
+    def aggregate(
+        self, predictions: Mapping[str, float], placement: Placement
+    ) -> float:
+        violation = sum(c.violation(predictions) for c in self.constraints)
+        if violation > 0:
+            return (
+                self.infeasible_base
+                + violation
+                + PRESSURE_TIEBREAK * self._target_pressure(placement)
+            )
+        return weighted_total_time(predictions, placement)
+
+
+class FeasibilityEnergy(ConstrainedEnergy):
+    """Phase-1 energy: head toward feasibility, then optimize.
+
+    Once the model predicts feasibility the search optimizes throughput
+    immediately.  A model that *underestimates* propagation stops
+    cleaning the target's neighbourhood here and starts trading its
+    headroom for total time — the failure mode Figure 10 demonstrates
+    for the naive proportional model.
+    """
+
+    def __init__(self, model, constraints: Sequence[QoSConstraint]) -> None:
+        super().__init__(model, constraints, infeasible_base=INFEASIBLE_ENERGY / 2)
+
+
+class ConstrainedThroughputEnergy(ConstrainedEnergy):
+    """Phase-2 energy: throughput among feasible placements.
+
+    Infeasible placements keep the violation gradient: without it the
+    throughput phase would random-walk on a flat infeasible plateau and
+    destroy whatever the feasibility phase achieved when no
+    predicted-feasible placement exists at all.
+    """
+
+    def __init__(self, model, constraints: Sequence[QoSConstraint]) -> None:
+        super().__init__(model, constraints, infeasible_base=INFEASIBLE_ENERGY)
 
 
 @dataclass
@@ -80,6 +158,9 @@ class QoSAwarePlacer:
         Annealing schedule (used for both phases).
     seed:
         Search randomness.
+    max_workers:
+        Fan phase-1 annealing restarts out over worker processes
+        (results stay bit-identical to the serial search).
     """
 
     def __init__(
@@ -90,76 +171,31 @@ class QoSAwarePlacer:
         *,
         schedule: Optional[AnnealingSchedule] = None,
         seed: object = 0,
+        max_workers: Optional[int] = None,
     ) -> None:
         self.model = model
         self.cluster_spec = cluster_spec
         self.constraints = list(constraints)
         self.schedule = schedule or AnnealingSchedule()
         self.seed = seed
-
-    # ------------------------------------------------------------------
-    def _target_pressure(self, placement: Placement) -> float:
-        """Mean predicted co-runner pressure on the constrained apps."""
-        pressures: List[float] = []
-        for constraint in self.constraints:
-            spec = placement.instance(constraint.instance_key)
-            vector = self.model.pressure_vector(
-                placement.spanned_nodes(constraint.instance_key),
-                placement.co_runner_workloads(constraint.instance_key),
-            )
-            pressures.extend(vector)
-        return mean(pressures) if pressures else 0.0
-
-    def _violation(self, predictions: Dict[str, float]) -> float:
-        return sum(c.violation(predictions) for c in self.constraints)
-
-    def _feasibility_energy(self, placement: Placement) -> float:
-        predictions = predict_placement(self.model, placement)
-        violation = self._violation(predictions)
-        if violation > 0:
-            # Infeasible (as the model sees it): head toward feasibility.
-            # The pressure tiebreaker only acts here — the heterogeneity
-            # policies make predicted times piecewise-constant, so the
-            # violation alone often has no gradient while a loud unit is
-            # still adjacent to the target.
-            return (
-                INFEASIBLE_ENERGY / 2
-                + violation
-                + PRESSURE_TIEBREAK * self._target_pressure(placement)
-            )
-        # Predicted feasible: optimize throughput immediately.  A model
-        # that *underestimates* propagation stops cleaning the target's
-        # neighbourhood here and starts trading its headroom for total
-        # time — the failure mode Figure 10 demonstrates for the naive
-        # proportional model.
-        return weighted_total_time(predictions, placement)
-
-    def _throughput_energy(self, placement: Placement) -> float:
-        predictions = predict_placement(self.model, placement)
-        violation = self._violation(predictions)
-        if violation > 0:
-            # Keep the violation gradient: without it the throughput
-            # phase would random-walk on a flat infeasible plateau and
-            # destroy whatever the feasibility phase achieved when no
-            # predicted-feasible placement exists at all.
-            return (
-                INFEASIBLE_ENERGY
-                + violation
-                + PRESSURE_TIEBREAK * self._target_pressure(placement)
-            )
-        return weighted_total_time(predictions, placement)
+        self.max_workers = max_workers
 
     # ------------------------------------------------------------------
     def place(self, instances: Sequence[InstanceSpec]) -> QoSPlacementResult:
         """Search for the best QoS-satisfying placement of ``instances``."""
         feasibility = SimulatedAnnealingPlacer(
-            self._feasibility_energy, schedule=self.schedule, seed=self.seed
+            FeasibilityEnergy(self.model, self.constraints),
+            schedule=self.schedule,
+            seed=self.seed,
         )
         phase1 = feasibility.search(
-            lambda seed: Placement.random(self.cluster_spec, instances, seed=seed)
+            lambda seed: Placement.random(self.cluster_spec, instances, seed=seed),
+            max_workers=self.max_workers,
         )
         throughput = SimulatedAnnealingPlacer(
-            self._throughput_energy, schedule=self.schedule, seed=self.seed
+            ConstrainedThroughputEnergy(self.model, self.constraints),
+            schedule=self.schedule,
+            seed=self.seed,
         )
         phase2 = throughput.search_from(phase1.placement)
         predictions = predict_placement(self.model, phase2.placement)

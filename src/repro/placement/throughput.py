@@ -19,7 +19,7 @@ from repro.placement.annealing import (
     SimulatedAnnealingPlacer,
 )
 from repro.placement.assignment import InstanceSpec, Placement
-from repro.placement.objectives import predict_placement, weighted_total_time
+from repro.placement.objectives import WeightedTimeEnergy, predict_placement
 
 
 @dataclass
@@ -44,6 +44,9 @@ class ThroughputPlacer:
         Annealing schedule.
     seed:
         Search randomness.
+    max_workers:
+        Fan annealing restarts out over worker processes (results stay
+        bit-identical to the serial search).
     """
 
     def __init__(
@@ -53,24 +56,24 @@ class ThroughputPlacer:
         *,
         schedule: Optional[AnnealingSchedule] = None,
         seed: object = 0,
+        max_workers: Optional[int] = None,
     ) -> None:
         self.model = model
         self.cluster_spec = cluster_spec
         self.schedule = schedule or AnnealingSchedule()
         self.seed = seed
+        self.max_workers = max_workers
 
     def _search(
         self, instances: Sequence[InstanceSpec], sign: float
     ) -> ThroughputPlacementResult:
-        def energy(placement: Placement) -> float:
-            predictions = predict_placement(self.model, placement)
-            return sign * weighted_total_time(predictions, placement)
-
+        energy = WeightedTimeEnergy(self.model, sign=sign)
         placer = SimulatedAnnealingPlacer(
             energy, schedule=self.schedule, seed=self.seed
         )
         result = placer.search(
-            lambda seed: Placement.random(self.cluster_spec, instances, seed=seed)
+            lambda seed: Placement.random(self.cluster_spec, instances, seed=seed),
+            max_workers=self.max_workers,
         )
         return ThroughputPlacementResult(
             placement=result.placement,

@@ -1,5 +1,6 @@
 """Discrete-event simulation of consolidated cluster executions."""
 
+from repro.sim.cache import MeasurementCache, cache_key
 from repro.sim.engine import Engine
 from repro.sim.metrics import (
     StageStats,
@@ -17,7 +18,7 @@ from repro.sim.noise import (
     TaskJitter,
 )
 from repro.sim.pressure import PressureField
-from repro.sim.runner import ClusterRunner
+from repro.sim.runner import ClusterRunner, MeasurementRequest
 from repro.sim.trace import ExecutionTrace, StageRecord
 
 __all__ = [
@@ -29,6 +30,8 @@ __all__ = [
     "Engine",
     "ExecutionTrace",
     "InstanceResult",
+    "MeasurementCache",
+    "MeasurementRequest",
     "NoiseProfile",
     "PRIVATE_TESTBED_NOISE",
     "PressureField",
@@ -36,6 +39,7 @@ __all__ = [
     "StageRecord",
     "StageStats",
     "all_stage_stats",
+    "cache_key",
     "slowdown_breakdown",
     "stage_stats",
     "TaskJitter",

@@ -1,0 +1,151 @@
+"""Persistent measurement cache.
+
+Every measurement the :class:`~repro.sim.runner.ClusterRunner` performs
+is a deterministic function of its setting label and the runner's base
+seed — re-running a benchmark re-simulates exactly the same runs.  The
+cache makes that observation operational: results are stored on disk
+keyed by the same stable label that seeds the simulation, so a repeated
+benchmark session *replays* recorded times instead of re-simulating
+them, the way a real testbed would re-read its run logs.
+
+The store is a single JSON file, loaded eagerly and rewritten
+atomically on :meth:`flush` (or on every put with ``autosave``).  Keys
+embed a *fingerprint* of the measurement environment (cluster shape,
+base seed, noise profile) so one file can safely serve several
+environments — a cache entry recorded on the quiet private testbed is
+never replayed for the noisy EC2 environment.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Dict, Optional, Tuple, Union
+
+from repro.errors import ConfigurationError
+
+CacheValue = Union[float, Dict[str, float]]
+
+
+def cache_key(fingerprint: str, *labels: object) -> str:
+    """Canonical string key for a measurement label tuple."""
+    return "|".join([fingerprint] + [str(label) for label in labels])
+
+
+class MeasurementCache:
+    """Disk-backed store of measurement results keyed by stable labels.
+
+    Parameters
+    ----------
+    path:
+        JSON file backing the cache; ``None`` keeps the cache purely
+        in memory (used by fan-out workers, which report their fresh
+        entries back to the parent instead of writing files).
+    autosave:
+        Rewrite the file after every new entry.  Convenient for
+        interactive use; batch users should prefer explicit
+        :meth:`flush` calls.
+    """
+
+    def __init__(
+        self, path: Optional[Union[str, Path]] = None, *, autosave: bool = False
+    ) -> None:
+        self.path = Path(path) if path is not None else None
+        self.autosave = autosave
+        self.hits = 0
+        self.misses = 0
+        self._entries: Dict[str, CacheValue] = {}
+        self._fresh: Dict[str, CacheValue] = {}
+        if self.path is not None and self.path.exists():
+            try:
+                self._entries = json.loads(self.path.read_text())
+            except json.JSONDecodeError as exc:
+                # Refusing (rather than silently rebuilding) protects a
+                # possibly-salvageable measurement log from being
+                # overwritten by the next flush.
+                raise ConfigurationError(
+                    f"measurement cache {self.path} is not valid JSON "
+                    f"({exc}); repair it or delete the file to re-measure"
+                ) from exc
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries
+
+    def get(self, key: str) -> Optional[CacheValue]:
+        """Recorded value for ``key``, or ``None`` on a miss."""
+        value = self._entries.get(key)
+        if value is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return value
+
+    def put(self, key: str, value: CacheValue) -> None:
+        """Record a measurement result."""
+        if key in self._entries:
+            return
+        self._entries[key] = value
+        self._fresh[key] = value
+        if self.autosave:
+            self.flush()
+
+    def merge(self, entries: Dict[str, CacheValue]) -> None:
+        """Adopt entries produced elsewhere (fan-out workers)."""
+        for key, value in entries.items():
+            self.put(key, value)
+
+    def fresh_entries(self) -> Dict[str, CacheValue]:
+        """Entries added since construction (what workers ship back)."""
+        return dict(self._fresh)
+
+    def flush(self) -> None:
+        """Atomically rewrite the backing file (no-op for memory caches)."""
+        if self.path is None or not self._fresh:
+            return
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        # Merge with whatever another process flushed meanwhile.
+        if self.path.exists():
+            try:
+                on_disk = json.loads(self.path.read_text())
+            except (OSError, json.JSONDecodeError):
+                on_disk = {}
+            for key, value in on_disk.items():
+                self._entries.setdefault(key, value)
+        fd, tmp = tempfile.mkstemp(
+            dir=str(self.path.parent), prefix=self.path.name, suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(self._entries, handle)
+            os.replace(tmp, self.path)
+        finally:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+        self._fresh.clear()
+
+    # ------------------------------------------------------------------
+    def memory_clone(self) -> "MeasurementCache":
+        """In-memory copy with the same entries (for fan-out workers)."""
+        clone = MeasurementCache(None)
+        clone._entries = dict(self._entries)
+        return clone
+
+    def __getstate__(self) -> Tuple[Dict[str, CacheValue]]:
+        # Pickling ships entries only: a worker must never write the
+        # parent's file, and its fresh entries restart from empty so the
+        # parent can collect exactly what the worker added.
+        return (dict(self._entries),)
+
+    def __setstate__(self, state: Tuple[Dict[str, CacheValue]]) -> None:
+        self.path = None
+        self.autosave = False
+        self.hits = 0
+        self.misses = 0
+        self._entries = state[0]
+        self._fresh = {}

@@ -15,6 +15,13 @@ from repro.errors import SimulationError
 
 Callback = Callable[[], None]
 
+#: Relative tolerance for "now" computed through float arithmetic.
+#: ``schedule_at(when)`` turns an absolute time into ``when - now``;
+#: when both derive from the same sum of task durations the difference
+#: can come out a hair below zero (e.g. ``-1e-18``).  Such deltas are
+#: roundoff, not time travel, and are clamped to "immediately".
+TIME_EPSILON = 1e-9
+
 
 class Engine:
     """Event-driven simulation clock.
@@ -50,10 +57,17 @@ class Engine:
         Raises
         ------
         SimulationError
-            If ``delay`` is negative (events may not fire in the past).
+            If ``delay`` is negative beyond float roundoff (events may
+            not fire in the past; deltas within :data:`TIME_EPSILON`
+            of zero are clamped to zero).
         """
         if delay < 0.0:
-            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+            if delay >= -TIME_EPSILON * max(1.0, abs(self._now)):
+                delay = 0.0
+            else:
+                raise SimulationError(
+                    f"cannot schedule into the past (delay={delay})"
+                )
         heapq.heappush(self._heap, (self._now + delay, self._seq, callback))
         self._seq += 1
 

@@ -87,18 +87,27 @@ def batch_workload(
     return BatchWorkload(synthetic_spec(name, **spec_kwargs), chunks=chunks)
 
 
-def synthetic_factory(**overrides):
+class SyntheticFactory:
+    """Picklable ``workload_factory`` mapping any abbreviation to a BSP synth.
+
+    A class rather than a closure so runners built on it can cross
+    process boundaries (``ClusterRunner.measure_many`` fan-out).
+    """
+
+    def __init__(self, **overrides) -> None:
+        self.overrides = overrides
+
+    def __call__(self, abbrev: str) -> Workload:
+        return bsp_workload(abbrev, **self.overrides.get(abbrev, {}))
+
+
+def synthetic_factory(**overrides) -> SyntheticFactory:
     """A ``workload_factory`` mapping any abbreviation to a BSP synth.
 
     Per-abbreviation keyword overrides can be supplied as
     ``synthetic_factory(appA={"score": 4.0})``.
     """
-
-    def factory(abbrev: str) -> Workload:
-        kwargs = overrides.get(abbrev, {})
-        return bsp_workload(abbrev, **kwargs)
-
-    return factory
+    return SyntheticFactory(**overrides)
 
 
 def quiet_runner(

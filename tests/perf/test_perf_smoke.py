@@ -1,0 +1,127 @@
+"""Hot-path performance regression guards (``-m perf_smoke``).
+
+Deselected from the default test run (timing assertions are
+machine-sensitive); CI runs them explicitly and fails if a hot path
+regresses more than :data:`REGRESSION_FACTOR` x against the checked-in
+baseline in ``benchmarks/baselines/perf_hotpaths.json``.
+
+To refresh the baseline after an intentional perf change::
+
+    REPRO_UPDATE_PERF_BASELINE=1 PYTHONPATH=src python -m pytest -m perf_smoke
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.cluster.cluster import ClusterSpec
+from repro.core.curves import PropagationMatrix
+from repro.core.model import InterferenceModel, InterferenceProfile
+from repro.placement.annealing import AnnealingSchedule, SimulatedAnnealingPlacer
+from repro.placement.assignment import InstanceSpec, Placement
+from repro.placement.objectives import WeightedTimeEnergy
+from repro.sim.runner import MeasurementRequest
+from tests._synthetic import quiet_runner
+
+pytestmark = pytest.mark.perf_smoke
+
+BASELINE_PATH = (
+    Path(__file__).resolve().parents[2]
+    / "benchmarks"
+    / "baselines"
+    / "perf_hotpaths.json"
+)
+
+#: Set this environment variable to re-record the baseline instead of
+#: asserting against it.
+UPDATE_ENV = "REPRO_UPDATE_PERF_BASELINE"
+
+#: Allowed slowdown against the recorded baseline before the guard
+#: trips.  2x absorbs machine and load variance while still catching
+#: accidental algorithmic regressions (which are typically >= 3x).
+REGRESSION_FACTOR = 2.0
+
+
+def _best_of(fn, rounds: int = 3) -> float:
+    """Minimum wall-clock over a few rounds (noise-resistant)."""
+    times = []
+    for _ in range(rounds):
+        start = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - start)
+    return min(times)
+
+
+def _check(key: str, elapsed: float) -> None:
+    if os.environ.get(UPDATE_ENV):
+        data = (
+            json.loads(BASELINE_PATH.read_text())
+            if BASELINE_PATH.exists()
+            else {}
+        )
+        data[key] = round(elapsed, 4)
+        BASELINE_PATH.parent.mkdir(parents=True, exist_ok=True)
+        BASELINE_PATH.write_text(json.dumps(data, indent=2) + "\n")
+        return
+    baseline = float(json.loads(BASELINE_PATH.read_text())[key])
+    assert elapsed <= REGRESSION_FACTOR * baseline, (
+        f"{key} took {elapsed:.3f}s; baseline {baseline:.3f}s "
+        f"(limit {REGRESSION_FACTOR}x)"
+    )
+
+
+def _smoke_model() -> InterferenceModel:
+    pressures = [4.0, 8.0]
+    counts = [0.0, 1.0, 2.0, 3.0, 4.0]
+    values = np.array(
+        [[1.0 + 0.1 * p * c / 8.0 for c in range(5)] for p in pressures]
+    )
+    matrix = PropagationMatrix(pressures, counts, values)
+    profiles = {
+        name: InterferenceProfile(
+            workload=name, matrix=matrix, policy_name="N+1 MAX",
+            bubble_score=score,
+        )
+        for name, score in (("loud", 8.0), ("quiet", 0.5), ("mid", 2.0))
+    }
+    return InterferenceModel(profiles)
+
+
+def test_incremental_search_not_regressed():
+    model = _smoke_model()
+    spec = ClusterSpec(num_nodes=24)
+    kinds = ("loud", "quiet", "mid")
+    instances = [
+        InstanceSpec(f"{kinds[i % 3]}#{i}", kinds[i % 3], 4) for i in range(12)
+    ]
+    initial = Placement.random(spec, instances, seed=5)
+    schedule = AnnealingSchedule(iterations=600, restarts=1)
+
+    def run():
+        SimulatedAnnealingPlacer(
+            WeightedTimeEnergy(model), schedule=schedule, seed=2
+        ).search_from(initial)
+
+    _check("incremental_search_s", _best_of(run))
+
+
+def test_measurement_batch_not_regressed():
+    requests = [
+        MeasurementRequest.measure("app", pressure, count)
+        for pressure in (2.0, 4.0, 6.0, 8.0)
+        for count in (1, 2, 3, 4)
+    ]
+
+    def run():
+        # Fresh runner per round so memo caches never mask the cost;
+        # several rounds keep the measurement out of timer-noise range.
+        for _ in range(8):
+            quiet_runner(num_nodes=4).measure_many(requests)
+
+    _check("measurement_batch_s", _best_of(run))

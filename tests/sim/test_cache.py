@@ -1,0 +1,155 @@
+"""Tests for the persistent measurement cache."""
+
+import json
+
+import pytest
+
+import repro.sim.runner as runner_module
+from repro.errors import ConfigurationError
+from repro.sim.cache import MeasurementCache, cache_key
+from tests._synthetic import quiet_runner, synthetic_factory
+
+
+class TestCacheKey:
+    def test_embeds_fingerprint_and_labels(self):
+        key = cache_key("env", "measure", "app", 0)
+        assert key == "env|measure|app|0"
+
+    def test_distinct_labels_distinct_keys(self):
+        assert cache_key("env", "a", 1) != cache_key("env", "a", 2)
+
+
+class TestMeasurementCache:
+    def test_miss_then_hit(self, tmp_path):
+        cache = MeasurementCache(tmp_path / "cache.json")
+        assert cache.get("k") is None
+        cache.put("k", 1.5)
+        assert cache.get("k") == 1.5
+        assert cache.misses == 1
+        assert cache.hits == 1
+
+    def test_put_does_not_overwrite(self):
+        cache = MeasurementCache()
+        cache.put("k", 1.0)
+        cache.put("k", 2.0)
+        assert cache.get("k") == 1.0
+
+    def test_flush_round_trip(self, tmp_path):
+        path = tmp_path / "cache.json"
+        cache = MeasurementCache(path)
+        cache.put("a", 1.0)
+        cache.put("b", {"x": 2.0})
+        cache.flush()
+        reloaded = MeasurementCache(path)
+        assert reloaded.get("a") == 1.0
+        assert reloaded.get("b") == {"x": 2.0}
+
+    def test_flush_merges_with_on_disk_entries(self, tmp_path):
+        path = tmp_path / "cache.json"
+        first = MeasurementCache(path)
+        first.put("a", 1.0)
+        first.flush()
+        second = MeasurementCache(path)
+        second.put("b", 2.0)
+        # Another writer lands a new entry between load and flush.
+        path.write_text(json.dumps({"a": 1.0, "c": 3.0}))
+        second.flush()
+        final = json.loads(path.read_text())
+        assert final == {"a": 1.0, "b": 2.0, "c": 3.0}
+
+    def test_autosave_writes_immediately(self, tmp_path):
+        path = tmp_path / "cache.json"
+        cache = MeasurementCache(path, autosave=True)
+        cache.put("a", 1.0)
+        assert json.loads(path.read_text()) == {"a": 1.0}
+
+    def test_fresh_entries_track_new_puts_only(self, tmp_path):
+        path = tmp_path / "cache.json"
+        seeded = MeasurementCache(path)
+        seeded.put("old", 1.0)
+        seeded.flush()
+        cache = MeasurementCache(path)
+        cache.put("new", 2.0)
+        assert cache.fresh_entries() == {"new": 2.0}
+
+    def test_pickle_ships_entries_without_path(self, tmp_path):
+        import pickle
+
+        cache = MeasurementCache(tmp_path / "cache.json")
+        cache.put("a", 1.0)
+        clone = pickle.loads(pickle.dumps(cache))
+        assert clone.path is None
+        assert clone.get("a") == 1.0
+        assert clone.fresh_entries() == {}
+
+    def test_corrupt_file_raises_configuration_error(self, tmp_path):
+        path = tmp_path / "cache.json"
+        path.write_text("{not json!!")
+        with pytest.raises(ConfigurationError, match="not valid JSON"):
+            MeasurementCache(path)
+        # The corrupt file must survive untouched for manual repair.
+        assert path.read_text() == "{not json!!"
+
+
+class _Bomb:
+    """Stand-in executor that fails the test if any simulation runs."""
+
+    def __init__(self, *args, **kwargs):
+        raise AssertionError("simulated a run that should have been replayed")
+
+
+class TestRunnerReplay:
+    def _measure_all(self, runner):
+        return {
+            "solo": runner.solo_time("app"),
+            "hom": runner.measure("app", 8.0, 2),
+            "het": runner.measure_heterogeneous("app", {0: 4.0, 2: 8.0}),
+            "corun": runner.corun_pair("app", "other"),
+            "deploy": runner.run_deployments(
+                [("a", "app", {0: 0, 1: 1}), ("b", "other", {0: 2, 1: 3})]
+            ),
+        }
+
+    def test_cache_round_trip_replays_without_simulating(
+        self, tmp_path, monkeypatch
+    ):
+        path = tmp_path / "measurements.json"
+        first = quiet_runner(factory=synthetic_factory())
+        first.cache = MeasurementCache(path)
+        recorded = self._measure_all(first)
+        first.cache.flush()
+
+        replayer = quiet_runner(factory=synthetic_factory())
+        replayer.cache = MeasurementCache(path)
+        monkeypatch.setattr(runner_module, "CoRunExecutor", _Bomb)
+        replayed = self._measure_all(replayer)
+
+        assert replayed == recorded
+        assert replayer.measurement_count == first.measurement_count
+        assert replayer.solo_measurement_count == first.solo_measurement_count
+
+    def test_cache_results_identical_to_uncached(self, tmp_path):
+        cached = quiet_runner(factory=synthetic_factory())
+        cached.cache = MeasurementCache(tmp_path / "m.json")
+        plain = quiet_runner(factory=synthetic_factory())
+        assert self._measure_all(cached) == self._measure_all(plain)
+        assert cached.measurement_count == plain.measurement_count
+        assert cached.solo_measurement_count == plain.solo_measurement_count
+
+    def test_fingerprint_separates_environments(self, tmp_path):
+        a = quiet_runner(base_seed=1)
+        b = quiet_runner(base_seed=2)
+        assert a._environment_fingerprint() != b._environment_fingerprint()
+
+    def test_different_seed_does_not_replay(self, tmp_path):
+        path = tmp_path / "m.json"
+        first = quiet_runner(base_seed=1)
+        first.cache = MeasurementCache(path)
+        first.measure("app", 8.0, 2)
+        first.cache.flush()
+        other = quiet_runner(base_seed=2)
+        other.cache = MeasurementCache(path)
+        assert other.cache.hits == 0
+        other.measure("app", 8.0, 2)
+        # Different fingerprint -> fresh keys, no replay of seed-1 data.
+        assert other.cache.hits == 0

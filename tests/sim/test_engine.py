@@ -48,6 +48,36 @@ class TestScheduling:
         with pytest.raises(SimulationError):
             engine.schedule(-1.0, lambda: None)
 
+    def test_roundoff_negative_delay_clamped(self):
+        # Absolute-time scheduling through float arithmetic can produce
+        # deltas like -1e-18; those are roundoff, not time travel.
+        engine = Engine()
+        fired = []
+        engine.schedule(-1e-18, lambda: fired.append(engine.now))
+        engine.run()
+        assert fired == [0.0]
+
+    def test_roundoff_clamp_scales_with_clock(self):
+        # At now=1e6, a -1e-5 absolute-time error is still roundoff
+        # relative to the clock; it must not raise.
+        engine = Engine()
+        fired = []
+
+        def at_large_time():
+            engine.schedule_at(engine.now - 1e-5, lambda: fired.append(True))
+
+        engine.schedule(1e6, at_large_time)
+        engine.run()
+        assert fired == [True]
+
+    def test_genuinely_negative_still_rejected(self):
+        engine = Engine()
+        fired = []
+        engine.schedule(5.0, lambda: fired.append(True))
+        engine.run()
+        with pytest.raises(SimulationError):
+            engine.schedule_at(4.0, lambda: None)
+
     def test_schedule_at(self):
         engine = Engine()
         fired = []

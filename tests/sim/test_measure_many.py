@@ -1,0 +1,114 @@
+"""Tests for batched measurement fan-out (``measure_many``)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim.cache import MeasurementCache
+from repro.sim.runner import MeasurementRequest
+from tests._synthetic import quiet_runner, synthetic_factory
+
+
+def batch():
+    """A mixed batch exercising every request kind."""
+    return [
+        MeasurementRequest.solo("app"),
+        MeasurementRequest.measure("app", 8.0, 2),
+        MeasurementRequest.measure("app", 4.0, 1, normalized=False),
+        MeasurementRequest.heterogeneous("app", {0: 4.0, 3: 8.0}),
+        MeasurementRequest.corun("app", "other"),
+        MeasurementRequest.deployments(
+            [("a", "app", {0: 0, 1: 1}), ("b", "other", {0: 2, 1: 3})]
+        ),
+        MeasurementRequest.measure("other", 8.0, 2, rep=1),
+    ]
+
+
+class TestMeasurementRequest:
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MeasurementRequest("erase_disk", ())
+
+    def test_apply_matches_direct_call(self):
+        runner = quiet_runner()
+        direct = runner.measure("app", 8.0, 2)
+        via_request = MeasurementRequest.measure("app", 8.0, 2).apply(
+            quiet_runner()
+        )
+        assert via_request == direct
+
+    def test_requests_are_hashable(self):
+        # Frozen plain data: usable as dict keys for dedup.
+        assert len({MeasurementRequest.solo("a"), MeasurementRequest.solo("a")}) == 1
+
+
+class TestSerialBatch:
+    def test_matches_individual_calls(self):
+        batched = quiet_runner()
+        results = batched.measure_many(batch())
+        loose = quiet_runner()
+        expected = [request.apply(loose) for request in batch()]
+        assert results == expected
+        assert batched.measurement_count == loose.measurement_count
+        assert batched.solo_measurement_count == loose.solo_measurement_count
+
+    def test_empty_batch(self):
+        assert quiet_runner().measure_many([]) == []
+
+
+class TestParallelBatch:
+    def test_bit_identical_to_serial(self):
+        serial = quiet_runner()
+        serial_results = serial.measure_many(batch(), max_workers=1)
+        parallel = quiet_runner()
+        parallel_results = parallel.measure_many(batch(), max_workers=2)
+        assert parallel_results == serial_results
+
+    def test_accounting_identical_to_serial(self):
+        serial = quiet_runner()
+        serial.measure_many(batch(), max_workers=1)
+        parallel = quiet_runner()
+        parallel.measure_many(batch(), max_workers=2)
+        assert parallel.measurement_count == serial.measurement_count
+        assert parallel.solo_measurement_count == serial.solo_measurement_count
+        assert parallel._solo_cache == serial._solo_cache
+
+    def test_cache_entries_collected_from_workers(self, tmp_path):
+        runner = quiet_runner()
+        runner.cache = MeasurementCache(tmp_path / "m.json")
+        runner.measure_many(batch(), max_workers=2)
+        assert len(runner.cache) > 0
+        serial = quiet_runner()
+        serial.cache = MeasurementCache(tmp_path / "serial.json")
+        serial.measure_many(batch(), max_workers=1)
+        assert runner.cache._entries == serial.cache._entries
+
+    def test_unpicklable_runner_falls_back_to_serial(self):
+        runner = quiet_runner(factory=lambda abbrev: synthetic_factory()(abbrev))
+        reference = quiet_runner()
+        assert runner.measure_many(batch(), max_workers=2) == (
+            reference.measure_many(batch())
+        )
+
+
+class TestSoloAccounting:
+    def test_solo_counts_reps_once_per_key(self):
+        runner = quiet_runner()
+        runner.solo_time("app")
+        runner.solo_time("app")
+        assert runner.solo_measurement_count == runner.SOLO_REPS
+        runner.solo_time("app", num_units=2)
+        assert runner.solo_measurement_count == 2 * runner.SOLO_REPS
+
+    def test_solo_not_counted_as_measurement(self):
+        runner = quiet_runner()
+        runner.solo_time("app")
+        assert runner.measurement_count == 0
+
+    def test_total_combines_both(self):
+        runner = quiet_runner()
+        runner.measure("app", 8.0, 2)
+        assert runner.total_measurement_count == (
+            runner.measurement_count + runner.solo_measurement_count
+        )
+        assert runner.measurement_count == 1
+        assert runner.solo_measurement_count == runner.SOLO_REPS

@@ -1,0 +1,90 @@
+"""Tests for the process fan-out primitive."""
+
+import os
+
+import pytest
+
+from repro.parallel import (
+    MAX_WORKERS_ENV,
+    default_max_workers,
+    fan_out,
+    resolve_workers,
+)
+
+
+def square(x):
+    return x * x
+
+
+_WORKER_STATE = {}
+
+
+def remember(value):
+    _WORKER_STATE["value"] = value
+
+
+def read_state(_):
+    return _WORKER_STATE.get("value")
+
+
+class TestResolveWorkers:
+    def test_none_is_serial(self):
+        assert resolve_workers(None) == 1
+
+    def test_zero_is_serial(self):
+        assert resolve_workers(0) == 1
+
+    def test_positive_passthrough(self):
+        assert resolve_workers(3) == 3
+
+    def test_negative_uses_default(self):
+        assert resolve_workers(-1) == default_max_workers()
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv(MAX_WORKERS_ENV, "7")
+        assert default_max_workers() == 7
+
+    def test_env_ignored_when_invalid(self, monkeypatch):
+        monkeypatch.setenv(MAX_WORKERS_ENV, "zero")
+        assert default_max_workers() == max(1, os.cpu_count() or 1)
+
+
+class TestFanOut:
+    def test_serial_matches_map(self):
+        items = list(range(10))
+        assert fan_out(square, items, max_workers=1) == [x * x for x in items]
+
+    def test_parallel_matches_serial(self):
+        items = list(range(20))
+        serial = fan_out(square, items, max_workers=1)
+        parallel = fan_out(square, items, max_workers=2)
+        assert parallel == serial
+
+    def test_empty_batch(self):
+        assert fan_out(square, [], max_workers=4) == []
+
+    def test_single_item_runs_serially(self):
+        assert fan_out(square, [5], max_workers=4) == [25]
+
+    def test_unpicklable_items_fall_back_to_serial(self):
+        items = [lambda: 1, lambda: 2]  # lambdas cannot cross processes
+        results = fan_out(lambda f: f(), items, max_workers=2)
+        assert results == [1, 2]
+
+    def test_initializer_runs_on_serial_path(self):
+        _WORKER_STATE.clear()
+        results = fan_out(
+            read_state, [0], max_workers=4, initializer=remember, initargs=(42,)
+        )
+        assert results == [42]
+
+    def test_initializer_runs_in_workers(self):
+        _WORKER_STATE.clear()
+        results = fan_out(
+            read_state,
+            list(range(6)),
+            max_workers=2,
+            initializer=remember,
+            initargs=(7,),
+        )
+        assert results == [7] * 6
