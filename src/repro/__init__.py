@@ -57,6 +57,7 @@ from repro.errors import (
     PlacementError,
     ProfilingError,
     ReproError,
+    ServiceError,
     SimulationError,
 )
 from repro.placement import (
@@ -65,6 +66,13 @@ from repro.placement import (
     QoSAwarePlacer,
     QoSConstraint,
     ThroughputPlacer,
+)
+from repro.service import (
+    ConsolidationService,
+    Job,
+    ServiceConfig,
+    StreamConfig,
+    WorkloadStream,
 )
 from repro.sim import ClusterRunner
 from repro.units import MAX_PRESSURE, NUM_PRESSURE_LEVELS
@@ -79,8 +87,10 @@ __all__ = [
     "ClusterRunner",
     "ClusterSpec",
     "ConfigurationError",
+    "ConsolidationService",
     "DISTRIBUTED_WORKLOADS",
     "InstanceSpec",
+    "Job",
     "InterferenceModel",
     "InterferenceProfile",
     "MAX_PRESSURE",
@@ -94,8 +104,12 @@ __all__ = [
     "QoSAwarePlacer",
     "QoSConstraint",
     "ReproError",
+    "ServiceConfig",
+    "ServiceError",
     "SimulationError",
+    "StreamConfig",
     "ThroughputPlacer",
+    "WorkloadStream",
     "build_batch_profiles",
     "build_model",
     "get_workload",

@@ -99,3 +99,20 @@ def normalized_times_table(times: Dict[str, float]) -> str:
         [(key, times[key]) for key in sorted(times)],
         float_format="{:.3f}",
     )
+
+
+def render_service_snapshot(snapshot) -> str:
+    """Render a service :class:`~repro.service.telemetry.MetricsSnapshot`.
+
+    Accepts anything exposing ``rows() -> [(metric, value), ...]`` so
+    the reporting layer stays import-free of the service package.
+    """
+    return format_table(["metric", "value"], snapshot.rows(),
+                        float_format="{:.3f}")
+
+
+def render_event_counts(counts: Mapping[str, int]) -> str:
+    """Render an event-kind histogram (``EventLog.counts()``)."""
+    return format_table(
+        ["event", "count"], [(kind, counts[kind]) for kind in sorted(counts)]
+    )

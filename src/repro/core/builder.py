@@ -25,15 +25,42 @@ from repro.core.profiling.binary import (
 )
 from repro.core.profiling.plan import MeasurementOracle, ProfilingOutcome
 from repro.core.profiling.policy_selection import PolicySelectionResult, select_policy
+from repro.core.profiling.random_sampling import random_sampling
 from repro.core.scoring import BubbleScoreMeter
 from repro.errors import ProfilingError
 from repro.sim.runner import ClusterRunner
 from repro.units import NUM_PRESSURE_LEVELS
 
-#: Matrix-profiling algorithms selectable by name.
+
+def _random_profiler(fraction: float) -> Callable:
+    """Adapt :func:`random_sampling` to the registry signature.
+
+    The subset choice is seeded per workload (via the oracle's
+    abbreviation), so a registry-driven build stays deterministic
+    without threading a seed through every profiler.
+    """
+
+    def profile(
+        oracle: MeasurementOracle, pressures, counts, *, threshold: float
+    ) -> ProfilingOutcome:
+        del threshold  # sampling has no subdivision threshold
+        return random_sampling(
+            oracle,
+            pressures,
+            counts,
+            fraction=fraction,
+            seed=stable_seed("random-profiler", fraction, oracle.abbrev),
+        )
+
+    return profile
+
+
+#: Matrix-profiling algorithms selectable by name (Section 4.2's four).
 MATRIX_PROFILERS: Dict[str, Callable] = {
     "binary-optimized": binary_optimized,
     "binary-brute": binary_brute,
+    "random-30%": _random_profiler(0.3),
+    "random-50%": _random_profiler(0.5),
 }
 
 

@@ -34,3 +34,7 @@ class SimulationError(ReproError):
 
 class CatalogError(ReproError):
     """An unknown workload was requested from the application catalog."""
+
+
+class ServiceError(ReproError):
+    """The consolidation service was configured or driven inconsistently."""

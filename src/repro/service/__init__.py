@@ -1,0 +1,45 @@
+"""Online consolidation service (the paper's §8 future work, served).
+
+The offline reproduction answers "what is the best placement of this
+fixed mix?"; this package answers "keep a *changing* mix placed well,
+forever": a seeded job stream, QoS admission control over model
+predictions, an epoch loop that measures, learns
+(:class:`~repro.core.online.OnlineModel`), and migration-gates
+rescheduling, and an operations layer (event log + metrics snapshots)
+exposed through ``repro serve``.
+"""
+
+from repro.service.admission import (
+    ADMITTED,
+    NO_CAPACITY,
+    QOS_INFEASIBLE,
+    AdmissionController,
+    AdmissionDecision,
+    placement_with_job,
+    placement_without_job,
+)
+from repro.service.events import EVENT_KINDS, EventLog, ServiceEvent
+from repro.service.jobs import Job
+from repro.service.loop import ConsolidationService, ServiceConfig
+from repro.service.stream import FixedStream, StreamConfig, WorkloadStream
+from repro.service.telemetry import MetricsSnapshot
+
+__all__ = [
+    "ADMITTED",
+    "AdmissionController",
+    "AdmissionDecision",
+    "ConsolidationService",
+    "EVENT_KINDS",
+    "EventLog",
+    "FixedStream",
+    "Job",
+    "MetricsSnapshot",
+    "NO_CAPACITY",
+    "QOS_INFEASIBLE",
+    "ServiceConfig",
+    "ServiceEvent",
+    "StreamConfig",
+    "WorkloadStream",
+    "placement_with_job",
+    "placement_without_job",
+]

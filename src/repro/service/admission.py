@@ -1,0 +1,240 @@
+"""QoS admission control (the service's gatekeeper).
+
+Admission answers one question: *can this job be placed right now
+without breaking anybody's QoS bound?*  The controller never migrates
+existing tenants — that is the rescheduler's prerogative — so the
+decision reduces to choosing nodes for the new job's units among the
+free unit slots and predicting the resulting normalized times with the
+interference model (:func:`~repro.placement.objectives.predict_placement`
+over the :class:`~repro.core.online.OnlineModel`).
+
+A job is admitted only if some candidate keeps **every** co-resident
+tenant inside its QoS bound *and* satisfies the job's own bound; among
+feasible candidates the one minimizing total weighted predicted time
+wins (ties broken by node order, so decisions are deterministic).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations, islice
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.cluster.cluster import ClusterSpec
+from repro.errors import PlacementError, ServiceError
+from repro.placement.assignment import Placement
+from repro.placement.objectives import (
+    QoSConstraint,
+    predict_placement,
+    weighted_total_time,
+)
+from repro.service.jobs import Job
+
+#: Admission decision reasons.
+ADMITTED = "admitted"
+NO_CAPACITY = "no-capacity"
+QOS_INFEASIBLE = "qos-infeasible"
+
+
+def placement_with_job(
+    placement: Optional[Placement],
+    cluster_spec: ClusterSpec,
+    job: Job,
+    nodes: Sequence[int],
+    *,
+    unit_slots_per_node: int = 2,
+) -> Placement:
+    """The current placement extended with ``job`` on ``nodes``.
+
+    Raises
+    ------
+    PlacementError
+        If the extension violates capacity or co-location constraints.
+    """
+    instances = list(placement.instances) if placement is not None else []
+    assignment: Dict[str, Tuple[int, ...]] = {
+        spec.instance_key: placement.nodes_of(spec.instance_key)
+        for spec in instances
+    } if placement is not None else {}
+    if job.job_id in assignment:
+        raise ServiceError(f"job {job.job_id!r} is already placed")
+    instances.append(job.instance_spec())
+    assignment[job.job_id] = tuple(int(n) for n in nodes)
+    return Placement(
+        cluster_spec,
+        instances,
+        assignment,
+        unit_slots_per_node=(
+            placement.unit_slots_per_node
+            if placement is not None
+            else unit_slots_per_node
+        ),
+    )
+
+
+def placement_without_job(placement: Placement, job_id: str) -> Optional[Placement]:
+    """The placement with ``job_id`` evicted (``None`` if it empties)."""
+    remaining = [
+        spec for spec in placement.instances if spec.instance_key != job_id
+    ]
+    if len(remaining) == len(placement.instances):
+        raise ServiceError(f"job {job_id!r} is not placed")
+    if not remaining:
+        return None
+    assignment = {
+        spec.instance_key: placement.nodes_of(spec.instance_key)
+        for spec in remaining
+    }
+    return Placement(
+        placement.cluster_spec,
+        remaining,
+        assignment,
+        unit_slots_per_node=placement.unit_slots_per_node,
+    )
+
+
+@dataclass(frozen=True)
+class AdmissionDecision:
+    """Outcome of one admission attempt.
+
+    ``placement``/``predictions`` are populated only when admitted;
+    ``candidates_evaluated`` counts the placements the controller
+    predicted before deciding (its work measure).
+    """
+
+    job: Job
+    admitted: bool
+    reason: str
+    placement: Optional[Placement] = None
+    predictions: Optional[Dict[str, float]] = None
+    candidates_evaluated: int = 0
+
+
+class AdmissionController:
+    """Predictive admission control over free unit slots.
+
+    Parameters
+    ----------
+    model:
+        Prediction model exposing ``predict_under_corunners`` (the
+        static :class:`~repro.core.model.InterferenceModel` or the
+        learning :class:`~repro.core.online.OnlineModel`).
+    cluster_spec:
+        Cluster shape.
+    unit_slots_per_node:
+        Units per host (2 on the paper's testbed); used when admitting
+        into an empty cluster.
+    max_candidates:
+        Cap on node combinations evaluated per decision, so admission
+        latency stays bounded on large clusters.  Combinations are
+        enumerated in sorted node order, so the cap cuts the tail
+        deterministically.
+    """
+
+    def __init__(
+        self,
+        model,
+        cluster_spec: ClusterSpec,
+        *,
+        unit_slots_per_node: int = 2,
+        max_candidates: int = 4096,
+    ) -> None:
+        if max_candidates <= 0:
+            raise ServiceError("max_candidates must be positive")
+        self.model = model
+        self.cluster_spec = cluster_spec
+        self.unit_slots_per_node = unit_slots_per_node
+        self.max_candidates = max_candidates
+
+    # ------------------------------------------------------------------
+    def _free_nodes(self, placement: Optional[Placement]) -> List[int]:
+        load: Dict[int, int] = {}
+        if placement is not None:
+            for spec in placement.instances:
+                for node in placement.nodes_of(spec.instance_key):
+                    load[node] = load.get(node, 0) + 1
+        slots = (
+            placement.unit_slots_per_node
+            if placement is not None
+            else self.unit_slots_per_node
+        )
+        return [
+            node
+            for node in range(self.cluster_spec.num_nodes)
+            if load.get(node, 0) < slots
+        ]
+
+    @staticmethod
+    def _constraints(
+        tenants: Sequence[Job], job: Job
+    ) -> List[QoSConstraint]:
+        constraints = [
+            tenant.qos_constraint()
+            for tenant in tenants
+            if tenant.mission_critical
+        ]
+        if job.mission_critical:
+            constraints.append(job.qos_constraint())
+        return [c for c in constraints if c is not None]
+
+    # ------------------------------------------------------------------
+    def try_admit(
+        self,
+        placement: Optional[Placement],
+        tenants: Sequence[Job],
+        job: Job,
+    ) -> AdmissionDecision:
+        """Decide whether ``job`` can join the current placement.
+
+        Parameters
+        ----------
+        placement:
+            Where the tenants currently sit (``None`` for an empty
+            cluster).
+        tenants:
+            The resident jobs, in placement order.
+        job:
+            The candidate.
+        """
+        free = self._free_nodes(placement)
+        if len(free) < job.num_units:
+            return AdmissionDecision(job, False, NO_CAPACITY)
+        constraints = self._constraints(tenants, job)
+        best: Optional[Tuple[float, Placement, Dict[str, float]]] = None
+        evaluated = 0
+        saw_valid_candidate = False
+        for nodes in islice(
+            combinations(free, job.num_units), self.max_candidates
+        ):
+            try:
+                candidate = placement_with_job(
+                    placement,
+                    self.cluster_spec,
+                    job,
+                    nodes,
+                    unit_slots_per_node=self.unit_slots_per_node,
+                )
+            except PlacementError:
+                continue
+            saw_valid_candidate = True
+            evaluated += 1
+            predictions = predict_placement(self.model, candidate)
+            if any(not c.satisfied_by(predictions) for c in constraints):
+                continue
+            total = weighted_total_time(predictions, candidate)
+            if best is None or total < best[0]:
+                best = (total, candidate, predictions)
+        if best is None:
+            reason = QOS_INFEASIBLE if saw_valid_candidate else NO_CAPACITY
+            return AdmissionDecision(
+                job, False, reason, candidates_evaluated=evaluated
+            )
+        _, chosen, predictions = best
+        return AdmissionDecision(
+            job,
+            True,
+            ADMITTED,
+            placement=chosen,
+            predictions=predictions,
+            candidates_evaluated=evaluated,
+        )

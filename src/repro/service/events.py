@@ -1,0 +1,122 @@
+"""Append-only structured event log (the service's flight recorder).
+
+Every externally visible decision the service makes — arrivals,
+admissions, rejections, migrations, departures, QoS violations — is
+appended here as a :class:`ServiceEvent`.  The log is the determinism
+contract's witness: two runs of the same seeded traffic day must
+produce **byte-identical** JSONL renderings, which is what the
+``service_smoke`` CI job and the determinism tests compare.
+
+Floats are rounded to six decimals before serialization so the bytes
+do not depend on accumulated float formatting noise, and payload keys
+are sorted so dict insertion order cannot leak into the output.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Tuple
+
+from repro.errors import ServiceError
+
+#: Event kinds, in the order they can occur within an epoch.
+EVENT_KINDS = (
+    "depart",
+    "arrival",
+    "admit",
+    "queue",
+    "reject",
+    "migrate",
+    "qos_violation",
+    "epoch_end",
+)
+
+
+def _clean(value: object) -> object:
+    """Round floats (recursively) so serialization is byte-stable."""
+    if isinstance(value, float):
+        return round(value, 6)
+    if isinstance(value, dict):
+        return {str(k): _clean(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_clean(v) for v in value]
+    return value
+
+
+@dataclass(frozen=True)
+class ServiceEvent:
+    """One log entry: (epoch, sequence number, kind, payload)."""
+
+    epoch: int
+    seq: int
+    kind: str
+    payload: Tuple[Tuple[str, object], ...]
+
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-dict view (payload keys flattened in)."""
+        entry: Dict[str, object] = {
+            "epoch": self.epoch,
+            "seq": self.seq,
+            "kind": self.kind,
+        }
+        entry.update(dict(self.payload))
+        return entry
+
+    def to_json(self) -> str:
+        """Canonical single-line JSON rendering."""
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+
+class EventLog:
+    """Append-only, in-order event store."""
+
+    def __init__(self) -> None:
+        self._events: List[ServiceEvent] = []
+
+    def append(self, kind: str, epoch: int, **payload: object) -> ServiceEvent:
+        """Record one event; returns the stamped entry."""
+        if kind not in EVENT_KINDS:
+            raise ServiceError(
+                f"unknown event kind {kind!r}; known: {', '.join(EVENT_KINDS)}"
+            )
+        event = ServiceEvent(
+            epoch=epoch,
+            seq=len(self._events),
+            kind=kind,
+            payload=tuple(sorted(
+                (key, _clean(value)) for key, value in payload.items()
+            )),
+        )
+        self._events.append(event)
+        return event
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[ServiceEvent]:
+        return iter(self._events)
+
+    def of_kind(self, kind: str) -> List[ServiceEvent]:
+        """All events of one kind, in log order."""
+        if kind not in EVENT_KINDS:
+            raise ServiceError(f"unknown event kind {kind!r}")
+        return [event for event in self._events if event.kind == kind]
+
+    def counts(self) -> Dict[str, int]:
+        """Events per kind (only kinds that occurred)."""
+        result: Dict[str, int] = {}
+        for event in self._events:
+            result[event.kind] = result.get(event.kind, 0) + 1
+        return result
+
+    def to_jsonl(self) -> str:
+        """The whole log as canonical JSON lines."""
+        return "\n".join(event.to_json() for event in self._events) + (
+            "\n" if self._events else ""
+        )
+
+    def write(self, path: str) -> None:
+        """Write the JSONL rendering to ``path``."""
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.to_jsonl())

@@ -1,0 +1,427 @@
+"""The epoch-driven consolidation service.
+
+:class:`ConsolidationService` turns the offline reproduction into a
+long-running controller.  Each epoch it:
+
+1. **departs** tenants whose tenancy expired,
+2. **admits** arrivals (and queued retries) through the
+   :class:`~repro.service.admission.AdmissionController` — a job enters
+   only if a placement of its units onto free slots keeps every
+   mission-critical tenant (and itself) inside its QoS bound,
+3. **reschedules** the resident mix: a fresh placement search over the
+   refined :class:`~repro.core.online.OnlineModel`, migration-gated the
+   same way as :class:`~repro.placement.dynamic.DynamicRescheduler` —
+   moves must buy back ``migration_cost`` per moved unit, except that a
+   migration repairing a predicted QoS violation is always taken,
+4. **measures** the placement on the ground-truth runner, folds the
+   measured normalized times back into the online model, and flags
+   measured QoS violations,
+5. **logs** everything to the append-only :class:`EventLog` and emits a
+   :class:`~repro.service.telemetry.MetricsSnapshot`.
+
+Every stochastic choice derives from ``stable_seed`` labels, so a
+seeded traffic day is fully deterministic: two runs produce
+byte-identical event logs and snapshots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro._util import stable_seed
+from repro.core.online import OnlineModel
+from repro.errors import ServiceError
+from repro.placement.annealing import AnnealingSchedule
+from repro.placement.assignment import Placement
+from repro.placement.dynamic import units_moved
+from repro.placement.objectives import (
+    QoSConstraint,
+    predict_placement,
+    weighted_total_time,
+)
+from repro.placement.qos import QoSAwarePlacer
+from repro.placement.throughput import ThroughputPlacer
+from repro.service.admission import (
+    AdmissionController,
+    placement_without_job,
+)
+from repro.service.events import EventLog
+from repro.service.jobs import Job
+from repro.service.telemetry import MetricsSnapshot
+from repro.sim.runner import ClusterRunner
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Operating knobs of the consolidation service.
+
+    Parameters
+    ----------
+    admission_retries:
+        Failed admission attempts a queued job may accumulate beyond
+        its first before it is rejected (bounded retry).
+    max_queue_depth:
+        Arrivals beyond this queue depth are rejected immediately.
+    reschedule_every:
+        Epochs between placement searches (0 disables rescheduling).
+    migration_cost:
+        Predicted-total-time units one migrated VM unit must buy back
+        (same gate as :class:`~repro.placement.dynamic.DynamicRescheduler`).
+    schedule:
+        Annealing schedule for the per-epoch searches.  Rescheduling
+        assumes the paper's two-unit-slot hosts (the placers' random
+        starts do).
+    """
+
+    admission_retries: int = 2
+    max_queue_depth: int = 16
+    reschedule_every: int = 1
+    migration_cost: float = 0.02
+    schedule: AnnealingSchedule = field(
+        default_factory=lambda: AnnealingSchedule(iterations=600, restarts=2)
+    )
+
+    def __post_init__(self) -> None:
+        if self.admission_retries < 0:
+            raise ServiceError("admission_retries must be non-negative")
+        if self.max_queue_depth < 0:
+            raise ServiceError("max_queue_depth must be non-negative")
+        if self.reschedule_every < 0:
+            raise ServiceError("reschedule_every must be non-negative")
+        if self.migration_cost < 0:
+            raise ServiceError("migration_cost must be non-negative")
+
+
+@dataclass
+class _QueuedJob:
+    job: Job
+    failures: int = 0
+
+
+class ConsolidationService:
+    """Admit, place, measure, learn — epoch after epoch.
+
+    Parameters
+    ----------
+    runner:
+        Ground-truth environment placements execute on.
+    model:
+        Prediction model; wrapped in an :class:`OnlineModel` unless one
+        is passed directly, so measurements refine future predictions.
+    stream:
+        Arrival source exposing ``arrivals(epoch) -> List[Job]``
+        (:class:`~repro.service.stream.WorkloadStream` or
+        :class:`~repro.service.stream.FixedStream`).
+    config:
+        Operating knobs.
+    seed:
+        Root seed for searches and measurement repetitions.
+    """
+
+    def __init__(
+        self,
+        runner: ClusterRunner,
+        model,
+        stream,
+        *,
+        config: Optional[ServiceConfig] = None,
+        seed: int = 0,
+    ) -> None:
+        self.runner = runner
+        self.model = model if isinstance(model, OnlineModel) else OnlineModel(model)
+        self.stream = stream
+        self.config = config or ServiceConfig()
+        self.seed = seed
+        self.admission = AdmissionController(self.model, runner.spec)
+        self.log = EventLog()
+        self.snapshots: List[MetricsSnapshot] = []
+
+        self._placement: Optional[Placement] = None
+        self._tenants: Dict[str, Job] = {}
+        self._ends_at: Dict[str, int] = {}
+        self._queue: List[_QueuedJob] = []
+        self._epochs_run = 0
+
+        self._admitted = 0
+        self._rejected = 0
+        self._completed = 0
+        self._migration_epochs = 0
+        self._migrated_units = 0
+        self._qos_checks = 0
+        self._qos_violations = 0
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def placement(self) -> Optional[Placement]:
+        """Where the tenants currently sit (``None`` when empty)."""
+        return self._placement
+
+    @property
+    def tenants(self) -> List[Job]:
+        """Resident jobs, in admission order."""
+        return list(self._tenants.values())
+
+    @property
+    def queue_depth(self) -> int:
+        """Jobs currently waiting for admission."""
+        return len(self._queue)
+
+    @property
+    def epochs_run(self) -> int:
+        """Epochs the service has completed so far."""
+        return self._epochs_run
+
+    def utilization(self) -> float:
+        """Occupied fraction of the cluster's unit slots."""
+        slots = self.runner.spec.num_nodes * self.admission.unit_slots_per_node
+        occupied = sum(job.num_units for job in self._tenants.values())
+        return occupied / slots if slots else 0.0
+
+    # ------------------------------------------------------------------
+    # Epoch phases
+    # ------------------------------------------------------------------
+    def _depart(self, epoch: int) -> None:
+        for job_id in [
+            key for key in self._tenants if self._ends_at[key] <= epoch
+        ]:
+            job = self._tenants.pop(job_id)
+            del self._ends_at[job_id]
+            self._placement = placement_without_job(self._placement, job_id)
+            self._completed += 1
+            self.log.append(
+                "depart",
+                epoch,
+                job=job_id,
+                workload=job.workload,
+                epochs_resident=job.duration_epochs,
+            )
+
+    def _arrive(self, epoch: int) -> None:
+        for job in self.stream.arrivals(epoch):
+            self.log.append(
+                "arrival",
+                epoch,
+                job=job.job_id,
+                workload=job.workload,
+                units=job.num_units,
+                duration=job.duration_epochs,
+                qos_target=job.qos_target,
+            )
+            if len(self._queue) >= self.config.max_queue_depth:
+                self._rejected += 1
+                self.log.append(
+                    "reject", epoch, job=job.job_id, reason="queue-full"
+                )
+                continue
+            self._queue.append(_QueuedJob(job))
+
+    def _admit(self, epoch: int) -> None:
+        still_waiting: List[_QueuedJob] = []
+        for entry in self._queue:
+            decision = self.admission.try_admit(
+                self._placement, self.tenants, entry.job
+            )
+            if decision.admitted:
+                job = entry.job
+                self._placement = decision.placement
+                self._tenants[job.job_id] = job
+                self._ends_at[job.job_id] = epoch + job.duration_epochs
+                self._admitted += 1
+                assert decision.predictions is not None
+                self.log.append(
+                    "admit",
+                    epoch,
+                    job=job.job_id,
+                    workload=job.workload,
+                    nodes=list(decision.placement.nodes_of(job.job_id)),
+                    predicted=decision.predictions[job.job_id],
+                    waited=entry.failures,
+                    candidates=decision.candidates_evaluated,
+                )
+                continue
+            entry.failures += 1
+            if entry.failures > self.config.admission_retries:
+                self._rejected += 1
+                self.log.append(
+                    "reject",
+                    epoch,
+                    job=entry.job.job_id,
+                    reason=decision.reason,
+                    attempts=entry.failures,
+                )
+            else:
+                still_waiting.append(entry)
+                self.log.append(
+                    "queue",
+                    epoch,
+                    job=entry.job.job_id,
+                    reason=decision.reason,
+                    attempts=entry.failures,
+                )
+        self._queue = still_waiting
+
+    def _constraints(self) -> List[QoSConstraint]:
+        constraints = [
+            job.qos_constraint()
+            for job in self._tenants.values()
+            if job.mission_critical
+        ]
+        return [c for c in constraints if c is not None]
+
+    def _search_candidate(self, epoch: int) -> Placement:
+        instances = [job.instance_spec() for job in self._tenants.values()]
+        seed = stable_seed(self.seed, "resched", epoch)
+        constraints = self._constraints()
+        if constraints:
+            placer = QoSAwarePlacer(
+                self.model,
+                self.runner.spec,
+                constraints,
+                schedule=self.config.schedule,
+                seed=seed,
+            )
+            return placer.place(instances).placement
+        placer = ThroughputPlacer(
+            self.model,
+            self.runner.spec,
+            schedule=self.config.schedule,
+            seed=seed,
+        )
+        return placer.best(instances).placement
+
+    def _reschedule(self, epoch: int) -> None:
+        every = self.config.reschedule_every
+        if (
+            every == 0
+            or epoch == 0
+            or epoch % every != 0
+            or self._placement is None
+            or len(self._tenants) < 2
+        ):
+            return
+        candidate = self._search_candidate(epoch)
+        constraints = self._constraints()
+        current_predictions = predict_placement(self.model, self._placement)
+        candidate_predictions = predict_placement(self.model, candidate)
+        current_violation = sum(
+            c.violation(current_predictions) for c in constraints
+        )
+        candidate_violation = sum(
+            c.violation(candidate_predictions) for c in constraints
+        )
+        if candidate_violation > current_violation:
+            # Never migrate into a (predicted) worse QoS posture.
+            return
+        current_total = weighted_total_time(
+            current_predictions, self._placement
+        )
+        candidate_total = weighted_total_time(candidate_predictions, candidate)
+        moves = units_moved(self._placement, candidate)
+        gain = current_total - candidate_total
+        repairs_qos = candidate_violation < current_violation
+        if moves == 0 or not (
+            repairs_qos or gain > self.config.migration_cost * moves
+        ):
+            return
+        self._placement = candidate
+        self._migration_epochs += 1
+        self._migrated_units += moves
+        self.log.append(
+            "migrate",
+            epoch,
+            moved_units=moves,
+            predicted_gain=gain,
+            repairs_qos=repairs_qos,
+            predicted_total=candidate_total,
+        )
+
+    def _measure_and_learn(self, epoch: int) -> float:
+        if self._placement is None:
+            return 0.0
+        predictions = predict_placement(self.model, self._placement)
+        measured = self.runner.run_deployments(
+            self._placement.deployments(),
+            rep=stable_seed(self.seed, "measure", epoch),
+        )
+        workload_of = {
+            job_id: job.workload for job_id, job in self._tenants.items()
+        }
+        self.model.observe_placement(predictions, measured, workload_of)
+        for job_id, job in self._tenants.items():
+            if not job.mission_critical:
+                continue
+            self._qos_checks += 1
+            assert job.qos_target is not None
+            if measured[job_id] > job.qos_target:
+                self._qos_violations += 1
+                self.log.append(
+                    "qos_violation",
+                    epoch,
+                    job=job_id,
+                    workload=job.workload,
+                    measured=measured[job_id],
+                    bound=job.qos_target,
+                    predicted=predictions[job_id],
+                )
+        return weighted_total_time(measured, self._placement)
+
+    def _snapshot(self, epoch: int) -> MetricsSnapshot:
+        staleness = self.model.staleness_report()
+        observed = {workload for workload, count, _, _ in staleness if count > 0}
+        snapshot = MetricsSnapshot(
+            epoch=epoch,
+            running_jobs=len(self._tenants),
+            queued_jobs=len(self._queue),
+            utilization=self.utilization(),
+            admitted_total=self._admitted,
+            rejected_total=self._rejected,
+            completed_total=self._completed,
+            migration_epochs_total=self._migration_epochs,
+            migrated_units_total=self._migrated_units,
+            qos_checks_total=self._qos_checks,
+            qos_violations_total=self._qos_violations,
+            model_observations=sum(count for _, count, _, _ in staleness),
+            unobserved_workloads=len(
+                [w for w in self.model.workloads if w not in observed]
+            ),
+        )
+        self.snapshots.append(snapshot)
+        return snapshot
+
+    # ------------------------------------------------------------------
+    def run(self, epochs: int) -> List[MetricsSnapshot]:
+        """Advance the service by ``epochs`` epochs.
+
+        Callable repeatedly: epoch numbering continues where the last
+        call stopped, so ``run(3); run(3)`` replays the same traffic
+        day as ``run(6)``.
+
+        Returns
+        -------
+        list of MetricsSnapshot
+            One snapshot per newly run epoch.
+        """
+        if epochs <= 0:
+            raise ServiceError("epochs must be positive")
+        fresh: List[MetricsSnapshot] = []
+        for epoch in range(self._epochs_run, self._epochs_run + epochs):
+            self._depart(epoch)
+            self._arrive(epoch)
+            self._admit(epoch)
+            self._reschedule(epoch)
+            measured_total = self._measure_and_learn(epoch)
+            snapshot = self._snapshot(epoch)
+            self.log.append(
+                "epoch_end",
+                epoch,
+                running=snapshot.running_jobs,
+                queued=snapshot.queued_jobs,
+                utilization=snapshot.utilization,
+                measured_total=measured_total,
+            )
+            fresh.append(snapshot)
+        self._epochs_run += epochs
+        return fresh

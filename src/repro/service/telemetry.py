@@ -1,0 +1,71 @@
+"""Service metrics: per-epoch operational snapshots.
+
+A :class:`MetricsSnapshot` is the operator's dashboard row: cluster
+utilization, admission totals, queue depth, QoS violation rate, and
+model staleness (how much production evidence the online model has
+absorbed).  Snapshots are plain data; the text rendering lives in
+:func:`repro.analysis.reporting.render_service_snapshot` next to the
+paper-table renderers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+
+@dataclass(frozen=True)
+class MetricsSnapshot:
+    """The service's counters at the end of one epoch.
+
+    ``violation_rate`` is violations per QoS check (a check is one
+    mission-critical tenant measured for one epoch), so it is
+    comparable across runs with different traffic.  ``model_observations``
+    and ``unobserved_workloads`` summarize the online model's
+    staleness: how many measurements it has folded in, and how many of
+    its workloads still predict purely from the static prior.
+    """
+
+    epoch: int
+    running_jobs: int
+    queued_jobs: int
+    utilization: float
+    admitted_total: int
+    rejected_total: int
+    completed_total: int
+    migration_epochs_total: int
+    migrated_units_total: int
+    qos_checks_total: int
+    qos_violations_total: int
+    model_observations: int
+    unobserved_workloads: int
+
+    @property
+    def violation_rate(self) -> float:
+        """QoS violations per mission-critical tenant-epoch."""
+        if self.qos_checks_total == 0:
+            return 0.0
+        return self.qos_violations_total / self.qos_checks_total
+
+    def to_dict(self) -> Dict[str, object]:
+        """Flat, JSON-friendly view (includes derived rates)."""
+        return {
+            "epoch": self.epoch,
+            "running_jobs": self.running_jobs,
+            "queued_jobs": self.queued_jobs,
+            "utilization": round(self.utilization, 6),
+            "admitted_total": self.admitted_total,
+            "rejected_total": self.rejected_total,
+            "completed_total": self.completed_total,
+            "migration_epochs_total": self.migration_epochs_total,
+            "migrated_units_total": self.migrated_units_total,
+            "qos_checks_total": self.qos_checks_total,
+            "qos_violations_total": self.qos_violations_total,
+            "violation_rate": round(self.violation_rate, 6),
+            "model_observations": self.model_observations,
+            "unobserved_workloads": self.unobserved_workloads,
+        }
+
+    def rows(self) -> List[Tuple[str, object]]:
+        """(metric, value) rows for table rendering."""
+        return list(self.to_dict().items())

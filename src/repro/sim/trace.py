@@ -22,17 +22,30 @@ class StageRecord:
 
 @dataclass
 class ExecutionTrace:
-    """Time-ordered record of stage completions."""
+    """Time-ordered record of stage completions.
+
+    Records are also indexed per instance as they arrive, so
+    :meth:`stages_of` / :meth:`stage_durations` cost O(own stages)
+    instead of rescanning every instance's records — metrics that
+    iterate all instances used to pay a quadratic full-list scan.
+    """
 
     records: List[StageRecord] = field(default_factory=list)
 
+    def __post_init__(self) -> None:
+        self._by_instance: Dict[str, List[StageRecord]] = {}
+        for record in self.records:
+            self._by_instance.setdefault(record.instance_key, []).append(record)
+
     def record_stage(self, instance_key: str, stage_name: str, now: float) -> None:
         """Append one stage-completion record."""
-        self.records.append(StageRecord(instance_key, stage_name, now))
+        record = StageRecord(instance_key, stage_name, now)
+        self.records.append(record)
+        self._by_instance.setdefault(instance_key, []).append(record)
 
     def stages_of(self, instance_key: str) -> List[StageRecord]:
         """Records belonging to one instance, in completion order."""
-        return [r for r in self.records if r.instance_key == instance_key]
+        return list(self._by_instance.get(instance_key, ()))
 
     def stage_durations(self, instance_key: str) -> List[Tuple[str, float]]:
         """(stage name, duration) pairs for one instance."""
@@ -46,7 +59,6 @@ class ExecutionTrace:
 
     def summary(self) -> Dict[str, int]:
         """Number of recorded stages per instance."""
-        counts: Dict[str, int] = {}
-        for record in self.records:
-            counts[record.instance_key] = counts.get(record.instance_key, 0) + 1
-        return counts
+        return {
+            key: len(records) for key, records in self._by_instance.items()
+        }

@@ -56,7 +56,29 @@ class TestBuildModel:
             build_model(runner, ["appA"], algorithm="magic")
 
     def test_registered_profilers(self):
-        assert set(MATRIX_PROFILERS) == {"binary-optimized", "binary-brute"}
+        assert set(MATRIX_PROFILERS) == {
+            "binary-optimized", "binary-brute", "random-30%", "random-50%",
+        }
+
+    def test_random_profiler_builds_complete_model(self, runner):
+        report = build_model(
+            runner, ["appA"], algorithm="random-30%", policy_samples=4, seed=2
+        )
+        outcome = report.profiling_outcomes["appA"]
+        assert outcome.algorithm == "random-30%"
+        assert outcome.matrix.is_complete()
+
+    def test_random_profiler_deterministic(self, runner):
+        first = build_model(
+            runner, ["appA"], algorithm="random-50%", policy_samples=4, seed=2
+        )
+        second = build_model(
+            runner, ["appA"], algorithm="random-50%", policy_samples=4, seed=2
+        )
+        assert (
+            first.profiling_outcomes["appA"].settings_measured
+            == second.profiling_outcomes["appA"].settings_measured
+        )
 
     def test_span_limits_counts(self, runner):
         small = build_model(

@@ -1,0 +1,40 @@
+"""A tiny analytic prediction model for fast admission tests.
+
+Predicted normalized time is a pure function of the densest co-runner
+node: ``1 + penalty * max units of other instances sharing a node``.
+That makes admission outcomes computable by hand without profiling.
+"""
+
+from __future__ import annotations
+
+from typing import List, Mapping, Sequence
+
+
+class FakeModel:
+    """Co-location-counting stand-in for the interference model."""
+
+    def __init__(self, penalty: float = 0.2) -> None:
+        self.penalty = penalty
+
+    @property
+    def workloads(self) -> List[str]:
+        return []
+
+    def pressure_vector(
+        self,
+        workload_nodes: Sequence[int],
+        co_runners_by_node: Mapping[int, Sequence[str]],
+    ) -> List[float]:
+        return [float(len(co_runners_by_node.get(n, ()))) for n in workload_nodes]
+
+    def predict_under_corunners(
+        self,
+        workload: str,
+        workload_nodes: Sequence[int],
+        co_runners_by_node: Mapping[int, Sequence[str]],
+    ) -> float:
+        worst = max(
+            (len(co_runners_by_node.get(node, ())) for node in workload_nodes),
+            default=0,
+        )
+        return 1.0 + self.penalty * worst

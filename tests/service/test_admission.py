@@ -1,0 +1,175 @@
+"""Tests for the QoS admission controller."""
+
+import pytest
+
+from repro.cluster.cluster import ClusterSpec
+from repro.errors import ServiceError
+from repro.service.admission import (
+    ADMITTED,
+    NO_CAPACITY,
+    QOS_INFEASIBLE,
+    AdmissionController,
+    placement_with_job,
+    placement_without_job,
+)
+from repro.service.jobs import Job
+
+from tests.service._fake import FakeModel
+
+SPEC_4 = ClusterSpec(num_nodes=4)
+SPEC_8 = ClusterSpec(num_nodes=8)
+
+
+def admit_all(controller, jobs):
+    """Admit a sequence of jobs, returning (placement, tenants)."""
+    placement, tenants = None, []
+    for job in jobs:
+        decision = controller.try_admit(placement, tenants, job)
+        assert decision.admitted, f"{job.job_id}: {decision.reason}"
+        placement = decision.placement
+        tenants.append(job)
+    return placement, tenants
+
+
+class TestPlacementSurgery:
+    def test_with_then_without_roundtrip(self):
+        job_a = Job("a", "wl", num_units=2)
+        job_b = Job("b", "wl", num_units=2)
+        placed_a = placement_with_job(None, SPEC_4, job_a, [0, 1])
+        both = placement_with_job(placed_a, SPEC_4, job_b, [2, 3])
+        assert both.nodes_of("a") == (0, 1)
+        assert both.nodes_of("b") == (2, 3)
+        only_a = placement_without_job(both, "b")
+        assert only_a is not None
+        assert only_a.nodes_of("a") == (0, 1)
+        assert placement_without_job(only_a, "a") is None
+
+    def test_duplicate_job_rejected(self):
+        job = Job("a", "wl", num_units=2)
+        placement = placement_with_job(None, SPEC_4, job, [0, 1])
+        with pytest.raises(ServiceError):
+            placement_with_job(placement, SPEC_4, job, [2, 3])
+
+    def test_unknown_eviction_rejected(self):
+        placement = placement_with_job(None, SPEC_4, Job("a", "wl"), [0, 1, 2, 3])
+        with pytest.raises(ServiceError):
+            placement_without_job(placement, "ghost")
+
+
+class TestCapacity:
+    def test_admits_into_empty_cluster(self):
+        controller = AdmissionController(FakeModel(), SPEC_4)
+        decision = controller.try_admit(None, [], Job("a", "wl", num_units=4))
+        assert decision.admitted and decision.reason == ADMITTED
+        assert decision.placement is not None
+        assert decision.predictions == {"a": 1.0}
+
+    def test_rejects_when_full(self):
+        controller = AdmissionController(FakeModel(), SPEC_4)
+        placement, tenants = admit_all(
+            controller,
+            [Job("a", "wl", num_units=4), Job("b", "wl", num_units=4)],
+        )
+        decision = controller.try_admit(
+            placement, tenants, Job("c", "wl", num_units=4)
+        )
+        assert not decision.admitted
+        assert decision.reason == NO_CAPACITY
+        assert decision.placement is None
+
+    def test_rejects_oversized_job(self):
+        controller = AdmissionController(FakeModel(), SPEC_4)
+        decision = controller.try_admit(None, [], Job("a", "wl", num_units=5))
+        assert not decision.admitted and decision.reason == NO_CAPACITY
+
+    def test_never_moves_existing_tenants(self):
+        controller = AdmissionController(FakeModel(), SPEC_8)
+        placement, tenants = admit_all(
+            controller, [Job("a", "wl", num_units=4)]
+        )
+        before = placement.nodes_of("a")
+        decision = controller.try_admit(
+            placement, tenants, Job("b", "wl", num_units=4)
+        )
+        assert decision.admitted
+        assert decision.placement.nodes_of("a") == before
+
+
+class TestQoSGate:
+    def test_prefers_interference_free_nodes(self):
+        controller = AdmissionController(FakeModel(penalty=0.2), SPEC_8)
+        placement, tenants = admit_all(
+            controller, [Job("a", "wl", num_units=4)]
+        )
+        decision = controller.try_admit(
+            placement, tenants, Job("b", "wl", num_units=4)
+        )
+        assert decision.admitted
+        occupied = set(placement.nodes_of("a"))
+        assert not occupied & set(decision.placement.nodes_of("b"))
+        assert decision.predictions == {"a": 1.0, "b": 1.0}
+
+    def test_rejects_job_that_would_break_tenant_bound(self):
+        # The tenant spans every node, so any arrival must share one;
+        # sharing predicts the tenant at 1.2, beyond its 1.1 bound.
+        controller = AdmissionController(FakeModel(penalty=0.2), SPEC_4)
+        tenant = Job("critical", "wl", num_units=4, qos_target=1.1)
+        placement, tenants = admit_all(controller, [tenant])
+        decision = controller.try_admit(
+            placement, tenants, Job("b", "wl", num_units=2)
+        )
+        assert not decision.admitted
+        assert decision.reason == QOS_INFEASIBLE
+        assert decision.candidates_evaluated > 0
+
+    def test_rejects_job_whose_own_bound_cannot_hold(self):
+        controller = AdmissionController(FakeModel(penalty=0.2), SPEC_4)
+        placement, tenants = admit_all(
+            controller, [Job("a", "wl", num_units=4)]
+        )
+        decision = controller.try_admit(
+            placement, tenants, Job("b", "wl", num_units=2, qos_target=1.1)
+        )
+        assert not decision.admitted
+        assert decision.reason == QOS_INFEASIBLE
+
+    def test_admits_when_bound_is_loose_enough(self):
+        controller = AdmissionController(FakeModel(penalty=0.2), SPEC_4)
+        tenant = Job("critical", "wl", num_units=4, qos_target=1.25)
+        placement, tenants = admit_all(controller, [tenant])
+        decision = controller.try_admit(
+            placement, tenants, Job("b", "wl", num_units=2, qos_target=1.25)
+        )
+        assert decision.admitted
+        # The invariant the service relies on: predicted times of every
+        # mission-critical resident stay inside their bounds.
+        for job in [tenant, decision.job]:
+            constraint = job.qos_constraint()
+            assert constraint.satisfied_by(decision.predictions)
+
+    def test_decisions_are_deterministic(self):
+        def decide():
+            controller = AdmissionController(FakeModel(penalty=0.1), SPEC_8)
+            placement, tenants = admit_all(
+                controller,
+                [Job("a", "wl", num_units=4), Job("b", "wl", num_units=3)],
+            )
+            return controller.try_admit(
+                placement, tenants, Job("c", "wl", num_units=3)
+            )
+
+        first, second = decide(), decide()
+        assert first.admitted == second.admitted
+        assert first.placement.nodes_of("c") == second.placement.nodes_of("c")
+
+
+class TestValidation:
+    def test_max_candidates_positive(self):
+        with pytest.raises(ServiceError):
+            AdmissionController(FakeModel(), SPEC_4, max_candidates=0)
+
+    def test_candidate_cap_bounds_work(self):
+        controller = AdmissionController(FakeModel(), SPEC_8, max_candidates=3)
+        decision = controller.try_admit(None, [], Job("a", "wl", num_units=2))
+        assert decision.admitted
+        assert decision.candidates_evaluated <= 3

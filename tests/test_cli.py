@@ -1,8 +1,18 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
+
+SERVE_FAST = [
+    "serve",
+    "--epochs", "2",
+    "--seed", "9",
+    "--workloads", "M.lmps", "H.KM",
+    "--policy-samples", "5",
+]
 
 
 class TestParser:
@@ -71,3 +81,62 @@ class TestProfilePredictRoundtrip:
         )
         assert code == 1
         assert "error:" in capsys.readouterr().err
+
+
+class TestProfileAlgorithms:
+    def test_random_sampling_algorithm(self, tmp_path, capsys):
+        model_path = str(tmp_path / "model.json")
+        code = main(
+            [
+                "profile", "M.lmps",
+                "--out", model_path,
+                "--algorithm", "random-30%",
+                "--policy-samples", "5",
+                "--seed", "4",
+            ]
+        )
+        assert code == 0
+        assert "Bubble score" in capsys.readouterr().out
+
+
+class TestServeCommand:
+    def test_serves_a_short_day(self, tmp_path, capsys):
+        log_path = tmp_path / "events.jsonl"
+        code = main(SERVE_FAST + ["--event-log", str(log_path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "epoch" in out
+        assert "epoch_end" in out
+        lines = log_path.read_text().splitlines()
+        assert lines
+        kinds = {json.loads(line)["kind"] for line in lines}
+        assert "epoch_end" in kinds
+
+    def test_day_is_deterministic_across_processes(self, tmp_path, capsys):
+        paths = []
+        for name in ("a", "b"):
+            log = tmp_path / f"{name}.jsonl"
+            snap = tmp_path / f"{name}.json"
+            assert main(
+                SERVE_FAST + ["--event-log", str(log), "--snapshot", str(snap)]
+            ) == 0
+            paths.append((log, snap))
+        capsys.readouterr()
+        (log_a, snap_a), (log_b, snap_b) = paths
+        assert log_a.read_bytes() == log_b.read_bytes()
+        assert snap_a.read_bytes() == snap_b.read_bytes()
+
+    def test_expectation_roundtrip(self, tmp_path, capsys):
+        expect = tmp_path / "expect.json"
+        assert main(SERVE_FAST + ["--update-expect", str(expect)]) == 0
+        assert main(SERVE_FAST + ["--expect", str(expect)]) == 0
+        assert "expectation check passed" in capsys.readouterr().out
+
+    def test_expectation_fails_on_violation_regression(self, tmp_path, capsys):
+        expect = tmp_path / "expect.json"
+        assert main(SERVE_FAST + ["--update-expect", str(expect)]) == 0
+        data = json.loads(expect.read_text())
+        data["final"]["qos_violations_total"] = -1
+        expect.write_text(json.dumps(data))
+        assert main(SERVE_FAST + ["--expect", str(expect)]) == 1
+        assert "QoS-violation regression" in capsys.readouterr().err
