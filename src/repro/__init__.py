@@ -18,103 +18,76 @@ The package layers:
   the interference-aware model (plus the naive baseline).
 * :mod:`repro.placement` — simulated-annealing QoS and throughput
   placement case studies.
+* :mod:`repro.service` — the online consolidation service.
+* :mod:`repro.obs` — structured tracing and metrics.
 * :mod:`repro.ec2` — the 32-VM scale-out validation environment.
 * :mod:`repro.experiments` — one module per paper table/figure.
 
-Quick start::
+The supported import surface is :mod:`repro.api`, re-exported here
+one-to-one.  Quick start::
 
-    from repro import ClusterRunner, build_model
+    from repro.api import ClusterRunner, build_model
 
     runner = ClusterRunner()
     report = build_model(runner, ["M.lmps", "M.Gems"], policy_samples=20)
     model = report.model
     # predicted slowdown of lammps with 3 nodes at bubble pressure 5:
-    model.predict_homogeneous("M.lmps", pressure=5.0, count=3)
+    model.predict("M.lmps", (5.0, 3))
+
+A handful of symbols that used to live at the top level but are not
+part of the curated surface (``Cluster``, ``make_bubble``,
+``MAX_PRESSURE``, ``NUM_PRESSURE_LEVELS``) remain importable through
+deprecation shims that warn once per symbol; import them from their
+defining module instead.
 """
 
-from repro.apps import (
-    ALL_WORKLOADS,
-    BATCH_WORKLOADS,
-    DISTRIBUTED_WORKLOADS,
-    get_workload,
-    make_bubble,
-)
-from repro.cluster import Cluster, ClusterSpec
-from repro.core import (
-    InterferenceModel,
-    InterferenceProfile,
-    NaiveProportionalModel,
-    PropagationMatrix,
-    build_batch_profiles,
-    build_model,
-    load_model,
-    save_model,
-)
-from repro.errors import (
-    CatalogError,
-    ConfigurationError,
-    ModelError,
-    PlacementError,
-    ProfilingError,
-    ReproError,
-    ServiceError,
-    SimulationError,
-)
-from repro.placement import (
-    InstanceSpec,
-    Placement,
-    QoSAwarePlacer,
-    QoSConstraint,
-    ThroughputPlacer,
-)
-from repro.service import (
-    ConsolidationService,
-    Job,
-    ServiceConfig,
-    StreamConfig,
-    WorkloadStream,
-)
-from repro.sim import ClusterRunner
-from repro.units import MAX_PRESSURE, NUM_PRESSURE_LEVELS
+from __future__ import annotations
 
-__version__ = "1.0.0"
+import warnings
 
-__all__ = [
-    "ALL_WORKLOADS",
-    "BATCH_WORKLOADS",
-    "CatalogError",
-    "Cluster",
-    "ClusterRunner",
-    "ClusterSpec",
-    "ConfigurationError",
-    "ConsolidationService",
-    "DISTRIBUTED_WORKLOADS",
-    "InstanceSpec",
-    "Job",
-    "InterferenceModel",
-    "InterferenceProfile",
-    "MAX_PRESSURE",
-    "ModelError",
-    "NUM_PRESSURE_LEVELS",
-    "NaiveProportionalModel",
-    "Placement",
-    "PlacementError",
-    "ProfilingError",
-    "PropagationMatrix",
-    "QoSAwarePlacer",
-    "QoSConstraint",
-    "ReproError",
-    "ServiceConfig",
-    "ServiceError",
-    "SimulationError",
-    "StreamConfig",
-    "ThroughputPlacer",
-    "WorkloadStream",
-    "build_batch_profiles",
-    "build_model",
-    "get_workload",
-    "load_model",
-    "make_bubble",
-    "save_model",
-    "__version__",
-]
+from repro.api import *  # noqa: F401,F403 — the curated surface, one-to-one
+from repro.api import __all__ as _API_ALL
+
+__version__ = "1.1.0"
+
+__all__ = list(_API_ALL) + ["__version__"]
+
+#: Legacy top-level names -> (module, attribute) they now live at.
+_LEGACY_ALIASES = {
+    "Cluster": ("repro.cluster", "Cluster"),
+    "make_bubble": ("repro.apps", "make_bubble"),
+    "MAX_PRESSURE": ("repro.units", "MAX_PRESSURE"),
+    "NUM_PRESSURE_LEVELS": ("repro.units", "NUM_PRESSURE_LEVELS"),
+}
+
+#: Symbols whose deprecation warning has already fired (one per symbol).
+_LEGACY_WARNED: set = set()
+
+
+def __getattr__(name: str):
+    """Deprecation shims for pre-1.1 top-level symbols.
+
+    Each legacy name resolves to the same object as its new home
+    (identity-preserving: the resolved object is cached in module
+    globals, so repeated imports return the same thing without
+    re-warning).
+    """
+    try:
+        module_name, attr = _LEGACY_ALIASES[name]
+    except KeyError:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}"
+        ) from None
+    if name not in _LEGACY_WARNED:
+        _LEGACY_WARNED.add(name)
+        warnings.warn(
+            f"importing {name!r} from 'repro' is deprecated; "
+            f"use 'from {module_name} import {attr}' instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+    import importlib
+
+    value = getattr(importlib.import_module(module_name), attr)
+    globals()[name] = value  # cache: later lookups skip __getattr__
+    return value

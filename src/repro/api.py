@@ -1,0 +1,153 @@
+"""The curated, stable public API surface.
+
+Everything a consumer of this reproduction needs is re-exported here,
+grouped by concern, and the set is intentionally small enough to keep
+stable across releases:
+
+* **Measurement** — :class:`ClusterRunner` (the oracle),
+  :class:`MeasurementRequest` batches, the persistent
+  :class:`MeasurementCache`.
+* **Model building & prediction** — :func:`build_model` /
+  :func:`build_batch_profiles`, the :class:`InterferenceModel` (whose
+  :meth:`~repro.core.model.InterferenceModel.predict` is the single
+  prediction entry point), persistence via :func:`load_model` /
+  :func:`save_model`, the :class:`NaiveProportionalModel` baseline,
+  and the :class:`OnlineModel` refinement wrapper.
+* **Placement** — :class:`Placement` / :class:`InstanceSpec`, the
+  annealing placers, and QoS constraints.
+* **Service** — the online :class:`ConsolidationService` and its
+  traffic, config, and telemetry types.
+* **Observability** — the :mod:`repro.obs` subsystem
+  (:func:`~repro.obs.recording`, :class:`~repro.obs.TraceRecorder`,
+  :func:`~repro.obs.write_trace`, :func:`~repro.obs.load_trace`).
+* **Errors** — the :class:`ReproError` hierarchy.
+
+``repro/__init__.py`` re-exports this module one-to-one, so
+``from repro import build_model`` and ``from repro.api import
+build_model`` name the same objects.  Symbols that used to live at the
+top level but are *not* part of this surface remain importable from
+``repro`` through deprecation shims (warning once per symbol) or
+directly from their defining submodule.
+"""
+
+from __future__ import annotations
+
+from repro import obs
+from repro.apps import (
+    ALL_WORKLOADS,
+    BATCH_WORKLOADS,
+    DISTRIBUTED_WORKLOADS,
+    get_workload,
+)
+from repro.cluster import ClusterSpec
+from repro.core import (
+    HomogeneousSetting,
+    InterferenceModel,
+    InterferenceProfile,
+    MATRIX_PROFILERS,
+    ModelBuildReport,
+    NaiveProportionalModel,
+    OnlineModel,
+    PropagationMatrix,
+    build_batch_profiles,
+    build_model,
+    load_model,
+    save_model,
+)
+from repro.errors import (
+    CatalogError,
+    ConfigurationError,
+    ModelError,
+    PlacementError,
+    ProfilingError,
+    ReproError,
+    ServiceError,
+    SimulationError,
+)
+from repro.obs import (
+    NullRecorder,
+    TraceRecorder,
+    load_trace,
+    recording,
+    summarize_text,
+    write_trace,
+)
+from repro.placement import (
+    AnnealingSchedule,
+    InstanceSpec,
+    Placement,
+    QoSAwarePlacer,
+    QoSConstraint,
+    SimulatedAnnealingPlacer,
+    ThroughputPlacer,
+)
+from repro.service import (
+    ConsolidationService,
+    EventLog,
+    FixedStream,
+    Job,
+    MetricsSnapshot,
+    ServiceConfig,
+    StreamConfig,
+    WorkloadStream,
+)
+from repro.sim import ClusterRunner, MeasurementCache, MeasurementRequest
+
+__all__ = [
+    # measurement
+    "ClusterRunner",
+    "ClusterSpec",
+    "MeasurementCache",
+    "MeasurementRequest",
+    # model building & prediction
+    "ALL_WORKLOADS",
+    "BATCH_WORKLOADS",
+    "DISTRIBUTED_WORKLOADS",
+    "HomogeneousSetting",
+    "InterferenceModel",
+    "InterferenceProfile",
+    "MATRIX_PROFILERS",
+    "ModelBuildReport",
+    "NaiveProportionalModel",
+    "OnlineModel",
+    "PropagationMatrix",
+    "build_batch_profiles",
+    "build_model",
+    "get_workload",
+    "load_model",
+    "save_model",
+    # placement
+    "AnnealingSchedule",
+    "InstanceSpec",
+    "Placement",
+    "QoSAwarePlacer",
+    "QoSConstraint",
+    "SimulatedAnnealingPlacer",
+    "ThroughputPlacer",
+    # service
+    "ConsolidationService",
+    "EventLog",
+    "FixedStream",
+    "Job",
+    "MetricsSnapshot",
+    "ServiceConfig",
+    "StreamConfig",
+    "WorkloadStream",
+    # observability
+    "NullRecorder",
+    "TraceRecorder",
+    "load_trace",
+    "obs",
+    "recording",
+    "summarize_text",
+    "write_trace",
+    # errors
+    "CatalogError",
+    "ConfigurationError",
+    "ModelError",
+    "PlacementError",
+    "ProfilingError",
+    "ReproError",
+    "ServiceError",
+    "SimulationError",
+]

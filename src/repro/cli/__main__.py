@@ -1,0 +1,8 @@
+"""Allow ``python -m repro.cli`` (same entry point as ``python -m repro``)."""
+
+import sys
+
+from repro.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,59 @@
+"""Shared parent parsers for the ``repro`` subcommands.
+
+Every subcommand composes its parser from these parents so that the
+common flags (``--seed``, ``--output``, ``--trace``) spell, type, and
+document identically everywhere.
+
+``--trace`` defaults to :data:`argparse.SUPPRESS` in the parent: the
+top-level parser owns the ``trace`` namespace slot (with a ``None``
+default), and the suppressed subcommand copy only writes to it when
+the flag actually appears after the verb — so both
+``repro --trace out.json serve`` and ``repro serve --trace out.json``
+work.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+TRACE_HELP = (
+    "record spans/metrics and write the trace here "
+    "(*.jsonl for the line stream, anything else for Chrome trace JSON)"
+)
+
+
+def trace_parent() -> argparse.ArgumentParser:
+    """Parent adding ``--trace PATH`` (suppressed default; see module doc)."""
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=argparse.SUPPRESS,
+        help=TRACE_HELP,
+    )
+    return parent
+
+
+def seed_parent(default: int = 2016) -> argparse.ArgumentParser:
+    """Parent adding ``--seed N`` (measurement/search determinism)."""
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument(
+        "--seed",
+        type=int,
+        default=default,
+        help=f"deterministic base seed (default: {default})",
+    )
+    return parent
+
+
+def output_parent() -> argparse.ArgumentParser:
+    """Parent adding ``--output PATH`` (``--out`` kept as an alias)."""
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument(
+        "--output",
+        "--out",
+        dest="out",
+        metavar="PATH",
+        help="write the subcommand's primary artifact here",
+    )
+    return parent

@@ -1,0 +1,86 @@
+"""``repro profile`` and ``repro predict`` — model building and queries."""
+
+from __future__ import annotations
+
+import argparse
+from typing import Mapping
+
+from repro.analysis.reporting import format_table
+from repro.core.builder import MATRIX_PROFILERS, build_model
+from repro.core.profile_store import load_model, save_model
+from repro.obs import console
+from repro.sim.runner import ClusterRunner
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    runner = ClusterRunner(base_seed=args.seed)
+    report = build_model(
+        runner,
+        args.workloads,
+        algorithm=args.algorithm,
+        policy_samples=args.policy_samples,
+        seed=args.seed,
+    )
+    rows = [
+        (
+            abbrev,
+            report.model.profile(abbrev).policy_name,
+            report.model.profile(abbrev).bubble_score,
+            report.profiling_outcomes[abbrev].cost_percent,
+        )
+        for abbrev in args.workloads
+    ]
+    console.emit(format_table(
+        ["Workload", "Policy", "Bubble score", "Profiling cost (%)"], rows
+    ))
+    if args.out:
+        save_model(report.model, args.out)
+        console.emit(f"\nmodel written to {args.out}")
+    return 0
+
+
+def _cmd_predict(args: argparse.Namespace) -> int:
+    model = load_model(args.model)
+    if args.pressures:
+        vector = [float(p) for p in args.pressures.split(",")]
+        predicted = model.predict(args.workload, vector)
+        setting = f"heterogeneous vector {vector}"
+    else:
+        predicted = model.predict(args.workload, (args.pressure, args.count))
+        setting = f"{args.count} node(s) at pressure {args.pressure}"
+    console.emit(f"{args.workload} under {setting}: {predicted:.3f}x solo time")
+    return 0
+
+
+def register(
+    subparsers: argparse._SubParsersAction,
+    parents: Mapping[str, argparse.ArgumentParser],
+) -> None:
+    """Attach the ``profile`` and ``predict`` verbs."""
+    p_profile = subparsers.add_parser(
+        "profile",
+        help="build an interference model",
+        parents=[parents["trace"], parents["seed"], parents["output"]],
+    )
+    p_profile.add_argument("workloads", nargs="+")
+    p_profile.add_argument(
+        "--algorithm", default="binary-optimized",
+        choices=sorted(MATRIX_PROFILERS),
+    )
+    p_profile.add_argument("--policy-samples", type=int, default=30)
+    p_profile.set_defaults(fn=_cmd_profile)
+
+    p_predict = subparsers.add_parser(
+        "predict",
+        help="query a saved model",
+        parents=[parents["trace"]],
+    )
+    p_predict.add_argument("--model", required=True)
+    p_predict.add_argument("--workload", required=True)
+    p_predict.add_argument("--pressure", type=float, default=8.0)
+    p_predict.add_argument("--count", type=float, default=1.0)
+    p_predict.add_argument(
+        "--pressures",
+        help="comma-separated per-node pressures (heterogeneous query)",
+    )
+    p_predict.set_defaults(fn=_cmd_predict)

@@ -1,0 +1,166 @@
+"""``repro serve`` — the online consolidation service over a traffic day."""
+
+from __future__ import annotations
+
+import argparse
+import json
+from typing import Mapping
+
+from repro.analysis.reporting import render_event_counts, render_service_snapshot
+from repro.apps.catalog import BATCH_WORKLOADS
+from repro.core.builder import build_batch_profiles, build_model
+from repro.obs import console
+from repro.service import (
+    ConsolidationService,
+    ServiceConfig,
+    StreamConfig,
+    WorkloadStream,
+)
+from repro.sim.runner import ClusterRunner
+
+#: Default application mix a ``repro serve`` traffic day draws from.
+DEFAULT_SERVE_MIX = ("M.lmps", "M.milc", "H.KM", "S.WC")
+
+
+def _serve_expectation(service: ConsolidationService) -> dict:
+    """The deterministic outcome summary ``--expect`` compares against."""
+    return {
+        "counters": service.log.counts(),
+        "final": service.snapshots[-1].to_dict(),
+    }
+
+
+def _check_expectation(expected: dict, actual: dict) -> int:
+    """Compare a served day against a checked-in expectation.
+
+    QoS-violation regressions fail hard; any other counter drift is
+    reported (it means the deterministic day changed and the
+    expectation file needs a refresh) but does not fail the run.
+    """
+    expected_violations = expected["final"]["qos_violations_total"]
+    actual_violations = actual["final"]["qos_violations_total"]
+    for key in sorted(set(actual["counters"]) | set(expected["counters"])):
+        want = expected["counters"].get(key, 0)
+        got = actual["counters"].get(key, 0)
+        if want != got:
+            console.info(
+                f"warning: event count {key!r} drifted: "
+                f"expected {want}, got {got}"
+            )
+    if actual_violations > expected_violations:
+        console.info(
+            f"error: QoS-violation regression: expected at most "
+            f"{expected_violations}, got {actual_violations}"
+        )
+        return 1
+    console.emit(
+        f"expectation check passed: {actual_violations} QoS violation(s) "
+        f"(bound {expected_violations})"
+    )
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    workloads = tuple(args.workloads or DEFAULT_SERVE_MIX)
+    distributed = [w for w in workloads if w not in BATCH_WORKLOADS]
+    batch = [w for w in workloads if w in BATCH_WORKLOADS]
+    runner = ClusterRunner(base_seed=args.seed)
+    console.info(
+        f"Profiling {len(workloads)} workload(s) for the serving model..."
+    )
+    report = build_model(
+        runner,
+        distributed,
+        policy_samples=args.policy_samples,
+        seed=args.seed,
+        span=4,
+    )
+    if batch:
+        build_batch_profiles(runner, report.model, batch, span=4)
+    stream = WorkloadStream(
+        StreamConfig(
+            workloads=workloads,
+            arrival_rate=args.arrival_rate,
+            qos_fraction=args.qos_fraction,
+        ),
+        seed=args.seed,
+    )
+    service = ConsolidationService(
+        runner,
+        report.model,
+        stream,
+        config=ServiceConfig(
+            reschedule_every=args.reschedule_every,
+            migration_cost=args.migration_cost,
+        ),
+        seed=args.seed,
+    )
+    console.info(f"Serving {args.epochs} epochs...")
+    service.run(args.epochs)
+
+    final = service.snapshots[-1]
+    console.emit(render_service_snapshot(final))
+    console.emit()
+    console.emit(render_event_counts(service.log.counts()))
+    if args.event_log:
+        service.log.write(args.event_log)
+        console.info(f"\nevent log written to {args.event_log}")
+    actual = _serve_expectation(service)
+    if args.snapshot:
+        with open(args.snapshot, "w", encoding="utf-8") as handle:
+            json.dump(
+                {
+                    "final": actual["final"],
+                    "counters": actual["counters"],
+                    "per_epoch": [s.to_dict() for s in service.snapshots],
+                },
+                handle,
+                sort_keys=True,
+                indent=2,
+            )
+            handle.write("\n")
+        console.info(f"metrics snapshot written to {args.snapshot}")
+    if args.update_expect:
+        with open(args.update_expect, "w", encoding="utf-8") as handle:
+            json.dump(actual, handle, sort_keys=True, indent=2)
+            handle.write("\n")
+        console.info(f"expectation written to {args.update_expect}")
+    if args.expect:
+        with open(args.expect, "r", encoding="utf-8") as handle:
+            expected = json.load(handle)
+        return _check_expectation(expected, actual)
+    return 0
+
+
+def register(
+    subparsers: argparse._SubParsersAction,
+    parents: Mapping[str, argparse.ArgumentParser],
+) -> None:
+    """Attach the ``serve`` verb."""
+    p_serve = subparsers.add_parser(
+        "serve",
+        help="run the online consolidation service over a seeded traffic day",
+        parents=[parents["trace"], parents["seed"]],
+    )
+    p_serve.add_argument("--epochs", type=int, default=12)
+    p_serve.add_argument(
+        "--workloads", nargs="+",
+        help=f"catalog mix jobs draw from (default: {' '.join(DEFAULT_SERVE_MIX)})",
+    )
+    p_serve.add_argument("--arrival-rate", type=float, default=1.2,
+                         help="mean job arrivals per epoch (Poisson)")
+    p_serve.add_argument("--qos-fraction", type=float, default=0.5,
+                         help="probability a job carries a QoS bound")
+    p_serve.add_argument("--policy-samples", type=int, default=10)
+    p_serve.add_argument("--reschedule-every", type=int, default=1)
+    p_serve.add_argument("--migration-cost", type=float, default=0.02)
+    p_serve.add_argument("--event-log", help="write the JSONL event log here")
+    p_serve.add_argument("--snapshot", help="write the metrics snapshot JSON here")
+    p_serve.add_argument(
+        "--expect",
+        help="expectation JSON to check; exits 1 on a QoS-violation regression",
+    )
+    p_serve.add_argument(
+        "--update-expect", help="write the expectation JSON for this run"
+    )
+    p_serve.set_defaults(fn=_cmd_serve)

@@ -1,0 +1,42 @@
+"""``repro trace`` — inspect previously recorded traces.
+
+``repro trace summarize out.json`` loads a trace written by any verb's
+``--trace`` flag (either format) and prints span rollups, counters,
+histograms, and the Table 3 profiling-cost accounting derived from the
+``profile.probe`` spans alone.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Mapping
+
+from repro.obs import console
+from repro.obs.summary import load_trace, summarize_text
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    if args.trace_command == "summarize":
+        payload = load_trace(args.path)
+        console.emit(summarize_text(payload))
+        return 0
+    raise AssertionError(f"unknown trace subcommand {args.trace_command!r}")
+
+
+def register(
+    subparsers: argparse._SubParsersAction,
+    parents: Mapping[str, argparse.ArgumentParser],
+) -> None:
+    """Attach the ``trace`` verb."""
+    p_trace = subparsers.add_parser(
+        "trace",
+        help="inspect recorded traces",
+        parents=[parents["trace"]],
+    )
+    tsub = p_trace.add_subparsers(dest="trace_command", required=True)
+    p_sum = tsub.add_parser(
+        "summarize",
+        help="print span/metric rollups and Table 3 probe accounting",
+    )
+    p_sum.add_argument("path", help="trace file written by --trace")
+    p_trace.set_defaults(fn=_cmd_trace)

@@ -28,6 +28,7 @@ from repro.core.profiling.policy_selection import PolicySelectionResult, select_
 from repro.core.profiling.random_sampling import random_sampling
 from repro.core.scoring import BubbleScoreMeter
 from repro.errors import ProfilingError
+from repro.obs import recorder as _obs
 from repro.sim.runner import ClusterRunner
 from repro.units import NUM_PRESSURE_LEVELS
 
@@ -145,18 +146,31 @@ def build_model(
     scores: Dict[str, float] = {}
 
     for abbrev in workloads:
-        oracle = MeasurementOracle(runner, abbrev, span=span)
-        outcome = profiler(oracle, pressures, counts, threshold=threshold)
-        selection = select_policy(
-            runner,
-            abbrev,
-            outcome.matrix,
-            samples=policy_samples,
-            seed=stable_seed(seed, abbrev, "policy"),
-            span=span,
-            reps=policy_reps,
-        )
-        score = meter.score(abbrev)
+        with _obs.RECORDER.span(
+            "profile.workload", workload=abbrev, algorithm=algorithm
+        ) as wspan:
+            oracle = MeasurementOracle(runner, abbrev, span=span)
+            with _obs.RECORDER.span("profile.matrix", workload=abbrev):
+                outcome = profiler(oracle, pressures, counts, threshold=threshold)
+            with _obs.RECORDER.span("profile.policy", workload=abbrev):
+                selection = select_policy(
+                    runner,
+                    abbrev,
+                    outcome.matrix,
+                    samples=policy_samples,
+                    seed=stable_seed(seed, abbrev, "policy"),
+                    span=span,
+                    reps=policy_reps,
+                )
+            with _obs.RECORDER.span("profile.score", workload=abbrev):
+                score = meter.score(abbrev)
+            wspan.set(
+                settings_measured=outcome.settings_measured,
+                total_settings=outcome.total_settings,
+                cost_percent=outcome.cost_percent,
+                policy=selection.best.policy_name,
+                bubble_score=score,
+            )
         profiles[abbrev] = InterferenceProfile(
             workload=abbrev,
             matrix=outcome.matrix,
@@ -202,13 +216,29 @@ def build_batch_profiles(
         counts = default_counts(span if span is not None else runner.num_nodes)
     meter = BubbleScoreMeter(runner)
     for abbrev in batch_workloads:
-        oracle = MeasurementOracle(runner, abbrev, span=span)
-        outcome = binary_optimized(oracle, pressures, counts, threshold=threshold)
+        with _obs.RECORDER.span(
+            "profile.workload", workload=abbrev,
+            algorithm="binary-optimized", batch=True,
+        ) as wspan:
+            oracle = MeasurementOracle(runner, abbrev, span=span)
+            with _obs.RECORDER.span("profile.matrix", workload=abbrev):
+                outcome = binary_optimized(
+                    oracle, pressures, counts, threshold=threshold
+                )
+            with _obs.RECORDER.span("profile.score", workload=abbrev):
+                score = meter.score(abbrev)
+            wspan.set(
+                settings_measured=outcome.settings_measured,
+                total_settings=outcome.total_settings,
+                cost_percent=outcome.cost_percent,
+                policy="INTERPOLATE",
+                bubble_score=score,
+            )
         model.add_profile(
             InterferenceProfile(
                 workload=abbrev,
                 matrix=outcome.matrix,
                 policy_name="INTERPOLATE",
-                bubble_score=meter.score(abbrev),
+                bubble_score=score,
             )
         )

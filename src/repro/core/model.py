@@ -18,12 +18,20 @@ scores of whatever shares its nodes (Figure 5's procedure).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Mapping, Sequence
+from typing import List, Mapping, Sequence, Tuple, Union
+
+import numpy as np
 
 from repro.cluster.contention import combine_pressures
 from repro.core.curves import HomogeneousSetting, PropagationMatrix
 from repro.core.policies import HeterogeneityPolicy, get_policy
 from repro.errors import ModelError
+
+#: What :meth:`InterferenceModel.predict` accepts as an interference
+#: description: a homogeneous ``(pressure, count)`` setting (a
+#: :class:`HomogeneousSetting` or a plain 2-tuple) or a per-node
+#: pressure vector (a list/array, one entry per spanned node).
+Interference = Union[HomogeneousSetting, Tuple[float, float], Sequence[float]]
 
 
 @dataclass(frozen=True)
@@ -106,12 +114,75 @@ class InterferenceModel:
     # ------------------------------------------------------------------
     # Predictions
     # ------------------------------------------------------------------
+    def predict(self, workload: str, interference: Interference) -> float:
+        """Normalized time of ``workload`` under ``interference``.
+
+        The single prediction entry point; dispatches on the type of
+        ``interference``:
+
+        * a :class:`HomogeneousSetting` or a plain **tuple**
+          ``(pressure, count)`` — the homogeneous lookup (``count``
+          nodes all interfering at ``pressure``);
+        * any other sequence (list, array) — a per-node pressure
+          vector, one entry per node the deployment spans, mapped
+          through the workload's heterogeneity policy (Figure 5).
+
+        The tuple/list distinction is deliberate: a 2-tuple is always
+        the homogeneous pair, a 2-element list is always a 2-node
+        vector.
+
+        >>> model.predict("M.lmps", (5.0, 3))          # homogeneous
+        >>> model.predict("M.lmps", [6.0, 3.0, 0, 0])  # heterogeneous
+        """
+        if isinstance(interference, HomogeneousSetting):
+            return self._predict_homogeneous(
+                workload, interference.pressure, interference.count
+            )
+        if isinstance(interference, tuple):
+            if len(interference) != 2:
+                raise ModelError(
+                    "a homogeneous interference tuple must be "
+                    f"(pressure, count); got {len(interference)} elements"
+                )
+            pressure, count = interference
+            return self._predict_homogeneous(
+                workload, float(pressure), float(count)
+            )
+        if isinstance(interference, (list, np.ndarray)) or (
+            isinstance(interference, Sequence)
+            and not isinstance(interference, (str, bytes))
+        ):
+            return self._predict_heterogeneous(
+                workload, [float(p) for p in interference]
+            )
+        raise ModelError(
+            "interference must be a (pressure, count) pair or a per-node "
+            f"pressure vector; got {type(interference).__name__}"
+        )
+
+    def _predict_homogeneous(
+        self, workload: str, pressure: float, count: float
+    ) -> float:
+        profile = self.profile(workload)
+        return profile.matrix.lookup(HomogeneousSetting(pressure, count))
+
+    def _predict_heterogeneous(
+        self, workload: str, pressures: Sequence[float]
+    ) -> float:
+        profile = self.profile(workload)
+        setting = profile.policy.convert(pressures)
+        scale = profile.matrix.max_count / len(pressures)
+        scaled = HomogeneousSetting(setting.pressure, setting.count * scale)
+        return profile.matrix.lookup(scaled)
+
     def predict_homogeneous(
         self, workload: str, pressure: float, count: float
     ) -> float:
-        """Normalized time with ``count`` nodes interfering at ``pressure``."""
-        profile = self.profile(workload)
-        return profile.matrix.lookup(HomogeneousSetting(pressure, count))
+        """Normalized time with ``count`` nodes interfering at ``pressure``.
+
+        Delegates to :meth:`predict` with a homogeneous setting.
+        """
+        return self.predict(workload, HomogeneousSetting(pressure, count))
 
     def predict_heterogeneous(
         self, workload: str, pressures: Sequence[float]
@@ -127,12 +198,10 @@ class InterferenceModel:
         Section 5 runs each application on 4 hosts — the converted
         node count is rescaled to the profiled span: ``k`` interfering
         nodes out of 4 correspond to ``2k`` out of the profiled 8.
+
+        Delegates to :meth:`predict` with the vector form.
         """
-        profile = self.profile(workload)
-        setting = profile.policy.convert(pressures)
-        scale = profile.matrix.max_count / len(pressures)
-        scaled = HomogeneousSetting(setting.pressure, setting.count * scale)
-        return profile.matrix.lookup(scaled)
+        return self.predict(workload, list(pressures))
 
     def pressure_vector(
         self,

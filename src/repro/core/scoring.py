@@ -24,6 +24,7 @@ import numpy as np
 
 from repro.apps.bubble import bubble_sensitivity
 from repro.errors import ModelError
+from repro.obs import recorder as _obs
 from repro.sim.execution import CoRunExecutor, DeployedInstance
 from repro.sim.runner import ClusterRunner
 from repro._util import stable_seed
@@ -113,34 +114,38 @@ class BubbleScoreMeter:
         node; each probe reports its own slowdown, inverted through the
         calibration curve.
         """
-        target = self.runner.full_span_deployment(abbrev)
-        probes: List[DeployedInstance] = []
-        for node_id in range(self.runner.num_nodes):
-            probes.append(
-                DeployedInstance(
-                    instance_key=f"probe@n{node_id}",
-                    workload=make_bubble(self.probe_level),
-                    units_to_nodes={0: node_id},
+        with _obs.RECORDER.span(
+            "score.readings", workload=abbrev, probes=self.runner.num_nodes
+        ) as obs_span:
+            target = self.runner.full_span_deployment(abbrev)
+            probes: List[DeployedInstance] = []
+            for node_id in range(self.runner.num_nodes):
+                probes.append(
+                    DeployedInstance(
+                        instance_key=f"probe@n{node_id}",
+                        workload=make_bubble(self.probe_level),
+                        units_to_nodes={0: node_id},
+                    )
                 )
-            )
-        seed = stable_seed(self.runner.base_seed, "score", abbrev)
-        results = CoRunExecutor(
-            [target] + probes,
-            seed=seed,
-            noise=self.runner.noise,
-            num_nodes=self.runner.num_nodes,
-        ).run()
-        readings: Dict[int, float] = {}
-        for node_id in range(self.runner.num_nodes):
-            probe_result = results[f"probe@n{node_id}"]
-            # The probe sees the target *and* the other probes'
-            # pressure is on other nodes, so its reading is the
-            # target's contribution on this node (plus ambient noise on
-            # EC2, which the paper also could not exclude).
-            observed_slowdown = self._probe_sensitivity.slowdown(
-                probe_result.mean_pressure_seen
-            )
-            readings[node_id] = self.calibration.pressure_for(observed_slowdown)
+            seed = stable_seed(self.runner.base_seed, "score", abbrev)
+            results = CoRunExecutor(
+                [target] + probes,
+                seed=seed,
+                noise=self.runner.noise,
+                num_nodes=self.runner.num_nodes,
+            ).run()
+            readings: Dict[int, float] = {}
+            for node_id in range(self.runner.num_nodes):
+                probe_result = results[f"probe@n{node_id}"]
+                # The probe sees the target *and* the other probes'
+                # pressure is on other nodes, so its reading is the
+                # target's contribution on this node (plus ambient noise on
+                # EC2, which the paper also could not exclude).
+                observed_slowdown = self._probe_sensitivity.slowdown(
+                    probe_result.mean_pressure_seen
+                )
+                readings[node_id] = self.calibration.pressure_for(observed_slowdown)
+            obs_span.set_sim(results[abbrev].finish_time)
         return readings
 
     def score(self, abbrev: str) -> float:

@@ -1,0 +1,76 @@
+"""Structured observability: spans, metrics, and trace export.
+
+The subsystem has three parts:
+
+* :mod:`repro.obs.recorder` — the dispatch core: a module-level
+  :data:`~repro.obs.recorder.RECORDER` that is a no-op
+  :class:`NullRecorder` until a :class:`TraceRecorder` is installed
+  (:func:`install` / :func:`recording`).  Instrumented call sites pay
+  one attribute lookup plus a no-op call when tracing is disabled.
+* :mod:`repro.obs.sinks` — byte-stable exports: a JSONL stream
+  (``*.jsonl``) and a Chrome-trace/Perfetto ``trace.json`` document.
+* :mod:`repro.obs.summary` — loading either format back and the
+  ``repro trace summarize`` report (including Table 3 probe-count
+  accounting reconstructed from per-probe spans).
+
+Typical library use::
+
+    from repro.obs import recording, write_trace
+
+    with recording() as rec:
+        report = build_model(runner, ["M.lmps"])
+    write_trace(rec, "trace.json")
+
+On the CLI every verb accepts ``--trace out.json`` (or ``out.jsonl``)
+and ``repro trace summarize out.json`` renders the report.
+"""
+
+from repro.obs.recorder import (
+    NULL_RECORDER,
+    NULL_SPAN,
+    ActiveSpan,
+    NullRecorder,
+    NullSpan,
+    Span,
+    TraceRecorder,
+    current,
+    install,
+    recording,
+)
+from repro.obs.sinks import (
+    TRACE_VERSION,
+    render_trace,
+    to_chrome_trace,
+    to_jsonl,
+    to_payload,
+    write_trace,
+)
+from repro.obs.summary import (
+    load_trace,
+    probe_accounting,
+    span_rollup,
+    summarize_text,
+)
+
+__all__ = [
+    "ActiveSpan",
+    "NULL_RECORDER",
+    "NULL_SPAN",
+    "NullRecorder",
+    "NullSpan",
+    "Span",
+    "TRACE_VERSION",
+    "TraceRecorder",
+    "current",
+    "install",
+    "load_trace",
+    "probe_accounting",
+    "recording",
+    "render_trace",
+    "span_rollup",
+    "summarize_text",
+    "to_chrome_trace",
+    "to_jsonl",
+    "to_payload",
+    "write_trace",
+]

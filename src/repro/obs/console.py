@@ -1,0 +1,27 @@
+"""The output chokepoint: every console line flows through here.
+
+Library and CLI code never call ``print`` directly; they call
+:func:`emit` (the result channel, stdout) or :func:`info` (the
+progress/diagnostic channel, stderr).  Both mirror the line into the
+active recorder as a ``log`` record, so a ``--trace`` run carries its
+own console transcript — and a test can assert on what a component
+*said* without capturing streams.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.obs import recorder as _obs
+
+
+def emit(message: str = "") -> None:
+    """Write a result line to stdout (and the active recorder)."""
+    _obs.RECORDER.log(message, stream="out")
+    print(message, file=sys.stdout)
+
+
+def info(message: str) -> None:
+    """Write a progress/diagnostic line to stderr (and the recorder)."""
+    _obs.RECORDER.log(message, stream="err")
+    print(message, file=sys.stderr)

@@ -1,0 +1,204 @@
+"""Trace loading and the ``repro trace summarize`` reporter.
+
+:func:`load_trace` accepts either export format
+(:mod:`repro.obs.sinks`) and normalizes it back to the canonical
+payload dict.  :func:`summarize_text` renders the operator report:
+span counts with logical/simulated-time attribution, counter and
+histogram totals, and — when the trace covers a profiling run — the
+Table 3 probe-count accounting reconstructed *from the trace alone*
+(by counting per-probe spans, not by trusting any summary field).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Tuple
+
+from repro.errors import ReproError
+
+
+def _payload_from_jsonl(lines: List[str]) -> Dict[str, object]:
+    payload: Dict[str, object] = {
+        "version": None,
+        "spans": [],
+        "counters": {},
+        "gauges": {},
+        "histograms": {},
+        "logs": [],
+    }
+    for line in lines:
+        if not line.strip():
+            continue
+        record = json.loads(line)
+        kind = record.pop("type", None)
+        if kind == "trace":
+            payload["version"] = record.get("version")
+        elif kind == "span":
+            payload["spans"].append(record)
+        elif kind == "counter":
+            payload["counters"][record["name"]] = record["value"]
+        elif kind == "gauge":
+            payload["gauges"][record["name"]] = record["value"]
+        elif kind == "histogram":
+            name = record.pop("name")
+            payload["histograms"][name] = record
+        elif kind == "log":
+            payload["logs"].append(record)
+        else:
+            raise ReproError(f"unknown trace record type {kind!r}")
+    return payload
+
+
+def _payload_from_chrome(document: Dict[str, object]) -> Dict[str, object]:
+    other = document.get("otherData", {})
+    spans = []
+    for event in document.get("traceEvents", []):
+        args = dict(event.get("args", {}))
+        row = {
+            "id": event.get("id"),
+            "parent": None,  # the event form flattens the tree
+            "name": event["name"],
+            "seq0": event["ts"],
+            "seq1": event["ts"] + event.get("dur", 1),
+            "attrs": args,
+        }
+        if "sim" in args:
+            row["sim"] = args.pop("sim")
+        spans.append(row)
+    return {
+        "version": other.get("version"),
+        "spans": spans,
+        "counters": dict(other.get("counters", {})),
+        "gauges": dict(other.get("gauges", {})),
+        "histograms": dict(other.get("histograms", {})),
+        "logs": list(other.get("logs", [])),
+    }
+
+
+def load_trace(path: str) -> Dict[str, object]:
+    """Load a trace file (JSONL or Chrome-trace) into payload form.
+
+    Raises
+    ------
+    ReproError
+        If the file is not a recognizable trace export.
+    """
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            text = handle.read()
+    except OSError as exc:
+        raise ReproError(f"cannot read trace file {path!r}: {exc}") from None
+    stripped = text.lstrip()
+    if not stripped:
+        raise ReproError(f"trace file {path!r} is empty")
+    if stripped.startswith("{") and '"traceEvents"' in stripped[:4096]:
+        try:
+            return _payload_from_chrome(json.loads(text))
+        except (json.JSONDecodeError, KeyError, TypeError) as exc:
+            raise ReproError(f"malformed Chrome trace {path!r}: {exc}") from None
+    try:
+        return _payload_from_jsonl(text.splitlines())
+    except (json.JSONDecodeError, KeyError) as exc:
+        raise ReproError(f"malformed JSONL trace {path!r}: {exc}") from None
+
+
+# ----------------------------------------------------------------------
+# Reporting
+# ----------------------------------------------------------------------
+def span_rollup(payload: Dict[str, object]) -> List[Tuple[str, int, int, float]]:
+    """Per-span-name rollup: (name, count, total steps, total sim time)."""
+    totals: Dict[str, List[float]] = {}
+    for span in payload["spans"]:
+        entry = totals.setdefault(span["name"], [0, 0, 0.0])
+        entry[0] += 1
+        seq1 = span.get("seq1") or span.get("seq0", 0)
+        entry[1] += max(seq1 - span.get("seq0", 0), 0)
+        entry[2] += float(span.get("sim") or 0.0)
+    return [
+        (name, int(count), int(steps), sim)
+        for name, (count, steps, sim) in sorted(totals.items())
+    ]
+
+
+def probe_accounting(
+    payload: Dict[str, object],
+) -> List[Tuple[str, str, int, int, float]]:
+    """Table 3 from the trace: per-workload probe counts and cost.
+
+    The probe count is derived by *counting* ``profile.probe`` spans
+    (one per distinct interference setting actually measured); the
+    grid size comes from the enclosing ``profile.workload`` span's
+    ``total_settings`` attribute.  Rows are
+    ``(workload, algorithm, probes, total_settings, cost_percent)``.
+    """
+    probes: Dict[str, int] = {}
+    for span in payload["spans"]:
+        if span["name"] != "profile.probe":
+            continue
+        workload = span.get("attrs", {}).get("workload")
+        if workload is not None:
+            probes[workload] = probes.get(workload, 0) + 1
+    rows = []
+    for span in payload["spans"]:
+        if span["name"] != "profile.workload":
+            continue
+        attrs = span.get("attrs", {})
+        workload = attrs.get("workload")
+        total = attrs.get("total_settings")
+        if workload is None or not total:
+            continue
+        measured = probes.get(workload, 0)
+        rows.append(
+            (
+                str(workload),
+                str(attrs.get("algorithm", "?")),
+                measured,
+                int(total),
+                100.0 * measured / int(total),
+            )
+        )
+    return rows
+
+
+def summarize_text(payload: Dict[str, object]) -> str:
+    """Human-readable trace summary (the ``repro trace summarize`` body)."""
+    # Imported here: analysis -> obs would otherwise be circular for
+    # callers that only record.
+    from repro.analysis.reporting import format_table
+
+    sections: List[str] = []
+    rollup = span_rollup(payload)
+    if rollup:
+        sections.append("Spans:\n" + format_table(
+            ["Span", "Count", "Steps", "Sim time"],
+            [(name, count, steps, f"{sim:.3f}") for name, count, steps, sim in rollup],
+        ))
+    counters = payload.get("counters", {})
+    if counters:
+        sections.append("Counters:\n" + format_table(
+            ["Counter", "Value"], sorted(counters.items()),
+        ))
+    histograms = payload.get("histograms", {})
+    if histograms:
+        sections.append("Histograms:\n" + format_table(
+            ["Histogram", "Count", "Sum", "Min", "Max"],
+            [
+                (name, s.get("count"), s.get("sum"), s.get("min"), s.get("max"))
+                for name, s in sorted(histograms.items())
+            ],
+        ))
+    table3 = probe_accounting(payload)
+    if table3:
+        sections.append(
+            "Profiling cost (Table 3, derived from probe spans):\n"
+            + format_table(
+                ["Workload", "Algorithm", "Probes", "Grid", "Cost (%)"],
+                [
+                    (workload, algorithm, measured, total, f"{cost:.1f}")
+                    for workload, algorithm, measured, total, cost in table3
+                ],
+            )
+        )
+    if not sections:
+        return "(empty trace)"
+    return "\n\n".join(sections)

@@ -32,6 +32,7 @@ from typing import Callable, List, Optional, Tuple
 
 from repro._util import make_rng
 from repro.errors import PlacementError
+from repro.obs import recorder as _obs
 from repro.parallel import fan_out
 from repro.placement.assignment import Placement
 from repro.placement.objectives import IncrementalEnergy
@@ -177,51 +178,73 @@ class SimulatedAnnealingPlacer:
     def search_from(
         self, initial: Placement, *, rng=None
     ) -> SearchResult:
-        """Run one annealing pass from a given placement."""
+        """Run one annealing pass from a given placement.
+
+        Telemetry: the whole pass is one ``anneal.restart`` span;
+        accepted/rejected-swap and incremental-vs-full-evaluation
+        counters are flushed once when the pass ends, so the proposal
+        loop itself carries no instrumentation.
+        """
         rng = rng if rng is not None else self._rng
         incremental = isinstance(self.energy, IncrementalEnergy)
         stride = self.schedule.effective_stride()
-        current = initial
-        if incremental:
-            state = self.energy.full_state(current)
-            current_energy = state.energy
-        else:
-            state = None
-            current_energy = self.energy(current)
-        best, best_energy = current, current_energy
-        evaluations = 1
-        accepted = 0
-        trajectory = [current_energy]
-        for iteration in range(self.schedule.iterations):
-            proposal = self._propose_swap(current, rng)
-            if proposal is None:
-                continue
-            candidate, touched_nodes = proposal
+        with _obs.RECORDER.span(
+            "anneal.restart",
+            iterations=self.schedule.iterations,
+            incremental=incremental,
+        ) as obs_span:
+            current = initial
             if incremental:
-                candidate_state = self.energy.swap_state(
-                    state, candidate, touched_nodes
-                )
-                candidate_energy = candidate_state.energy
+                state = self.energy.full_state(current)
+                current_energy = state.energy
             else:
-                candidate_state = None
-                candidate_energy = self.energy(candidate)
-            evaluations += 1
-            delta = candidate_energy - current_energy
-            temperature = self.schedule.temperature(iteration)
-            accept = delta <= 0 or (
-                temperature > 0
-                and rng.random() < math.exp(-delta / temperature)
-            )
-            if accept:
-                current, current_energy = candidate, candidate_energy
-                state = candidate_state
-                accepted += 1
-                if current_energy < best_energy:
-                    best, best_energy = current, current_energy
-            if iteration % stride == 0:
+                state = None
+                current_energy = self.energy(current)
+            best, best_energy = current, current_energy
+            evaluations = 1
+            accepted = 0
+            trajectory = [current_energy]
+            for iteration in range(self.schedule.iterations):
+                proposal = self._propose_swap(current, rng)
+                if proposal is None:
+                    continue
+                candidate, touched_nodes = proposal
+                if incremental:
+                    candidate_state = self.energy.swap_state(
+                        state, candidate, touched_nodes
+                    )
+                    candidate_energy = candidate_state.energy
+                else:
+                    candidate_state = None
+                    candidate_energy = self.energy(candidate)
+                evaluations += 1
+                delta = candidate_energy - current_energy
+                temperature = self.schedule.temperature(iteration)
+                accept = delta <= 0 or (
+                    temperature > 0
+                    and rng.random() < math.exp(-delta / temperature)
+                )
+                if accept:
+                    current, current_energy = candidate, candidate_energy
+                    state = candidate_state
+                    accepted += 1
+                    if current_energy < best_energy:
+                        best, best_energy = current, current_energy
+                if iteration % stride == 0:
+                    trajectory.append(current_energy)
+            if stride > 1:
                 trajectory.append(current_energy)
-        if stride > 1:
-            trajectory.append(current_energy)
+            obs_span.set(
+                energy=best_energy, evaluations=evaluations, accepted=accepted
+            )
+            recorder = _obs.RECORDER
+            recorder.count("anneal.accepted_swaps", accepted)
+            recorder.count("anneal.rejected_swaps", evaluations - 1 - accepted)
+            recorder.count(
+                "anneal.incremental_evals" if incremental
+                else "anneal.full_evals",
+                evaluations,
+            )
         return SearchResult(
             placement=best,
             energy=best_energy,
@@ -255,18 +278,22 @@ class SimulatedAnnealingPlacer:
         factory may close over unpicklable state); only the search
         itself is fanned out.
         """
-        plans = []
-        for _ in range(self.schedule.restarts):
-            init_seed = int(self._rng.integers(0, 2**31))
-            search_seed = int(self._rng.integers(0, 2**31))
-            plans.append(
-                (self.energy, self.schedule, initial_factory(init_seed),
-                 search_seed)
-            )
-        results = fan_out(_run_restart, plans, max_workers=max_workers)
-        best: Optional[SearchResult] = None
-        for result in results:
-            if best is None or result.energy < best.energy:
-                best = result
-        assert best is not None
+        with _obs.RECORDER.span(
+            "anneal.search", restarts=self.schedule.restarts
+        ) as obs_span:
+            plans = []
+            for _ in range(self.schedule.restarts):
+                init_seed = int(self._rng.integers(0, 2**31))
+                search_seed = int(self._rng.integers(0, 2**31))
+                plans.append(
+                    (self.energy, self.schedule, initial_factory(init_seed),
+                     search_seed)
+                )
+            results = fan_out(_run_restart, plans, max_workers=max_workers)
+            best: Optional[SearchResult] = None
+            for result in results:
+                if best is None or result.energy < best.energy:
+                    best = result
+            assert best is not None
+            obs_span.set(energy=best.energy)
         return best

@@ -32,6 +32,7 @@ from typing import Dict, List, Optional
 from repro._util import stable_seed
 from repro.core.online import OnlineModel
 from repro.errors import ServiceError
+from repro.obs import recorder as _obs
 from repro.placement.annealing import AnnealingSchedule
 from repro.placement.assignment import Placement
 from repro.placement.dynamic import units_moved
@@ -408,20 +409,38 @@ class ConsolidationService:
             raise ServiceError("epochs must be positive")
         fresh: List[MetricsSnapshot] = []
         for epoch in range(self._epochs_run, self._epochs_run + epochs):
-            self._depart(epoch)
-            self._arrive(epoch)
-            self._admit(epoch)
-            self._reschedule(epoch)
-            measured_total = self._measure_and_learn(epoch)
-            snapshot = self._snapshot(epoch)
-            self.log.append(
-                "epoch_end",
-                epoch,
-                running=snapshot.running_jobs,
-                queued=snapshot.queued_jobs,
-                utilization=snapshot.utilization,
-                measured_total=measured_total,
-            )
+            # The epoch span cross-links to the EventLog: log_seq_start
+            # and log_seq_end bracket the sequence numbers this epoch
+            # appended, so a trace row resolves to its event-log lines.
+            with _obs.RECORDER.span(
+                "service.epoch", epoch=epoch, log_seq_start=len(self.log)
+            ) as espan:
+                with _obs.RECORDER.span("service.depart", epoch=epoch):
+                    self._depart(epoch)
+                with _obs.RECORDER.span("service.arrive", epoch=epoch):
+                    self._arrive(epoch)
+                with _obs.RECORDER.span("service.admit", epoch=epoch):
+                    self._admit(epoch)
+                with _obs.RECORDER.span("service.reschedule", epoch=epoch):
+                    self._reschedule(epoch)
+                with _obs.RECORDER.span("service.measure", epoch=epoch):
+                    measured_total = self._measure_and_learn(epoch)
+                snapshot = self._snapshot(epoch)
+                self.log.append(
+                    "epoch_end",
+                    epoch,
+                    running=snapshot.running_jobs,
+                    queued=snapshot.queued_jobs,
+                    utilization=snapshot.utilization,
+                    measured_total=measured_total,
+                )
+                _obs.RECORDER.count("service.epochs")
+                espan.set(
+                    running=snapshot.running_jobs,
+                    queued=snapshot.queued_jobs,
+                    measured_total=measured_total,
+                    log_seq_end=len(self.log),
+                ).set_sim(measured_total)
             fresh.append(snapshot)
         self._epochs_run += epochs
         return fresh

@@ -12,6 +12,7 @@ import heapq
 from typing import Callable, List, Tuple
 
 from repro.errors import SimulationError
+from repro.obs import recorder as _obs
 
 Callback = Callable[[], None]
 
@@ -88,6 +89,7 @@ class Engine:
         SimulationError
             If more than ``max_events`` events fire.
         """
+        events_before = self._events_processed
         while self._heap:
             when, _seq, callback = heapq.heappop(self._heap)
             if when < self._now:
@@ -99,6 +101,11 @@ class Engine:
                     f"simulation exceeded {max_events} events; likely livelock"
                 )
             callback()
+        # Telemetry is per drain, never per event: the loop above is the
+        # hottest path in the repository.
+        recorder = _obs.RECORDER
+        recorder.count("engine.runs")
+        recorder.count("engine.events", self._events_processed - events_before)
         return self._now
 
     def stop(self) -> None:

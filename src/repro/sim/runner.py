@@ -23,6 +23,7 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro._util import stable_seed
 from repro.apps.base import Workload
+from repro.obs import recorder as _obs
 from repro.apps.catalog import get_workload, make_bubble
 from repro.cluster.cluster import ClusterSpec
 from repro.errors import ConfigurationError
@@ -323,27 +324,37 @@ class ClusterRunner:
         key = (abbrev, num_units)
         cached = self._solo_cache.get(key)
         if cached is not None:
+            _obs.RECORDER.count("measure.solo_memo_hit")
             return cached
-        store_key = self._cache_key("solo", abbrev, num_units)
-        solo: Optional[float] = None
-        if self.cache is not None:
-            recorded = self.cache.get(store_key)
-            if recorded is not None:
-                solo = float(recorded)
-        if solo is None:
-            units = {i: i % self.num_nodes for i in range(num_units)}
-            times = []
-            for rep in range(self.SOLO_REPS):
-                instance = DeployedInstance(abbrev, self.workload(abbrev), units)
-                seed = stable_seed(self.base_seed, abbrev, "solo", num_units, rep)
-                result = CoRunExecutor(
-                    [instance], seed=seed, noise=self.noise,
-                    num_nodes=self.num_nodes,
-                ).run()[abbrev]
-                times.append(result.finish_time)
-            solo = sum(times) / len(times)
+        with _obs.RECORDER.span(
+            "measure.solo", workload=abbrev, units=num_units
+        ) as span:
+            store_key = self._cache_key("solo", abbrev, num_units)
+            solo: Optional[float] = None
             if self.cache is not None:
-                self.cache.put(store_key, solo)
+                recorded = self.cache.get(store_key)
+                if recorded is not None:
+                    solo = float(recorded)
+                    _obs.RECORDER.count("measure.store_hit")
+                    span.set(replayed=True)
+            if solo is None:
+                if self.cache is not None:
+                    _obs.RECORDER.count("measure.store_miss")
+                units = {i: i % self.num_nodes for i in range(num_units)}
+                times = []
+                for rep in range(self.SOLO_REPS):
+                    instance = DeployedInstance(abbrev, self.workload(abbrev), units)
+                    seed = stable_seed(self.base_seed, abbrev, "solo", num_units, rep)
+                    result = CoRunExecutor(
+                        [instance], seed=seed, noise=self.noise,
+                        num_nodes=self.num_nodes,
+                    ).run()[abbrev]
+                    times.append(result.finish_time)
+                solo = sum(times) / len(times)
+                _obs.RECORDER.count("measure.simulated", self.SOLO_REPS)
+                if self.cache is not None:
+                    self.cache.put(store_key, solo)
+            span.set_sim(solo)
         self._solo_cache[key] = solo
         self.solo_measurement_count += self.SOLO_REPS
         return solo
@@ -395,21 +406,33 @@ class ClusterRunner:
             ("het", span) + tuple(sorted(node_pressures.items()))
         )
         self.measurement_count += 1
-        store_key = self._cache_key("measure", abbrev, rep, *label)
-        if self.cache is not None:
-            recorded = self.cache.get(store_key)
-            if recorded is not None:
-                return float(recorded)
-        target = self.full_span_deployment(abbrev, span=span)
-        bubbles = self._bubble_instances(node_pressures)
-        seed = stable_seed(self.base_seed, abbrev, rep, *label)
-        executor = CoRunExecutor(
-            [target] + bubbles, seed=seed, noise=self.noise, num_nodes=self.num_nodes
-        )
-        time = executor.run()[abbrev].finish_time
-        if self.cache is not None:
-            self.cache.put(store_key, time)
-        return time
+        attrs = {"workload": abbrev, "kind": label[0], "rep": rep}
+        if label[0] == "hom":
+            attrs["pressure"] = float(label[1])
+            attrs["interfering"] = int(label[2])
+        else:
+            attrs["nodes"] = len(node_pressures)
+        with _obs.RECORDER.span("measure.setting", **attrs) as obs_span:
+            store_key = self._cache_key("measure", abbrev, rep, *label)
+            if self.cache is not None:
+                recorded = self.cache.get(store_key)
+                if recorded is not None:
+                    _obs.RECORDER.count("measure.store_hit")
+                    obs_span.set(replayed=True).set_sim(float(recorded))
+                    return float(recorded)
+                _obs.RECORDER.count("measure.store_miss")
+            target = self.full_span_deployment(abbrev, span=span)
+            bubbles = self._bubble_instances(node_pressures)
+            seed = stable_seed(self.base_seed, abbrev, rep, *label)
+            executor = CoRunExecutor(
+                [target] + bubbles, seed=seed, noise=self.noise, num_nodes=self.num_nodes
+            )
+            time = executor.run()[abbrev].finish_time
+            _obs.RECORDER.count("measure.simulated")
+            obs_span.set_sim(time)
+            if self.cache is not None:
+                self.cache.put(store_key, time)
+            return time
 
     def measure_heterogeneous(
         self, abbrev: str, node_pressures: Mapping[int, float], *, rep: int = 0,
@@ -437,29 +460,38 @@ class ClusterRunner:
         co-run with themselves).
         """
         key_a, key_b = f"{abbrev_a}#0", f"{abbrev_b}#1"
-        store_key = self._cache_key("corun", abbrev_a, abbrev_b, rep)
-        finish_times: Optional[Dict[str, float]] = None
-        if self.cache is not None:
-            recorded = self.cache.get(store_key)
-            if recorded is not None:
-                finish_times = {k: float(v) for k, v in recorded.items()}
-        if finish_times is None:
-            inst_a = self.full_span_deployment(abbrev_a, instance_key=key_a)
-            inst_b = self.full_span_deployment(abbrev_b, instance_key=key_b)
-            seed = stable_seed(self.base_seed, "corun", abbrev_a, abbrev_b, rep)
-            results = CoRunExecutor(
-                [inst_a, inst_b],
-                seed=seed,
-                noise=self.noise,
-                num_nodes=self.num_nodes,
-                sustained=True,
-            ).run()
-            finish_times = {
-                key_a: results[key_a].finish_time,
-                key_b: results[key_b].finish_time,
-            }
+        with _obs.RECORDER.span(
+            "measure.corun", a=abbrev_a, b=abbrev_b, rep=rep
+        ) as obs_span:
+            store_key = self._cache_key("corun", abbrev_a, abbrev_b, rep)
+            finish_times: Optional[Dict[str, float]] = None
             if self.cache is not None:
-                self.cache.put(store_key, finish_times)
+                recorded = self.cache.get(store_key)
+                if recorded is not None:
+                    finish_times = {k: float(v) for k, v in recorded.items()}
+                    _obs.RECORDER.count("measure.store_hit")
+                    obs_span.set(replayed=True)
+            if finish_times is None:
+                if self.cache is not None:
+                    _obs.RECORDER.count("measure.store_miss")
+                inst_a = self.full_span_deployment(abbrev_a, instance_key=key_a)
+                inst_b = self.full_span_deployment(abbrev_b, instance_key=key_b)
+                seed = stable_seed(self.base_seed, "corun", abbrev_a, abbrev_b, rep)
+                results = CoRunExecutor(
+                    [inst_a, inst_b],
+                    seed=seed,
+                    noise=self.noise,
+                    num_nodes=self.num_nodes,
+                    sustained=True,
+                ).run()
+                finish_times = {
+                    key_a: results[key_a].finish_time,
+                    key_b: results[key_b].finish_time,
+                }
+                _obs.RECORDER.count("measure.simulated")
+                if self.cache is not None:
+                    self.cache.put(store_key, finish_times)
+            obs_span.set_sim(max(finish_times.values()))
         return {
             key_a: finish_times[key_a] / self.solo_time(abbrev_a),
             key_b: finish_times[key_b] / self.solo_time(abbrev_b),
@@ -493,30 +525,40 @@ class ClusterRunner:
             (key, abbrev, tuple(sorted(units.items())))
             for key, abbrev, units in deployments
         )
-        store_key = self._cache_key("deploy", rep, *map(str, label))
-        finish_times: Optional[Dict[str, float]] = None
-        if self.cache is not None:
-            recorded = self.cache.get(store_key)
-            if recorded is not None:
-                finish_times = {k: float(v) for k, v in recorded.items()}
-        if finish_times is None:
-            instances = [
-                DeployedInstance(key, self.workload(abbrev), units)
-                for key, abbrev, units in deployments
-            ]
-            seed = stable_seed(self.base_seed, "deploy", rep, *map(str, label))
-            results = CoRunExecutor(
-                instances,
-                seed=seed,
-                noise=self.noise,
-                num_nodes=self.num_nodes,
-                sustained=True,
-            ).run()
-            finish_times = {
-                key: results[key].finish_time for key, _, _ in deployments
-            }
+        with _obs.RECORDER.span(
+            "measure.deploy", instances=len(deployments), rep=rep
+        ) as obs_span:
+            store_key = self._cache_key("deploy", rep, *map(str, label))
+            finish_times: Optional[Dict[str, float]] = None
             if self.cache is not None:
-                self.cache.put(store_key, finish_times)
+                recorded = self.cache.get(store_key)
+                if recorded is not None:
+                    finish_times = {k: float(v) for k, v in recorded.items()}
+                    _obs.RECORDER.count("measure.store_hit")
+                    obs_span.set(replayed=True)
+            if finish_times is None:
+                if self.cache is not None:
+                    _obs.RECORDER.count("measure.store_miss")
+                instances = [
+                    DeployedInstance(key, self.workload(abbrev), units)
+                    for key, abbrev, units in deployments
+                ]
+                seed = stable_seed(self.base_seed, "deploy", rep, *map(str, label))
+                results = CoRunExecutor(
+                    instances,
+                    seed=seed,
+                    noise=self.noise,
+                    num_nodes=self.num_nodes,
+                    sustained=True,
+                ).run()
+                finish_times = {
+                    key: results[key].finish_time for key, _, _ in deployments
+                }
+                _obs.RECORDER.count("measure.simulated")
+                if self.cache is not None:
+                    self.cache.put(store_key, finish_times)
+            if finish_times:
+                obs_span.set_sim(max(finish_times.values()))
         normalized: Dict[str, float] = {}
         for key, abbrev, units in deployments:
             solo = self.solo_time(abbrev, num_units=len(units))
@@ -555,30 +597,43 @@ class ClusterRunner:
         """
         requests = list(requests)
         workers = resolve_workers(max_workers)
+        _obs.RECORDER.count("fanout.batches")
+        _obs.RECORDER.count("fanout.requests", len(requests))
         if workers <= 1 or len(requests) < 2:
-            return [request.apply(self) for request in requests]
+            with _obs.RECORDER.span(
+                "measure.batch", requests=len(requests), workers=1
+            ):
+                return [request.apply(self) for request in requests]
         try:
             blob = pickle.dumps(self)
         except Exception:
-            return [request.apply(self) for request in requests]
-        outcomes = fan_out(
-            _run_measurement_request,
-            requests,
-            max_workers=workers,
-            initializer=_init_measurement_worker,
-            initargs=(blob,),
-        )
-        values: List = []
-        for value, solo_entries, measurement_delta, cache_entries in outcomes:
-            # Replay the serial accounting in batch order: each solo
-            # baseline is charged once, at the first request that
-            # needed it, exactly as the serial path would.
-            for key, solo in solo_entries.items():
-                if key not in self._solo_cache:
-                    self._solo_cache[key] = solo
-                    self.solo_measurement_count += self.SOLO_REPS
-            self.measurement_count += measurement_delta
-            if self.cache is not None:
-                self.cache.merge(cache_entries)
-            values.append(value)
-        return values
+            with _obs.RECORDER.span(
+                "measure.batch", requests=len(requests), workers=1
+            ):
+                return [request.apply(self) for request in requests]
+        _obs.RECORDER.count("fanout.parallel_requests", len(requests))
+        with _obs.RECORDER.span(
+            "measure.batch", requests=len(requests), workers=workers,
+            parallel=True,
+        ):
+            outcomes = fan_out(
+                _run_measurement_request,
+                requests,
+                max_workers=workers,
+                initializer=_init_measurement_worker,
+                initargs=(blob,),
+            )
+            values: List = []
+            for value, solo_entries, measurement_delta, cache_entries in outcomes:
+                # Replay the serial accounting in batch order: each solo
+                # baseline is charged once, at the first request that
+                # needed it, exactly as the serial path would.
+                for key, solo in solo_entries.items():
+                    if key not in self._solo_cache:
+                        self._solo_cache[key] = solo
+                        self.solo_measurement_count += self.SOLO_REPS
+                self.measurement_count += measurement_delta
+                if self.cache is not None:
+                    self.cache.merge(cache_entries)
+                values.append(value)
+            return values

@@ -83,6 +83,60 @@ class TestPredictions:
             model.predict_homogeneous("ghost", 4.0, 1.0)
 
 
+class TestUnifiedPredict:
+    """`predict` dispatches on the interference description's type."""
+
+    def test_homogeneous_setting_object(self):
+        from repro.core.curves import HomogeneousSetting
+
+        model = model_with(profile())
+        assert model.predict(
+            "app", HomogeneousSetting(4.0, 2.0)
+        ) == pytest.approx(1.2)
+
+    def test_pair_tuple_is_homogeneous(self):
+        model = model_with(profile())
+        assert model.predict("app", (4.0, 2.0)) == pytest.approx(1.2)
+
+    def test_list_is_a_per_node_vector(self):
+        model = model_with(profile("N+1 MAX"))
+        assert model.predict("app", [8, 2, 0, 0]) == pytest.approx(1.4)
+
+    def test_two_element_list_is_a_two_node_vector(self):
+        # The deliberate asymmetry: (8, 0) is pressure 8 on 0 nodes;
+        # [8, 0] is a 2-node vector (rescaled to the 4-count matrix).
+        model = model_with(profile("N MAX"))
+        assert model.predict("app", (8.0, 0.0)) == pytest.approx(1.0)
+        assert model.predict("app", [8.0, 0.0]) == pytest.approx(1.4)
+
+    def test_numpy_array_is_a_vector(self):
+        model = model_with(profile("N+1 MAX"))
+        assert model.predict(
+            "app", np.array([8.0, 2.0, 0.0, 0.0])
+        ) == pytest.approx(1.4)
+
+    def test_wrong_arity_tuple_rejected(self):
+        model = model_with(profile())
+        with pytest.raises(ModelError, match="pressure, count"):
+            model.predict("app", (8.0, 2.0, 0.0))
+
+    def test_non_interference_types_rejected(self):
+        model = model_with(profile())
+        with pytest.raises(ModelError, match="interference must be"):
+            model.predict("app", "8,2")
+        with pytest.raises(ModelError, match="interference must be"):
+            model.predict("app", 8.0)
+
+    def test_legacy_methods_agree_with_predict(self):
+        model = model_with(profile("N+1 MAX"))
+        assert model.predict_homogeneous("app", 4.0, 2.0) == model.predict(
+            "app", (4.0, 2.0)
+        )
+        assert model.predict_heterogeneous(
+            "app", [8, 2, 0, 0]
+        ) == model.predict("app", [8, 2, 0, 0])
+
+
 class TestPressureVector:
     def test_combines_scores(self):
         model = model_with(profile(workload="a", score=3.0),

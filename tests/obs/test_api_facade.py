@@ -1,0 +1,82 @@
+"""Tests for the `repro.api` facade and the legacy import shims."""
+
+import warnings
+
+import pytest
+
+import repro
+import repro.api as api
+
+
+class TestFacade:
+    def test_init_reexports_api_one_to_one(self):
+        for name in api.__all__:
+            assert getattr(repro, name) is getattr(api, name), name
+
+    def test_all_matches_api_plus_version(self):
+        assert set(repro.__all__) == set(api.__all__) | {"__version__"}
+
+    def test_facade_covers_every_concern(self):
+        # One spot check per concern the facade documents.
+        assert api.ClusterRunner is not None  # measurement
+        assert api.build_model is not None  # model building
+        assert api.InterferenceModel.predict is not None  # prediction
+        assert api.SimulatedAnnealingPlacer is not None  # placement
+        assert api.ConsolidationService is not None  # service
+        assert api.recording is not None  # observability
+        assert issubclass(api.ModelError, api.ReproError)  # errors
+
+    def test_version_lives_in_init_not_api(self):
+        assert isinstance(repro.__version__, str)
+        assert "__version__" not in api.__all__
+
+
+class TestLegacyShims:
+    @pytest.fixture(autouse=True)
+    def _reset_shim_state(self):
+        # Each test sees the warn-once machinery fresh.
+        saved = set(repro._LEGACY_WARNED)
+        for name in repro._LEGACY_ALIASES:
+            repro._LEGACY_WARNED.discard(name)
+            repro.__dict__.pop(name, None)
+        yield
+        repro._LEGACY_WARNED |= saved
+
+    def test_legacy_names_resolve_to_their_new_homes(self):
+        from repro.apps import make_bubble
+        from repro.cluster import Cluster
+        from repro.units import MAX_PRESSURE, NUM_PRESSURE_LEVELS
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            assert repro.Cluster is Cluster
+            assert repro.make_bubble is make_bubble
+            assert repro.MAX_PRESSURE == MAX_PRESSURE
+            assert repro.NUM_PRESSURE_LEVELS == NUM_PRESSURE_LEVELS
+
+    def test_each_symbol_warns_exactly_once(self):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            first = repro.__getattr__("Cluster")
+            second = repro.__getattr__("Cluster")
+            repro.__getattr__("make_bubble")
+        assert first is second
+        deprecations = [
+            w for w in caught if issubclass(w.category, DeprecationWarning)
+        ]
+        assert len(deprecations) == 2
+        assert "Cluster" in str(deprecations[0].message)
+        assert "make_bubble" in str(deprecations[1].message)
+
+    def test_repeat_access_skips_getattr_via_globals_cache(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            value = repro.Cluster
+        # After first resolution the object is cached in the module
+        # namespace, so attribute access no longer goes through
+        # __getattr__ (and thus can never warn again).
+        assert repro.__dict__["Cluster"] is value
+
+    def test_unknown_attribute_still_raises(self):
+        with pytest.raises(AttributeError, match="no attribute 'Nonsense'"):
+            repro.Nonsense

@@ -1,0 +1,108 @@
+"""Tests for trace export: byte stability, both formats, round-trips."""
+
+import json
+
+from repro.core.builder import build_model
+from repro.obs.recorder import TraceRecorder, recording
+from repro.obs.sinks import render_trace, to_chrome_trace, to_jsonl, write_trace
+from repro.obs.summary import load_trace, probe_accounting, span_rollup
+from repro.sim.runner import ClusterRunner
+
+
+def _sample_recorder() -> TraceRecorder:
+    rec = TraceRecorder()
+    with rec.span("outer", workload="M.lmps"):
+        with rec.span("inner", rep=0) as inner:
+            inner.set_sim(12.5)
+        rec.count("hits", 3)
+        rec.observe("lat", 1.0)
+        rec.observe("lat", 2.0)
+        rec.gauge("depth", 4.0)
+        rec.log("hello")
+    return rec
+
+
+def _profiled_recorder(seed: int) -> TraceRecorder:
+    with recording() as rec:
+        runner = ClusterRunner(base_seed=seed)
+        build_model(runner, ["M.lmps"], policy_samples=3, seed=seed)
+    return rec
+
+
+class TestDeterministicExports:
+    def test_jsonl_is_byte_stable_across_runs(self):
+        first = to_jsonl(_profiled_recorder(4))
+        second = to_jsonl(_profiled_recorder(4))
+        assert first == second
+
+    def test_chrome_trace_is_byte_stable_across_runs(self):
+        first = json.dumps(to_chrome_trace(_profiled_recorder(4)), sort_keys=True)
+        second = json.dumps(to_chrome_trace(_profiled_recorder(4)), sort_keys=True)
+        assert first == second
+
+    def test_deterministic_jsonl_excludes_wall_time(self):
+        text = to_jsonl(_sample_recorder())
+        assert "wall" not in text
+        assert '"type": "trace"' in text.splitlines()[0]
+
+    def test_wall_mode_includes_wall_time(self):
+        text = to_jsonl(_sample_recorder(), deterministic=False)
+        assert "wall_us" in text
+
+
+class TestChromeTraceShape:
+    def test_trace_events_are_complete_events(self):
+        document = to_chrome_trace(_sample_recorder())
+        events = document["traceEvents"]
+        assert len(events) == 2
+        for event in events:
+            assert event["ph"] == "X"
+            assert event["dur"] >= 1
+        names = {event["name"] for event in events}
+        assert names == {"outer", "inner"}
+
+    def test_metrics_land_in_other_data(self):
+        other = to_chrome_trace(_sample_recorder())["otherData"]
+        assert other["counters"] == {"hits": 3}
+        assert other["gauges"] == {"depth": 4.0}
+        assert other["histograms"]["lat"]["count"] == 2
+        assert other["logs"][0]["message"] == "hello"
+
+
+class TestRenderAndLoad:
+    def test_suffix_selects_format(self, tmp_path):
+        rec = _sample_recorder()
+        jsonl = render_trace(rec, "x.jsonl")
+        chrome = render_trace(rec, "x.json")
+        assert jsonl.splitlines()[0] == '{"type": "trace", "version": 1}'
+        assert json.loads(chrome)["traceEvents"]
+
+    def test_roundtrip_both_formats(self, tmp_path):
+        rec = _sample_recorder()
+        for name in ("t.jsonl", "t.json"):
+            path = str(tmp_path / name)
+            write_trace(rec, path)
+            payload = load_trace(path)
+            rollup = {row[0]: row for row in span_rollup(payload)}
+            assert set(rollup) == {"outer", "inner"}
+            assert rollup["inner"][1] == 1  # count
+            assert rollup["inner"][3] == 12.5  # sim time
+            assert payload["counters"]["hits"] == 3
+
+
+class TestProbeAccounting:
+    def test_table3_costs_derive_from_probe_spans_alone(self, tmp_path):
+        runner = ClusterRunner(base_seed=4)
+        with recording() as rec:
+            report = build_model(runner, ["M.lmps"], policy_samples=3, seed=4)
+        path = str(tmp_path / "trace.json")
+        write_trace(rec, path)
+        rows = probe_accounting(load_trace(path))
+        assert len(rows) == 1
+        workload, algorithm, probes, grid, cost = rows[0]
+        outcome = report.profiling_outcomes["M.lmps"]
+        assert workload == "M.lmps"
+        assert algorithm == "binary-optimized"
+        assert probes == outcome.settings_measured
+        assert grid == outcome.total_settings
+        assert cost == round(outcome.cost_percent, 6)

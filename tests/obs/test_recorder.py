@@ -1,0 +1,148 @@
+"""Tests for the recorder core: no-op path, nesting, installation."""
+
+import pytest
+
+from repro.obs import recorder as _obs
+from repro.obs.recorder import (
+    NULL_RECORDER,
+    NULL_SPAN,
+    NullRecorder,
+    TraceRecorder,
+    current,
+    install,
+    recording,
+)
+
+
+class TestNullRecorder:
+    """The disabled path: shared singletons, zero state, no-ops."""
+
+    def test_default_recorder_is_the_null_singleton(self):
+        assert current() is NULL_RECORDER
+        assert _obs.RECORDER is NULL_RECORDER
+        assert not NULL_RECORDER.enabled
+
+    def test_span_returns_the_shared_null_span(self):
+        # No allocation on the disabled path: every call hands back the
+        # same reusable context manager.
+        assert NULL_RECORDER.span("a") is NULL_SPAN
+        assert NULL_RECORDER.span("b", workload="M.lmps") is NULL_SPAN
+
+    def test_null_span_supports_the_full_span_protocol(self):
+        with NULL_RECORDER.span("outer", x=1) as span:
+            assert span.set(y=2) is span
+            assert span.set_sim(3.5) is span
+
+    def test_all_metric_calls_are_noops(self):
+        NULL_RECORDER.count("c")
+        NULL_RECORDER.count("c", 5)
+        NULL_RECORDER.gauge("g", 1.0)
+        NULL_RECORDER.observe("h", 2.0)
+        NULL_RECORDER.log("hello")
+        NULL_RECORDER.log("world", stream="err")
+
+    def test_null_recorder_is_stateless(self):
+        # __slots__ = () — nothing can accumulate per call.
+        assert NullRecorder.__slots__ == ()
+        with pytest.raises(AttributeError):
+            NULL_RECORDER.spans = []  # type: ignore[attr-defined]
+
+
+class TestTraceRecorder:
+    def test_span_nesting_links_parents(self):
+        rec = TraceRecorder()
+        with rec.span("outer") as outer:
+            with rec.span("inner") as inner:
+                pass
+            with rec.span("inner") as inner2:
+                pass
+        outer_rec, inner_rec, inner2_rec = rec.spans
+        assert outer_rec.name == "outer" and outer_rec.parent_id is None
+        assert inner_rec.parent_id == outer_rec.span_id
+        assert inner2_rec.parent_id == outer_rec.span_id
+        assert outer_rec.seq_start < inner_rec.seq_start
+        assert inner_rec.seq_end < inner2_rec.seq_start
+        assert outer_rec.seq_end > inner2_rec.seq_end
+
+    def test_span_attrs_and_sim_time(self):
+        rec = TraceRecorder()
+        with rec.span("s", workload="M.lmps") as span:
+            span.set(probes=3)
+            span.set_sim(41.25)
+        (record,) = rec.spans
+        assert record.attrs == {"workload": "M.lmps", "probes": 3}
+        assert record.sim_elapsed == 41.25
+        assert record.wall_ns is not None and record.wall_ns >= 0
+
+    def test_counters_gauges_histograms(self):
+        rec = TraceRecorder()
+        rec.count("hits")
+        rec.count("hits", 4)
+        rec.gauge("depth", 2.0)
+        rec.gauge("depth", 7.0)
+        rec.observe("lat", 1.0)
+        rec.observe("lat", 3.0)
+        assert rec.counter("hits") == 5
+        assert rec.counter("never") == 0
+        assert rec.gauges["depth"] == 7.0
+        assert rec.histograms["lat"] == [1.0, 3.0]
+
+    def test_spans_named(self):
+        rec = TraceRecorder()
+        with rec.span("a"):
+            pass
+        with rec.span("b"):
+            pass
+        with rec.span("a"):
+            pass
+        assert [s.name for s in rec.spans_named("a")] == ["a", "a"]
+
+
+class TestInstallation:
+    def test_install_returns_previous_and_takes_effect_via_module(self):
+        rec = TraceRecorder()
+        previous = install(rec)
+        try:
+            assert previous is NULL_RECORDER
+            assert _obs.RECORDER is rec
+            _obs.RECORDER.count("seen")
+            assert rec.counter("seen") == 1
+        finally:
+            install(previous)
+        assert _obs.RECORDER is NULL_RECORDER
+
+    def test_recording_context_restores_on_exit(self):
+        with recording() as rec:
+            assert _obs.RECORDER is rec
+            assert rec.enabled
+            with _obs.RECORDER.span("x"):
+                pass
+        assert _obs.RECORDER is NULL_RECORDER
+        assert len(rec.spans) == 1
+
+    def test_recording_accepts_an_existing_recorder(self):
+        mine = TraceRecorder()
+        with recording(mine) as rec:
+            assert rec is mine
+
+    def test_recording_restores_after_exception(self):
+        with pytest.raises(RuntimeError):
+            with recording():
+                raise RuntimeError("boom")
+        assert _obs.RECORDER is NULL_RECORDER
+
+
+class TestDisabledOverheadPath:
+    def test_instrumented_code_records_nothing_when_disabled(self):
+        # The exact pattern used at hot call sites: module attribute
+        # lookup plus a no-op call.  Nothing observable happens.
+        from repro.sim.runner import ClusterRunner
+
+        runner = ClusterRunner(base_seed=3)
+        assert _obs.RECORDER is NULL_RECORDER
+        runner.solo_time("M.lmps")
+        # Installing a recorder *afterwards* shows a clean slate: the
+        # disabled run left no residue anywhere.
+        with recording() as rec:
+            pass
+        assert rec.spans == [] and rec.counters == {}
