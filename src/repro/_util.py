@@ -2,9 +2,28 @@
 
 from __future__ import annotations
 
+import os
 from typing import Iterable, Sequence
 
 import numpy as np
+
+
+def atomic_write_text(path: str, text: str) -> None:
+    """Write ``text`` to ``path`` atomically (temp file + rename).
+
+    The temporary file is fsync'd before the rename, so a crash at any
+    point leaves either the complete old contents or the complete new
+    contents — never a torn file.  Used by every artifact writer whose
+    output something else (CI byte-comparison, crash recovery) re-reads.
+    """
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    tmp_path = f"{path}.tmp.{os.getpid()}"
+    with open(tmp_path, "w", encoding="utf-8") as handle:
+        handle.write(text)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp_path, path)
 
 
 def make_rng(seed: object) -> np.random.Generator:

@@ -16,7 +16,12 @@ stable across releases:
 * **Placement** — :class:`Placement` / :class:`InstanceSpec`, the
   annealing placers, and QoS constraints.
 * **Service** — the online :class:`ConsolidationService` and its
-  traffic, config, and telemetry types.
+  traffic, config, telemetry, and crash-safety
+  (:class:`ServiceCheckpoint`) types.
+* **Robustness** — deterministic fault injection
+  (:class:`FaultPlan` / :class:`FaultConfig`), the :class:`RetryPolicy`
+  governing the retrying measurement path, and :class:`MeasurementFault`
+  for readings that exhaust it (see ``docs/robustness.md``).
 * **Observability** — the :mod:`repro.obs` subsystem
   (:func:`~repro.obs.recording`, :class:`~repro.obs.TraceRecorder`,
   :func:`~repro.obs.write_trace`, :func:`~repro.obs.load_trace`).
@@ -57,6 +62,8 @@ from repro.core import (
 from repro.errors import (
     CatalogError,
     ConfigurationError,
+    FaultError,
+    MeasurementFault,
     ModelError,
     PlacementError,
     ProfilingError,
@@ -64,6 +71,7 @@ from repro.errors import (
     ServiceError,
     SimulationError,
 )
+from repro.faults import FaultConfig, FaultPlan, RetryPolicy
 from repro.obs import (
     NullRecorder,
     TraceRecorder,
@@ -87,6 +95,7 @@ from repro.service import (
     FixedStream,
     Job,
     MetricsSnapshot,
+    ServiceCheckpoint,
     ServiceConfig,
     StreamConfig,
     WorkloadStream,
@@ -130,9 +139,14 @@ __all__ = [
     "FixedStream",
     "Job",
     "MetricsSnapshot",
+    "ServiceCheckpoint",
     "ServiceConfig",
     "StreamConfig",
     "WorkloadStream",
+    # robustness
+    "FaultConfig",
+    "FaultPlan",
+    "RetryPolicy",
     # observability
     "NullRecorder",
     "TraceRecorder",
@@ -144,6 +158,8 @@ __all__ = [
     # errors
     "CatalogError",
     "ConfigurationError",
+    "FaultError",
+    "MeasurementFault",
     "ModelError",
     "PlacementError",
     "ProfilingError",

@@ -32,8 +32,16 @@ from typing import List, Optional
 
 from repro import __version__
 from repro.cli import catalog, modeling, serve, tracecmd
-from repro.cli._parents import TRACE_HELP, output_parent, seed_parent, trace_parent
+from repro.cli._parents import (
+    FAULTS_HELP,
+    TRACE_HELP,
+    faults_parent,
+    output_parent,
+    seed_parent,
+    trace_parent,
+)
 from repro.errors import ReproError
+from repro.faults import FaultPlan
 from repro.obs import console
 from repro.obs.recorder import TraceRecorder, install
 from repro.obs.sinks import write_trace
@@ -50,10 +58,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("--version", action="version", version=__version__)
     parser.add_argument("--trace", metavar="PATH", default=None, help=TRACE_HELP)
+    parser.add_argument("--faults", metavar="PATH", default=None, help=FAULTS_HELP)
     sub = parser.add_subparsers(dest="command", required=True)
 
     parents = {
         "trace": trace_parent(),
+        "faults": faults_parent(),
         "seed": seed_parent(),
         "output": output_parent(),
     }
@@ -67,6 +77,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     trace_path = getattr(args, "trace", None)
+    faults_path = getattr(args, "faults", None)
     recorder: Optional[TraceRecorder] = None
     previous = None
     if trace_path:
@@ -74,6 +85,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         previous = install(recorder)
     try:
         try:
+            # Every verb accepts --faults; verbs that construct a
+            # measurement runner read the loaded plan from
+            # args.fault_plan.  Loaded inside the handler so a bad
+            # plan file reports like any other CLI error.
+            args.fault_plan = (
+                FaultPlan.load(faults_path) if faults_path else None
+            )
             code = args.fn(args)
         except ReproError as exc:
             console.info(f"error: {exc}")

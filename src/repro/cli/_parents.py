@@ -21,6 +21,13 @@ TRACE_HELP = (
     "(*.jsonl for the line stream, anything else for Chrome trace JSON)"
 )
 
+FAULTS_HELP = (
+    "inject deterministic faults from this FaultPlan JSON; verbs that "
+    "run measurements take the retrying fault-injected path (crashes, "
+    "stragglers, outliers, worker-pool failures), other verbs accept "
+    "and ignore the plan"
+)
+
 
 def trace_parent() -> argparse.ArgumentParser:
     """Parent adding ``--trace PATH`` (suppressed default; see module doc)."""
@@ -30,6 +37,18 @@ def trace_parent() -> argparse.ArgumentParser:
         metavar="PATH",
         default=argparse.SUPPRESS,
         help=TRACE_HELP,
+    )
+    return parent
+
+
+def faults_parent() -> argparse.ArgumentParser:
+    """Parent adding ``--faults PATH`` (suppressed default, like ``--trace``)."""
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument(
+        "--faults",
+        metavar="PATH",
+        default=argparse.SUPPRESS,
+        help=FAULTS_HELP,
     )
     return parent
 

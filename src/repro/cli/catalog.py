@@ -39,14 +39,14 @@ def register(
     p_list = subparsers.add_parser(
         "list",
         help="list workloads and experiments",
-        parents=[parents["trace"]],
+        parents=[parents["trace"], parents["faults"]],
     )
     p_list.set_defaults(fn=_cmd_list)
 
     p_run = subparsers.add_parser(
         "run",
         help="regenerate a paper table/figure",
-        parents=[parents["trace"]],
+        parents=[parents["trace"], parents["faults"]],
     )
     p_run.add_argument("experiment", choices=sorted(REGISTRY))
     p_run.set_defaults(fn=_cmd_run)

@@ -13,7 +13,9 @@ from repro.sim.runner import ClusterRunner
 
 
 def _cmd_profile(args: argparse.Namespace) -> int:
-    runner = ClusterRunner(base_seed=args.seed)
+    runner = ClusterRunner(
+        base_seed=args.seed, faults=getattr(args, "fault_plan", None)
+    )
     report = build_model(
         runner,
         args.workloads,
@@ -60,7 +62,7 @@ def register(
     p_profile = subparsers.add_parser(
         "profile",
         help="build an interference model",
-        parents=[parents["trace"], parents["seed"], parents["output"]],
+        parents=[parents["trace"], parents["faults"], parents["seed"], parents["output"]],
     )
     p_profile.add_argument("workloads", nargs="+")
     p_profile.add_argument(
@@ -73,7 +75,7 @@ def register(
     p_predict = subparsers.add_parser(
         "predict",
         help="query a saved model",
-        parents=[parents["trace"]],
+        parents=[parents["trace"], parents["faults"]],
     )
     p_predict.add_argument("--model", required=True)
     p_predict.add_argument("--workload", required=True)

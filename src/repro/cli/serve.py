@@ -1,17 +1,31 @@
-"""``repro serve`` — the online consolidation service over a traffic day."""
+"""``repro serve`` — the online consolidation service over a traffic day.
+
+Crash safety: with ``--checkpoint`` the service writes an atomic
+:class:`~repro.service.checkpoint.ServiceCheckpoint` after every epoch,
+and (when ``--event-log`` is also given) persists each event to disk
+with an fsync before moving on.  A killed day is then continued with
+``--resume``: the checkpoint restores the last epoch boundary, the
+event log is recovered (a torn final line from the crash is dropped),
+and the remaining epochs re-run — producing an event log and metrics
+snapshot byte-identical to a day that was never interrupted.
+"""
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 from typing import Mapping
 
+from repro._util import atomic_write_text
 from repro.analysis.reporting import render_event_counts, render_service_snapshot
 from repro.apps.catalog import BATCH_WORKLOADS
 from repro.core.builder import build_batch_profiles, build_model
 from repro.obs import console
 from repro.service import (
     ConsolidationService,
+    EventLog,
+    ServiceCheckpoint,
     ServiceConfig,
     StreamConfig,
     WorkloadStream,
@@ -60,11 +74,14 @@ def _check_expectation(expected: dict, actual: dict) -> int:
     return 0
 
 
-def _cmd_serve(args: argparse.Namespace) -> int:
+def _build_service(args: argparse.Namespace) -> ConsolidationService:
+    """Construct the (deterministic) service a serve invocation runs."""
     workloads = tuple(args.workloads or DEFAULT_SERVE_MIX)
     distributed = [w for w in workloads if w not in BATCH_WORKLOADS]
     batch = [w for w in workloads if w in BATCH_WORKLOADS]
-    runner = ClusterRunner(base_seed=args.seed)
+    runner = ClusterRunner(
+        base_seed=args.seed, faults=getattr(args, "fault_plan", None)
+    )
     console.info(
         f"Profiling {len(workloads)} workload(s) for the serving model..."
     )
@@ -85,7 +102,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         ),
         seed=args.seed,
     )
-    service = ConsolidationService(
+    return ConsolidationService(
         runner,
         report.model,
         stream,
@@ -94,9 +111,37 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             migration_cost=args.migration_cost,
         ),
         seed=args.seed,
+        checkpoint_path=args.checkpoint,
     )
-    console.info(f"Serving {args.epochs} epochs...")
-    service.run(args.epochs)
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    if args.resume and not args.checkpoint:
+        console.info("error: --resume requires --checkpoint")
+        return 1
+    service = _build_service(args)
+    if args.resume:
+        checkpoint = ServiceCheckpoint.load(args.checkpoint)
+        log = None
+        if args.event_log and os.path.exists(args.event_log):
+            log = EventLog.recover(args.event_log)
+        service.restore(checkpoint, log=log)
+        console.info(
+            f"resumed from checkpoint at epoch boundary {checkpoint.epoch}"
+        )
+    if args.checkpoint and args.event_log:
+        # Persist every event as it is appended (fsync'd), so a crash
+        # loses at most a torn final line that --resume drops.
+        service.log.attach(args.event_log)
+    remaining = args.epochs - service.epochs_run
+    if remaining > 0:
+        console.info(f"Serving {remaining} epochs...")
+        service.run(remaining)
+    else:
+        console.info(
+            f"checkpoint already covers all {args.epochs} epoch(s)"
+        )
+    service.log.detach()
 
     final = service.snapshots[-1]
     console.emit(render_service_snapshot(final))
@@ -107,23 +152,24 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         console.info(f"\nevent log written to {args.event_log}")
     actual = _serve_expectation(service)
     if args.snapshot:
-        with open(args.snapshot, "w", encoding="utf-8") as handle:
-            json.dump(
+        atomic_write_text(
+            args.snapshot,
+            json.dumps(
                 {
                     "final": actual["final"],
                     "counters": actual["counters"],
                     "per_epoch": [s.to_dict() for s in service.snapshots],
                 },
-                handle,
                 sort_keys=True,
                 indent=2,
-            )
-            handle.write("\n")
+            ) + "\n",
+        )
         console.info(f"metrics snapshot written to {args.snapshot}")
     if args.update_expect:
-        with open(args.update_expect, "w", encoding="utf-8") as handle:
-            json.dump(actual, handle, sort_keys=True, indent=2)
-            handle.write("\n")
+        atomic_write_text(
+            args.update_expect,
+            json.dumps(actual, sort_keys=True, indent=2) + "\n",
+        )
         console.info(f"expectation written to {args.update_expect}")
     if args.expect:
         with open(args.expect, "r", encoding="utf-8") as handle:
@@ -140,7 +186,7 @@ def register(
     p_serve = subparsers.add_parser(
         "serve",
         help="run the online consolidation service over a seeded traffic day",
-        parents=[parents["trace"], parents["seed"]],
+        parents=[parents["trace"], parents["faults"], parents["seed"]],
     )
     p_serve.add_argument("--epochs", type=int, default=12)
     p_serve.add_argument(
@@ -156,6 +202,23 @@ def register(
     p_serve.add_argument("--migration-cost", type=float, default=0.02)
     p_serve.add_argument("--event-log", help="write the JSONL event log here")
     p_serve.add_argument("--snapshot", help="write the metrics snapshot JSON here")
+    p_serve.add_argument(
+        "--checkpoint",
+        metavar="PATH",
+        help=(
+            "write an atomic service checkpoint here after every epoch "
+            "(with --event-log, events are also fsync'd as they happen)"
+        ),
+    )
+    p_serve.add_argument(
+        "--resume",
+        action="store_true",
+        help=(
+            "continue a killed day from --checkpoint (and recover "
+            "--event-log); the finished day is byte-identical to an "
+            "uninterrupted run"
+        ),
+    )
     p_serve.add_argument(
         "--expect",
         help="expectation JSON to check; exits 1 on a QoS-violation regression",

@@ -31,7 +31,7 @@ def register(
     p_trace = subparsers.add_parser(
         "trace",
         help="inspect recorded traces",
-        parents=[parents["trace"]],
+        parents=[parents["trace"], parents["faults"]],
     )
     tsub = p_trace.add_subparsers(dest="trace_command", required=True)
     p_sum = tsub.add_parser(

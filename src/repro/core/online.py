@@ -190,6 +190,42 @@ class OnlineModel:
             if key in measured_times:
                 self.observe(workload_of[key], predicted, measured_times[key])
 
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def state_dict(self) -> Dict[str, Dict[str, object]]:
+        """The learned state (corrections only) as plain JSON-able data.
+
+        The static base model is *not* part of the state: it derives
+        deterministically from profiling, so checkpoints stay small and
+        a resumed service rebuilds it from the same seed instead.
+        """
+        return {
+            workload: {
+                "factor": state.factor,
+                "observations": state.observations,
+                "last_error_percent": state.last_error_percent,
+                "history": list(state.history),
+            }
+            for workload, state in sorted(self._corrections.items())
+        }
+
+    def load_state(self, state: Mapping[str, Mapping[str, object]]) -> None:
+        """Restore corrections captured by :meth:`state_dict`."""
+        self._corrections = {}
+        for workload, entry in state.items():
+            try:
+                self._corrections[workload] = CorrectionState(
+                    factor=float(entry["factor"]),
+                    observations=int(entry["observations"]),
+                    last_error_percent=float(entry["last_error_percent"]),
+                    history=[float(v) for v in entry["history"]],
+                )
+            except (KeyError, TypeError, ValueError) as exc:
+                raise ModelError(
+                    f"malformed correction state for {workload!r}"
+                ) from exc
+
     def staleness_report(self) -> List[tuple]:
         """(workload, observations, factor, last error %) per workload."""
         return [

@@ -24,13 +24,38 @@ from typing import Dict, Set, Tuple
 import numpy as np
 
 from repro.core.curves import PropagationMatrix
-from repro.errors import ProfilingError
+from repro.errors import MeasurementFault, ProfilingError
 from repro.obs import recorder as _obs
 from repro.sim.runner import ClusterRunner
+
+#: Normalized times above this are treated as measurement outliers when
+#: fault injection is active.  The paper's slowdowns top out well under
+#: 10x (Figure 3); an injected outlier (default 25x) clears the bound,
+#: while an injected straggler (default 1.5x) never does — stragglers
+#: are real slow runs and must stay in the data.
+OUTLIER_BOUND = 10.0
+
+#: Total readings behind a robust (median-of-k) probe after an outlier
+#: is detected: the suspect reading plus ``REPROBE_K - 1`` independent
+#: repetitions.
+REPROBE_K = 3
+
+#: Floor of the conservative fallback installed when a probe exhausts
+#: its retry budget: at least this normalized slowdown is assumed.
+FALLBACK_FLOOR = 2.0
 
 
 class MeasurementOracle:
     """Cached access to normalized measurements for one workload.
+
+    When the runner injects faults, the oracle is the robust layer of
+    the profiling stack: a reading above :data:`OUTLIER_BOUND` triggers
+    a median-of-:data:`REPROBE_K` re-probe (each repetition is its own
+    ``profile.probe`` span with ``reprobe=True``, so retry cost folds
+    into the Table 3 accounting derivable from the trace), and a
+    reading that exhausts its retry budget is replaced by a
+    conservative fallback (``fault.probe_fallback``) — the workload is
+    then marked degraded on the runner.
 
     Parameters
     ----------
@@ -55,23 +80,72 @@ class MeasurementOracle:
         key = (float(pressure), int(count))
         value = self._cache.get(key)
         if value is None:
-            # One ``profile.probe`` span per *distinct* setting actually
-            # measured — counting these spans per workload reproduces
-            # the Table 3 cost accounting from the trace alone.
-            with _obs.RECORDER.span(
-                "profile.probe",
-                workload=self.abbrev,
-                pressure=float(pressure),
-                count=int(count),
-            ) as span:
-                value = self.runner.measure(
-                    self.abbrev, float(pressure), int(count), span=self.span
-                )
-                span.set(normalized=value)
+            value = self._probe(float(pressure), int(count))
             self._cache[key] = value
         else:
             _obs.RECORDER.count("profile.probe_memo_hit")
         return value
+
+    def _probe(self, pressure: float, count: int) -> float:
+        """Measure one distinct setting, robustly under fault injection.
+
+        One ``profile.probe`` span per reading actually taken —
+        counting these spans per workload reproduces the Table 3 cost
+        accounting from the trace alone, re-probes included.
+        """
+        try:
+            with _obs.RECORDER.span(
+                "profile.probe",
+                workload=self.abbrev,
+                pressure=pressure,
+                count=count,
+            ) as span:
+                value = self.runner.measure(
+                    self.abbrev, pressure, count, span=self.span
+                )
+                span.set(normalized=value)
+            if self.runner.faults_active and value > OUTLIER_BOUND:
+                value = self._reprobe(pressure, count, value)
+        except MeasurementFault:
+            value = self._fallback()
+        return value
+
+    def _reprobe(self, pressure: float, count: int, suspect: float) -> float:
+        """Median-of-k re-probe after an outlier reading.
+
+        The suspect reading is kept in the pool — if the setting really
+        is that slow, two honest repetitions will agree with it.
+        """
+        _obs.RECORDER.count("fault.outlier_detected")
+        readings = [suspect]
+        for rep in range(1, REPROBE_K):
+            _obs.RECORDER.count("retry.reprobe")
+            with _obs.RECORDER.span(
+                "profile.probe",
+                workload=self.abbrev,
+                pressure=pressure,
+                count=count,
+                reprobe=True,
+            ) as span:
+                value = self.runner.measure(
+                    self.abbrev, pressure, count, rep=rep, span=self.span
+                )
+                span.set(normalized=value)
+            readings.append(value)
+        readings.sort()
+        return readings[len(readings) // 2]
+
+    def _fallback(self) -> float:
+        """Conservative stand-in for a setting that could not be read.
+
+        At least as slow as every setting measured so far (and never
+        below :data:`FALLBACK_FLOOR`), so the profile over-predicts
+        rather than under-predicts interference at the unreadable cell.
+        """
+        _obs.RECORDER.count("fault.probe_fallback")
+        return max(
+            max(self._cache.values(), default=0.0), FALLBACK_FLOOR
+        )
 
     def is_cached(self, pressure: float, count: int) -> bool:
         """Whether a setting has already been measured (or primed)."""

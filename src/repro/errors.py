@@ -38,3 +38,19 @@ class CatalogError(ReproError):
 
 class ServiceError(ReproError):
     """The consolidation service was configured or driven inconsistently."""
+
+
+class FaultError(ReproError):
+    """A fault-injection plan or retry policy was configured inconsistently."""
+
+
+class MeasurementFault(FaultError):
+    """A measurement kept faulting until its retry budget was exhausted.
+
+    Carries the workload (when known) so callers can degrade that
+    workload's predictions instead of trusting a reading they never got.
+    """
+
+    def __init__(self, message: str, *, workload: str = "") -> None:
+        super().__init__(message)
+        self.workload = workload

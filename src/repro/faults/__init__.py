@@ -1,0 +1,25 @@
+"""Deterministic fault injection and the tolerance machinery around it.
+
+The fault model (what can break) lives in :mod:`repro.faults.plan`; the
+retry semantics (how readings survive it) in :mod:`repro.faults.retry`
+and :mod:`repro.faults.injection`; the admission fallback for workloads
+whose profiles could not be measured reliably in
+:mod:`repro.faults.degradation`.  See ``docs/robustness.md`` for the
+full failure story.
+"""
+
+from repro.faults.degradation import conservative_prediction, supports_degradation
+from repro.faults.injection import attempt_reading
+from repro.faults.plan import FAULT_FAMILIES, FaultConfig, FaultPlan
+from repro.faults.retry import DEFAULT_RETRY_POLICY, RetryPolicy
+
+__all__ = [
+    "DEFAULT_RETRY_POLICY",
+    "FAULT_FAMILIES",
+    "FaultConfig",
+    "FaultPlan",
+    "RetryPolicy",
+    "attempt_reading",
+    "conservative_prediction",
+    "supports_degradation",
+]

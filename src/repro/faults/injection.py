@@ -1,0 +1,116 @@
+"""The retrying measurement path: faults in, one reading out.
+
+:func:`attempt_reading` runs a single measurement closure under a
+:class:`~repro.faults.plan.FaultPlan` and a
+:class:`~repro.faults.retry.RetryPolicy`:
+
+* a crashed attempt is retried after a deterministic simulated-time
+  backoff (``retry.attempt`` spans, ``fault.crash`` / ``retry.attempts``
+  counters),
+* a reading slower than the policy's timeout is discarded and retried
+  (``fault.timeout``),
+* a surviving reading may still come back straggler-inflated or as an
+  outlier (``fault.straggler`` / ``fault.outlier``) — detecting and
+  re-probing those is the *caller's* job (robust profiling), because
+  the measurement path cannot tell a slow run from a slowed-down one,
+* an exhausted retry budget raises
+  :class:`~repro.errors.MeasurementFault` (``fault.exhausted``) so the
+  caller can degrade instead of trusting a reading it never got.
+
+All activity is counted through :mod:`repro.obs`, so a traced faulty
+run reports its ``fault.*`` / ``retry.*`` totals — and those totals are
+byte-stable across repeated runs of the same plan.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Tuple, TypeVar
+
+from repro.errors import MeasurementFault
+from repro.faults.plan import FaultPlan
+from repro.faults.retry import RetryPolicy
+from repro.obs import recorder as _obs
+
+R = TypeVar("R")
+
+
+def attempt_reading(
+    plan: FaultPlan,
+    policy: RetryPolicy,
+    label: Tuple,
+    simulate: Callable[[], R],
+    *,
+    workload: str = "",
+    perturb: bool = True,
+) -> R:
+    """One fault-injected, retried reading.
+
+    Parameters
+    ----------
+    plan / policy:
+        The fault source and the retry budget.
+    label:
+        Stable identity of the reading; every fault decision is a pure
+        function of it (plus the attempt index).
+    simulate:
+        Zero-argument closure producing the clean reading.  Called at
+        most once per attempt; a crashed attempt never calls it.
+    workload:
+        Attached to spans and to the exhaustion error.
+    perturb:
+        Whether straggler/outlier value corruption applies.  Ground
+        truth co-runs keep it off: their runs can crash and be retried,
+        but a completed run's value is what the cluster reported.
+
+    Returns
+    -------
+    float
+        The (possibly perturbed) reading.
+
+    Raises
+    ------
+    MeasurementFault
+        After ``policy.max_attempts`` failed attempts.
+    """
+    for attempt in range(policy.max_attempts):
+        if plan.crashes(label, attempt):
+            _failed_attempt(policy, "crash", workload, attempt)
+            continue
+        reading = simulate()
+        # Multi-value readings (co-run dicts) cannot time out as a
+        # unit; only scalar readings are bounded.
+        if isinstance(reading, (int, float)) and policy.times_out(reading):
+            _failed_attempt(policy, "timeout", workload, attempt)
+            continue
+        if perturb:
+            straggler = plan.straggler(label, attempt)
+            if straggler != 1.0:
+                reading *= straggler
+                _obs.RECORDER.count("fault.straggler")
+            outlier = plan.outlier(label, attempt)
+            if outlier != 1.0:
+                reading *= outlier
+                _obs.RECORDER.count("fault.outlier")
+        if attempt > 0:
+            _obs.RECORDER.count("retry.recovered")
+        return reading
+    _obs.RECORDER.count("fault.exhausted")
+    raise MeasurementFault(
+        f"reading {label!r} still faulting after "
+        f"{policy.max_attempts} attempt(s)",
+        workload=workload,
+    )
+
+
+def _failed_attempt(
+    policy: RetryPolicy, reason: str, workload: str, attempt: int
+) -> None:
+    """Account one failed attempt: counters plus a backoff-charged span."""
+    backoff = policy.backoff(attempt + 1)
+    _obs.RECORDER.count(f"fault.{reason}")
+    _obs.RECORDER.count("retry.attempts")
+    _obs.RECORDER.count("retry.backoff_sim", backoff)
+    with _obs.RECORDER.span(
+        "retry.attempt", reason=reason, attempt=attempt, workload=workload
+    ) as span:
+        span.set_sim(backoff)

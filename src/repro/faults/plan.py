@@ -1,0 +1,234 @@
+"""Seeded, fully deterministic fault plans.
+
+A :class:`FaultPlan` decides — ahead of time, as a pure function of its
+seed and the label of the thing being faulted — which measurement
+attempts crash, which readings come back straggler-inflated or as
+outright garbage, and which fan-out worker pools die mid-batch.  Each
+fault family draws from its **own** stable-seeded stream
+(``stable_seed(seed, "fault", family, *labels)``), so
+
+* enabling one family never perturbs another family's draws,
+* a decision depends only on the label, never on how many (or in what
+  order) other decisions were queried, and
+* the same plan replayed over the same run produces byte-identical
+  fault activity — which is what the determinism tests and the
+  ``chaos-smoke`` CI job compare.
+
+Plans serialize to plain JSON so every CLI verb can take
+``--faults plan.json``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, replace
+from pathlib import Path
+from typing import Tuple, Union
+
+from repro._util import make_rng, stable_seed
+from repro.errors import FaultError
+
+#: Fault families, each with its own independent RNG stream.
+FAULT_FAMILIES = ("crash", "straggler", "outlier", "pool")
+
+
+@dataclass(frozen=True)
+class FaultConfig:
+    """Rates and magnitudes of every injectable fault family.
+
+    Parameters
+    ----------
+    seed:
+        Root seed of all fault streams.
+    crash_rate:
+        Probability one measurement *attempt* dies before producing a
+        reading (a node crash mid-run).  Independent per attempt, so a
+        retry of the same reading may succeed.
+    straggler_rate / straggler_factor:
+        Probability a reading is inflated by a straggling node, and the
+        multiplicative slowdown it suffers.
+    outlier_rate / outlier_factor:
+        Probability a probe reading comes back as garbage, and how far
+        off it lands.  Outliers are large by construction so robust
+        profilers can detect and re-probe them.
+    pool_failure_rate:
+        Probability a parallel measurement fan-out loses a worker
+        process mid-batch.
+    """
+
+    seed: int = 0
+    crash_rate: float = 0.0
+    straggler_rate: float = 0.0
+    straggler_factor: float = 1.5
+    outlier_rate: float = 0.0
+    outlier_factor: float = 25.0
+    pool_failure_rate: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in ("crash_rate", "straggler_rate", "outlier_rate",
+                     "pool_failure_rate"):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise FaultError(f"{name} must be in [0, 1], got {rate}")
+        if self.straggler_factor < 1.0:
+            raise FaultError("straggler_factor must be >= 1.0")
+        if self.outlier_factor <= 0.0:
+            raise FaultError("outlier_factor must be positive")
+
+
+class FaultPlan:
+    """Deterministic per-label fault decisions over a :class:`FaultConfig`.
+
+    Every query derives a child generator from the plan seed, the fault
+    family, and the caller-supplied label, so decisions are stable
+    across runs, processes, and query order.
+    """
+
+    def __init__(self, config: FaultConfig) -> None:
+        self.config = config
+
+    # ------------------------------------------------------------------
+    @property
+    def enabled(self) -> bool:
+        """Whether any fault family has a nonzero rate."""
+        cfg = self.config
+        return any(
+            rate > 0.0
+            for rate in (cfg.crash_rate, cfg.straggler_rate,
+                         cfg.outlier_rate, cfg.pool_failure_rate)
+        )
+
+    def signature(self) -> str:
+        """Stable identity of this plan (folded into cache fingerprints).
+
+        A reading recorded under one fault plan must never be replayed
+        into a run under a different plan (or none).
+        """
+        cfg = self.config
+        return "faults|" + "|".join(
+            str(part) for part in (
+                cfg.seed, cfg.crash_rate, cfg.straggler_rate,
+                cfg.straggler_factor, cfg.outlier_rate, cfg.outlier_factor,
+                cfg.pool_failure_rate,
+            )
+        )
+
+    def _draw(self, family: str, labels: Tuple) -> "float":
+        rng = make_rng(stable_seed(self.config.seed, "fault", family, *labels))
+        return float(rng.random())
+
+    # ------------------------------------------------------------------
+    # Per-family decisions
+    # ------------------------------------------------------------------
+    def crashes(self, label: Tuple, attempt: int) -> bool:
+        """Does attempt ``attempt`` of the reading ``label`` crash?"""
+        if self.config.crash_rate <= 0.0:
+            return False
+        return self._draw("crash", label + (attempt,)) < self.config.crash_rate
+
+    def straggler(self, label: Tuple, attempt: int) -> float:
+        """Multiplicative straggler inflation of a reading (1.0 = none)."""
+        if self.config.straggler_rate <= 0.0:
+            return 1.0
+        if self._draw("straggler", label + (attempt,)) < self.config.straggler_rate:
+            return self.config.straggler_factor
+        return 1.0
+
+    def outlier(self, label: Tuple, attempt: int) -> float:
+        """Multiplicative garbage factor of a reading (1.0 = clean)."""
+        if self.config.outlier_rate <= 0.0:
+            return 1.0
+        if self._draw("outlier", label + (attempt,)) < self.config.outlier_rate:
+            return self.config.outlier_factor
+        return 1.0
+
+    def pool_fails(self, label: Tuple) -> bool:
+        """Does the fan-out batch ``label`` lose a worker process?"""
+        if self.config.pool_failure_rate <= 0.0:
+            return False
+        return self._draw("pool", label) < self.config.pool_failure_rate
+
+    def pool_victim(self, label: Tuple, batch_size: int) -> int:
+        """Which item of a failing batch the dying worker was holding."""
+        if batch_size <= 0:
+            raise FaultError("batch_size must be positive")
+        rng = make_rng(stable_seed(self.config.seed, "fault", "pool-victim",
+                                   *label))
+        return int(rng.integers(batch_size))
+
+    # ------------------------------------------------------------------
+    # Construction / serialization
+    # ------------------------------------------------------------------
+    @classmethod
+    def none(cls) -> "FaultPlan":
+        """A plan that injects nothing (all rates zero)."""
+        return cls(FaultConfig())
+
+    @classmethod
+    def chaos(cls, seed: int = 0, *, scale: float = 1.0) -> "FaultPlan":
+        """A ready-made moderately hostile plan for chaos testing."""
+        if scale < 0.0:
+            raise FaultError("scale must be non-negative")
+        return cls(FaultConfig(
+            seed=seed,
+            crash_rate=min(0.15 * scale, 1.0),
+            straggler_rate=min(0.10 * scale, 1.0),
+            outlier_rate=min(0.08 * scale, 1.0),
+            pool_failure_rate=min(0.20 * scale, 1.0),
+        ))
+
+    def with_seed(self, seed: int) -> "FaultPlan":
+        """The same rates under a different root seed."""
+        return FaultPlan(replace(self.config, seed=seed))
+
+    def to_dict(self) -> dict:
+        """JSON-serializable representation."""
+        return asdict(self.config)
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "FaultPlan":
+        """Inverse of :meth:`to_dict`.
+
+        Raises
+        ------
+        FaultError
+            On unknown keys, so a typo'd plan file fails loudly rather
+            than silently injecting nothing.
+        """
+        known = set(FaultConfig.__dataclass_fields__)
+        unknown = set(payload) - known
+        if unknown:
+            raise FaultError(
+                f"unknown fault plan keys: {', '.join(sorted(unknown))}; "
+                f"known: {', '.join(sorted(known))}"
+            )
+        return cls(FaultConfig(**payload))
+
+    def save(self, path: Union[str, Path]) -> None:
+        """Write the plan as JSON."""
+        Path(path).write_text(
+            json.dumps(self.to_dict(), sort_keys=True, indent=2) + "\n",
+            encoding="utf-8",
+        )
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "FaultPlan":
+        """Read a plan written by :meth:`save` (or by hand).
+
+        Raises
+        ------
+        FaultError
+            If the file is unreadable or not a valid plan.
+        """
+        try:
+            payload = json.loads(Path(path).read_text(encoding="utf-8"))
+        except OSError as exc:
+            raise FaultError(f"cannot read fault plan {path!s}: {exc}") from None
+        except json.JSONDecodeError as exc:
+            raise FaultError(f"fault plan {path!s} is not valid JSON: {exc}") from None
+        if not isinstance(payload, dict):
+            raise FaultError(f"fault plan {path!s} must be a JSON object")
+        return cls.from_dict(payload)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"FaultPlan({self.config!r})"

@@ -160,6 +160,21 @@ def probe_accounting(
     return rows
 
 
+def fault_accounting(payload: Dict[str, object]) -> List[Tuple[str, object]]:
+    """Fault-injection totals from the trace: ``fault.*`` / ``retry.*``.
+
+    Empty for clean runs — the fault path records nothing unless a
+    plan is active, so the summary section only appears when the trace
+    actually covers an injected run.
+    """
+    counters = payload.get("counters", {})
+    return sorted(
+        (name, value)
+        for name, value in counters.items()
+        if name.startswith(("fault.", "retry."))
+    )
+
+
 def summarize_text(payload: Dict[str, object]) -> str:
     """Human-readable trace summary (the ``repro trace summarize`` body)."""
     # Imported here: analysis -> obs would otherwise be circular for
@@ -196,6 +211,18 @@ def summarize_text(payload: Dict[str, object]) -> str:
                 [
                     (workload, algorithm, measured, total, f"{cost:.1f}")
                     for workload, algorithm, measured, total, cost in table3
+                ],
+            )
+        )
+    faults = fault_accounting(payload)
+    if faults:
+        sections.append(
+            "Fault injection (fault.* / retry.* totals):\n"
+            + format_table(
+                ["Event", "Total"],
+                [
+                    (name, value if isinstance(value, int) else f"{value:.3f}")
+                    for name, value in faults
                 ],
             )
         )

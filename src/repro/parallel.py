@@ -20,10 +20,16 @@ import multiprocessing
 import os
 import pickle
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from typing import Callable, Iterable, List, Optional, Sequence, TypeVar
+
+from repro.obs import recorder as _obs
 
 T = TypeVar("T")
 R = TypeVar("R")
+
+#: Placeholder for an item whose worker died before returning a result.
+_PENDING = object()
 
 #: Environment variable overriding the default worker count.
 MAX_WORKERS_ENV = "REPRO_MAX_WORKERS"
@@ -86,6 +92,13 @@ def fan_out(
     supplied, it runs once in-process first so ``fn`` sees the same
     worker state either way.
 
+    A worker process dying mid-batch (``BrokenProcessPool``) does not
+    abort the batch: results already returned are kept, and every
+    unfinished item is re-run serially in the parent (after running the
+    initializer in-process), so the output is identical to an
+    undisturbed run for deterministic ``fn``.  The recovery is counted
+    as ``fault.pool_failure`` / ``retry.pool_serial_items``.
+
     Results are returned in input order; the output is bit-identical to
     ``[fn(item) for item in items]`` for deterministic ``fn``.
     """
@@ -95,11 +108,29 @@ def fan_out(
         if initializer is not None:
             initializer(*initargs)
         return [fn(item) for item in work]
-    chunksize = max(1, (len(work) + workers - 1) // workers)
+    results: List = [_PENDING] * len(work)
+    broken = False
     with ProcessPoolExecutor(
         max_workers=workers,
         mp_context=_pool_context(),
         initializer=initializer,
         initargs=tuple(initargs),
     ) as pool:
-        return list(pool.map(fn, work, chunksize=chunksize))
+        futures = [pool.submit(fn, item) for item in work]
+        for index, future in enumerate(futures):
+            try:
+                results[index] = future.result()
+            except BrokenProcessPool:
+                # This item's worker died (or the pool was already
+                # broken when its turn came).  Keep collecting: futures
+                # that completed before the break still hold results.
+                broken = True
+    if broken:
+        unfinished = [i for i, value in enumerate(results) if value is _PENDING]
+        _obs.RECORDER.count("fault.pool_failure")
+        _obs.RECORDER.count("retry.pool_serial_items", len(unfinished))
+        if initializer is not None:
+            initializer(*initargs)
+        for index in unfinished:
+            results[index] = fn(work[index])
+    return results

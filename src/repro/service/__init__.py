@@ -18,6 +18,7 @@ from repro.service.admission import (
     placement_with_job,
     placement_without_job,
 )
+from repro.service.checkpoint import CHECKPOINT_VERSION, ServiceCheckpoint
 from repro.service.events import EVENT_KINDS, EventLog, ServiceEvent
 from repro.service.jobs import Job
 from repro.service.loop import ConsolidationService, ServiceConfig
@@ -28,6 +29,7 @@ __all__ = [
     "ADMITTED",
     "AdmissionController",
     "AdmissionDecision",
+    "CHECKPOINT_VERSION",
     "ConsolidationService",
     "EVENT_KINDS",
     "EventLog",
@@ -36,6 +38,7 @@ __all__ = [
     "MetricsSnapshot",
     "NO_CAPACITY",
     "QOS_INFEASIBLE",
+    "ServiceCheckpoint",
     "ServiceConfig",
     "ServiceEvent",
     "StreamConfig",

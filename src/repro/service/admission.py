@@ -18,10 +18,15 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from itertools import combinations, islice
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.cluster.cluster import ClusterSpec
 from repro.errors import PlacementError, ServiceError
+from repro.faults.degradation import (
+    conservative_prediction,
+    supports_degradation,
+)
+from repro.obs import recorder as _obs
 from repro.placement.assignment import Placement
 from repro.placement.objectives import (
     QoSConstraint,
@@ -129,6 +134,14 @@ class AdmissionController:
         latency stays bounded on large clusters.  Combinations are
         enumerated in sorted node order, so the cap cuts the tail
         deterministically.
+    degraded_workloads:
+        Live set of workloads whose profiles rest on measurement
+        fallbacks (shared with
+        :attr:`~repro.sim.runner.ClusterRunner.faulted_workloads`).
+        Predictions for these fall back to the conservative ALL-max
+        mapping (:func:`repro.faults.degradation.conservative_prediction`),
+        so a workload the profiler could not measure reliably is never
+        the reason a QoS bound is optimistically waved through.
     """
 
     def __init__(
@@ -138,6 +151,7 @@ class AdmissionController:
         *,
         unit_slots_per_node: int = 2,
         max_candidates: int = 4096,
+        degraded_workloads: Optional[Set[str]] = None,
     ) -> None:
         if max_candidates <= 0:
             raise ServiceError("max_candidates must be positive")
@@ -145,6 +159,31 @@ class AdmissionController:
         self.cluster_spec = cluster_spec
         self.unit_slots_per_node = unit_slots_per_node
         self.max_candidates = max_candidates
+        self.degraded_workloads = (
+            degraded_workloads if degraded_workloads is not None else set()
+        )
+
+    def _predict(self, candidate: Placement) -> Dict[str, float]:
+        """Per-instance predictions, conservatively for degraded workloads."""
+        predictions = predict_placement(self.model, candidate)
+        if not self.degraded_workloads or not supports_degradation(self.model):
+            return predictions
+        for spec in candidate.instances:
+            if spec.workload not in self.degraded_workloads:
+                continue
+            key = spec.instance_key
+            conservative = conservative_prediction(
+                self.model,
+                spec.workload,
+                candidate.spanned_nodes(key),
+                candidate.co_runner_workloads(key),
+            )
+            # Degradation only ever raises a prediction: the model's
+            # own estimate still applies when it is already worse.
+            if conservative > predictions[key]:
+                predictions[key] = conservative
+                _obs.RECORDER.count("fault.degraded_prediction")
+        return predictions
 
     # ------------------------------------------------------------------
     def _free_nodes(self, placement: Optional[Placement]) -> List[int]:
@@ -218,7 +257,7 @@ class AdmissionController:
                 continue
             saw_valid_candidate = True
             evaluated += 1
-            predictions = predict_placement(self.model, candidate)
+            predictions = self._predict(candidate)
             if any(not c.satisfied_by(predictions) for c in constraints):
                 continue
             total = weighted_total_time(predictions, candidate)

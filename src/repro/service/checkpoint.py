@@ -1,0 +1,252 @@
+"""Crash-safe service checkpoints.
+
+A :class:`ServiceCheckpoint` captures everything about a running
+:class:`~repro.service.loop.ConsolidationService` that cannot be
+re-derived from its construction seed: the resident tenants and their
+remaining tenancies, the admission queue, the current placement, the
+operational counters, the emitted snapshots, the online model's learned
+corrections, the runner's degraded-workload set, and the event-log
+length at capture time.
+
+Everything else — the workload stream, the per-epoch search seeds, the
+measurement repetitions — derives from ``stable_seed`` labels, so a
+service restored from a checkpoint and run forward produces the **same
+bytes** (event log and snapshots) as one that was never interrupted.
+That identity is the recovery contract ``repro serve --resume`` and
+``tests/service/test_recovery.py`` enforce.
+
+Checkpoints are written atomically (temp file + fsync + rename), so a
+crash during checkpointing leaves the previous checkpoint intact.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro._util import atomic_write_text
+from repro.errors import ServiceError
+from repro.placement.assignment import Placement
+from repro.service.jobs import Job
+from repro.service.telemetry import MetricsSnapshot
+
+#: Checkpoint format version; bumped on incompatible layout changes.
+CHECKPOINT_VERSION = 1
+
+#: Operational counters captured verbatim from the service.
+_COUNTER_FIELDS = (
+    "epochs_run",
+    "admitted",
+    "rejected",
+    "completed",
+    "migration_epochs",
+    "migrated_units",
+    "qos_checks",
+    "qos_violations",
+)
+
+
+def _job_from_dict(entry: Dict[str, object]) -> Job:
+    try:
+        return Job(
+            job_id=str(entry["job_id"]),
+            workload=str(entry["workload"]),
+            num_units=int(entry["num_units"]),
+            duration_epochs=int(entry["duration_epochs"]),
+            arrival_epoch=int(entry["arrival_epoch"]),
+            qos_target=(
+                None if entry["qos_target"] is None
+                else float(entry["qos_target"])
+            ),
+            weight=float(entry["weight"]),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ServiceError(f"malformed job entry: {entry!r}") from exc
+
+
+@dataclass(frozen=True)
+class ServiceCheckpoint:
+    """One epoch boundary's worth of non-derivable service state."""
+
+    counters: Dict[str, int]
+    tenants: List[Tuple[Job, int]]
+    queue: List[Tuple[Job, int]]
+    assignment: Optional[Dict[str, Tuple[int, ...]]]
+    unit_slots_per_node: int
+    snapshots: List[MetricsSnapshot]
+    model_state: Dict[str, Dict[str, object]]
+    faulted_workloads: Tuple[str, ...]
+    log_length: int
+    seed: int = 0
+    version: int = CHECKPOINT_VERSION
+
+    @property
+    def epoch(self) -> int:
+        """Epochs the captured service had completed."""
+        return self.counters["epochs_run"]
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def capture(cls, service) -> "ServiceCheckpoint":
+        """Snapshot ``service``'s state at an epoch boundary."""
+        placement = service.placement
+        assignment = None
+        if placement is not None:
+            assignment = {
+                spec.instance_key: placement.nodes_of(spec.instance_key)
+                for spec in placement.instances
+            }
+        return cls(
+            counters={
+                name: getattr(service, f"_{name}") for name in _COUNTER_FIELDS
+            },
+            tenants=[
+                (job, service._ends_at[job_id])
+                for job_id, job in service._tenants.items()
+            ],
+            queue=[(entry.job, entry.failures) for entry in service._queue],
+            assignment=assignment,
+            unit_slots_per_node=(
+                placement.unit_slots_per_node
+                if placement is not None
+                else service.admission.unit_slots_per_node
+            ),
+            snapshots=list(service.snapshots),
+            model_state=service.model.state_dict(),
+            faulted_workloads=tuple(sorted(service.runner.faulted_workloads)),
+            log_length=len(service.log),
+            seed=service.seed,
+        )
+
+    def restore(self, service) -> None:
+        """Install this state into a freshly constructed ``service``.
+
+        The service must have been built from the same seed, stream,
+        config, and profiled model as the captured one; only then does
+        the resumed run replay the uninterrupted one byte for byte.
+        """
+        if self.seed != service.seed:
+            raise ServiceError(
+                f"checkpoint was captured at seed {self.seed}, "
+                f"service runs seed {service.seed}"
+            )
+        for name in _COUNTER_FIELDS:
+            setattr(service, f"_{name}", int(self.counters[name]))
+        service._tenants = {job.job_id: job for job, _ in self.tenants}
+        service._ends_at = {job.job_id: ends for job, ends in self.tenants}
+        from repro.service.loop import _QueuedJob
+
+        service._queue = [
+            _QueuedJob(job, failures) for job, failures in self.queue
+        ]
+        if self.assignment is None:
+            service._placement = None
+        else:
+            instances = [job.instance_spec() for job, _ in self.tenants]
+            service._placement = Placement(
+                service.runner.spec,
+                instances,
+                {key: tuple(nodes) for key, nodes in self.assignment.items()},
+                unit_slots_per_node=self.unit_slots_per_node,
+            )
+        service.snapshots = list(self.snapshots)
+        service.model.load_state(self.model_state)
+        service.runner.faulted_workloads.update(self.faulted_workloads)
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        """Plain JSON-able rendering."""
+        return {
+            "version": self.version,
+            "seed": self.seed,
+            "counters": dict(self.counters),
+            "tenants": [
+                {"job": asdict(job), "ends_at": ends}
+                for job, ends in self.tenants
+            ],
+            "queue": [
+                {"job": asdict(job), "failures": failures}
+                for job, failures in self.queue
+            ],
+            "assignment": (
+                None if self.assignment is None
+                else {
+                    key: list(nodes)
+                    for key, nodes in self.assignment.items()
+                }
+            ),
+            "unit_slots_per_node": self.unit_slots_per_node,
+            "snapshots": [snap.to_dict() for snap in self.snapshots],
+            "model_state": self.model_state,
+            "faulted_workloads": list(self.faulted_workloads),
+            "log_length": self.log_length,
+        }
+
+    @classmethod
+    def from_dict(cls, entry: Dict[str, object]) -> "ServiceCheckpoint":
+        """Rebuild a checkpoint from its :meth:`to_dict` form."""
+        try:
+            version = int(entry["version"])
+            if version != CHECKPOINT_VERSION:
+                raise ServiceError(
+                    f"checkpoint version {version} unsupported "
+                    f"(expected {CHECKPOINT_VERSION})"
+                )
+            assignment = entry["assignment"]
+            return cls(
+                version=version,
+                seed=int(entry["seed"]),
+                counters={
+                    name: int(entry["counters"][name])
+                    for name in _COUNTER_FIELDS
+                },
+                tenants=[
+                    (_job_from_dict(item["job"]), int(item["ends_at"]))
+                    for item in entry["tenants"]
+                ],
+                queue=[
+                    (_job_from_dict(item["job"]), int(item["failures"]))
+                    for item in entry["queue"]
+                ],
+                assignment=(
+                    None if assignment is None
+                    else {
+                        str(key): tuple(int(n) for n in nodes)
+                        for key, nodes in assignment.items()
+                    }
+                ),
+                unit_slots_per_node=int(entry["unit_slots_per_node"]),
+                snapshots=[
+                    MetricsSnapshot.from_dict(item)
+                    for item in entry["snapshots"]
+                ],
+                model_state={
+                    str(workload): dict(state)
+                    for workload, state in entry["model_state"].items()
+                },
+                faulted_workloads=tuple(
+                    str(w) for w in entry["faulted_workloads"]
+                ),
+                log_length=int(entry["log_length"]),
+            )
+        except ServiceError:
+            raise
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ServiceError("malformed service checkpoint") from exc
+
+    def save(self, path: str) -> None:
+        """Write the checkpoint atomically (crash keeps the old one)."""
+        atomic_write_text(
+            path, json.dumps(self.to_dict(), sort_keys=True, indent=2) + "\n"
+        )
+
+    @classmethod
+    def load(cls, path: str) -> "ServiceCheckpoint":
+        """Read a checkpoint written by :meth:`save`."""
+        with open(path, "r", encoding="utf-8") as handle:
+            try:
+                entry = json.load(handle)
+            except json.JSONDecodeError as exc:
+                raise ServiceError(f"{path}: corrupt checkpoint") from exc
+        return cls.from_dict(entry)

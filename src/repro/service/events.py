@@ -10,14 +10,23 @@ produce **byte-identical** JSONL renderings, which is what the
 Floats are rounded to six decimals before serialization so the bytes
 do not depend on accumulated float formatting noise, and payload keys
 are sorted so dict insertion order cannot leak into the output.
+
+Crash safety: a log may be :meth:`attached <EventLog.attach>` to a
+file, in which case every appended event is written, flushed and
+fsync'd immediately — the on-disk log never lags the in-memory one by
+more than the event being written.  :meth:`EventLog.recover` reads such
+a file back after a crash, truncating a torn final line (a crash
+mid-``write`` leaves at most one partial line, by construction).
 """
 
 from __future__ import annotations
 
 import json
+import os
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple
 
+from repro._util import atomic_write_text
 from repro.errors import ServiceError
 
 #: Event kinds, in the order they can occur within an epoch.
@@ -28,6 +37,7 @@ EVENT_KINDS = (
     "queue",
     "reject",
     "migrate",
+    "measure_fault",
     "qos_violation",
     "epoch_end",
 )
@@ -63,17 +73,119 @@ class ServiceEvent:
         entry.update(dict(self.payload))
         return entry
 
+    @classmethod
+    def from_dict(cls, entry: Dict[str, object]) -> "ServiceEvent":
+        """Rebuild an event from its :meth:`to_dict` form.
+
+        Round-trips exactly: ``from_dict(e.to_dict()).to_json()`` is
+        byte-identical to ``e.to_json()``.
+        """
+        try:
+            epoch = int(entry["epoch"])
+            seq = int(entry["seq"])
+            kind = str(entry["kind"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ServiceError(f"malformed event entry: {entry!r}") from exc
+        if kind not in EVENT_KINDS:
+            raise ServiceError(f"unknown event kind {kind!r} in {entry!r}")
+        payload = tuple(sorted(
+            (key, _clean(value))
+            for key, value in entry.items()
+            if key not in ("epoch", "seq", "kind")
+        ))
+        return cls(epoch=epoch, seq=seq, kind=kind, payload=payload)
+
     def to_json(self) -> str:
         """Canonical single-line JSON rendering."""
         return json.dumps(self.to_dict(), sort_keys=True)
 
 
 class EventLog:
-    """Append-only, in-order event store."""
+    """Append-only, in-order event store.
+
+    Optionally *attached* to a path: an attached log persists every
+    event at append time (write + flush + fsync), which is what makes
+    ``repro serve --resume`` possible — after a hard kill, the on-disk
+    log holds every completed append plus at most one torn line.
+    """
 
     def __init__(self) -> None:
         self._events: List[ServiceEvent] = []
+        self._handle = None
+        self._path: Optional[str] = None
 
+    # ------------------------------------------------------------------
+    # Incremental persistence
+    # ------------------------------------------------------------------
+    @property
+    def attached_path(self) -> Optional[str]:
+        """Where this log persists incrementally (``None`` if detached)."""
+        return self._path
+
+    def attach(self, path: str) -> None:
+        """Persist this log (current contents and all future appends) to ``path``.
+
+        The file is rewritten atomically with the events held so far,
+        then kept open in append mode; each subsequent :meth:`append`
+        is durably on disk before it returns.
+        """
+        self.detach()
+        atomic_write_text(path, self.to_jsonl())
+        self._handle = open(path, "a", encoding="utf-8")
+        self._path = path
+
+    def detach(self) -> None:
+        """Stop persisting; the file keeps everything appended so far."""
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+        self._path = None
+
+    def _persist(self, event: ServiceEvent) -> None:
+        if self._handle is None:
+            return
+        self._handle.write(event.to_json() + "\n")
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+
+    @classmethod
+    def recover(cls, path: str) -> "EventLog":
+        """Rebuild a log from an incrementally persisted file.
+
+        A crash mid-append leaves at most one partial final line; that
+        torn tail is dropped.  Anything else malformed — a bad line in
+        the middle, out-of-order sequence numbers — is corruption this
+        writer cannot have produced, and raises :class:`ServiceError`.
+        The recovered log is detached; call :meth:`attach` to continue
+        appending (which also rewrites the file without the torn tail).
+        """
+        log = cls()
+        with open(path, "r", encoding="utf-8") as handle:
+            raw = handle.read()
+        lines = raw.split("\n")
+        # Each append writes "<json>\n" in one buffer, so a torn write
+        # is a proper prefix that never includes the final newline: the
+        # torn tail is exactly the (non-empty) last piece of the split,
+        # and every newline-terminated line must parse.
+        complete = lines[:-1]
+        for number, line in enumerate(complete):
+            try:
+                event = ServiceEvent.from_dict(json.loads(line))
+            except (json.JSONDecodeError, ServiceError) as exc:
+                raise ServiceError(
+                    f"{path}:{number + 1}: corrupt event log line"
+                ) from exc
+            if event.seq != len(log._events):
+                raise ServiceError(
+                    f"{path}:{number + 1}: sequence {event.seq} != "
+                    f"expected {len(log._events)}"
+                )
+            log._events.append(event)
+        return log
+
+    # ------------------------------------------------------------------
+    # Append-only store
+    # ------------------------------------------------------------------
     def append(self, kind: str, epoch: int, **payload: object) -> ServiceEvent:
         """Record one event; returns the stamped entry."""
         if kind not in EVENT_KINDS:
@@ -89,7 +201,26 @@ class EventLog:
             )),
         )
         self._events.append(event)
+        self._persist(event)
         return event
+
+    def truncate(self, length: int) -> None:
+        """Drop events beyond the first ``length`` (resume-to-checkpoint).
+
+        On an attached log the file is rewritten atomically, so the
+        truncation is itself crash-safe.
+        """
+        if not 0 <= length <= len(self._events):
+            raise ServiceError(
+                f"cannot truncate log of {len(self._events)} events "
+                f"to {length}"
+            )
+        if length == len(self._events):
+            return
+        del self._events[length:]
+        if self._path is not None:
+            path = self._path
+            self.attach(path)
 
     def __len__(self) -> int:
         return len(self._events)
@@ -117,6 +248,8 @@ class EventLog:
         )
 
     def write(self, path: str) -> None:
-        """Write the JSONL rendering to ``path``."""
-        with open(path, "w", encoding="utf-8") as handle:
-            handle.write(self.to_jsonl())
+        """Write the JSONL rendering to ``path`` atomically."""
+        if path == self._path:
+            # The attached file is already up to date (and open).
+            return
+        atomic_write_text(path, self.to_jsonl())

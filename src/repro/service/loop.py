@@ -31,7 +31,7 @@ from typing import Dict, List, Optional
 
 from repro._util import stable_seed
 from repro.core.online import OnlineModel
-from repro.errors import ServiceError
+from repro.errors import MeasurementFault, ServiceError
 from repro.obs import recorder as _obs
 from repro.placement.annealing import AnnealingSchedule
 from repro.placement.assignment import Placement
@@ -118,6 +118,11 @@ class ConsolidationService:
         Operating knobs.
     seed:
         Root seed for searches and measurement repetitions.
+    checkpoint_path:
+        When set, a :class:`~repro.service.checkpoint.ServiceCheckpoint`
+        is written (atomically) to this path after every completed
+        epoch, so a crashed service can resume from its last epoch
+        boundary via :meth:`restore`.
     """
 
     def __init__(
@@ -128,13 +133,22 @@ class ConsolidationService:
         *,
         config: Optional[ServiceConfig] = None,
         seed: int = 0,
+        checkpoint_path: Optional[str] = None,
     ) -> None:
         self.runner = runner
         self.model = model if isinstance(model, OnlineModel) else OnlineModel(model)
         self.stream = stream
         self.config = config or ServiceConfig()
         self.seed = seed
-        self.admission = AdmissionController(self.model, runner.spec)
+        self.checkpoint_path = checkpoint_path
+        # The admission controller shares the runner's degraded set
+        # live: a workload whose profile needed a fallback is predicted
+        # with the conservative ALL-max mapping from then on.
+        self.admission = AdmissionController(
+            self.model,
+            runner.spec,
+            degraded_workloads=runner.faulted_workloads,
+        )
         self.log = EventLog()
         self.snapshots: List[MetricsSnapshot] = []
 
@@ -343,10 +357,24 @@ class ConsolidationService:
         if self._placement is None:
             return 0.0
         predictions = predict_placement(self.model, self._placement)
-        measured = self.runner.run_deployments(
-            self._placement.deployments(),
-            rep=stable_seed(self.seed, "measure", epoch),
-        )
+        try:
+            measured = self.runner.run_deployments(
+                self._placement.deployments(),
+                rep=stable_seed(self.seed, "measure", epoch),
+            )
+        except MeasurementFault as fault:
+            # The ground-truth run exhausted its retry budget: this
+            # epoch yields no measurement, so the model is not updated
+            # and QoS cannot be checked.  The involved workloads are
+            # now in the runner's degraded set, so future admission
+            # predictions for them fall back to ALL-max.
+            self.log.append(
+                "measure_fault",
+                epoch,
+                workloads=sorted(set(fault.workload.split(","))),
+                running=len(self._tenants),
+            )
+            return 0.0
         workload_of = {
             job_id: job.workload for job_id, job in self._tenants.items()
         }
@@ -442,5 +470,46 @@ class ConsolidationService:
                     log_seq_end=len(self.log),
                 ).set_sim(measured_total)
             fresh.append(snapshot)
-        self._epochs_run += epochs
+            self._epochs_run = epoch + 1
+            if self.checkpoint_path is not None:
+                self.checkpoint().save(self.checkpoint_path)
         return fresh
+
+    # ------------------------------------------------------------------
+    # Crash safety
+    # ------------------------------------------------------------------
+    def checkpoint(self) -> "ServiceCheckpoint":
+        """Capture the current epoch boundary's state."""
+        from repro.service.checkpoint import ServiceCheckpoint
+
+        return ServiceCheckpoint.capture(self)
+
+    def restore(
+        self,
+        checkpoint: "ServiceCheckpoint",
+        *,
+        log: Optional[EventLog] = None,
+    ) -> None:
+        """Resume from a checkpoint captured on an identical service.
+
+        ``log`` is the recovered event log (usually
+        :meth:`EventLog.recover` of the persisted file); it is adopted
+        and truncated to the checkpoint's length — events appended by a
+        partially completed epoch are re-derived when the epoch
+        re-runs.  Epoch numbering continues from the checkpoint's
+        boundary, so the resumed run's log and snapshots come out
+        byte-identical to an uninterrupted run's.
+        """
+        if self._epochs_run or len(self.log):
+            raise ServiceError(
+                "restore() requires a freshly constructed service"
+            )
+        checkpoint.restore(self)
+        if log is not None:
+            if len(log) < checkpoint.log_length:
+                raise ServiceError(
+                    f"recovered log has {len(log)} events but the "
+                    f"checkpoint expects at least {checkpoint.log_length}"
+                )
+            log.truncate(checkpoint.log_length)
+            self.log = log

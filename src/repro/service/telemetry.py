@@ -66,6 +66,30 @@ class MetricsSnapshot:
             "unobserved_workloads": self.unobserved_workloads,
         }
 
+    @classmethod
+    def from_dict(cls, entry: Dict[str, object]) -> "MetricsSnapshot":
+        """Rebuild a snapshot from its :meth:`to_dict` form.
+
+        Derived fields (``violation_rate``) are recomputed, not read;
+        round-trips through JSON are exact because ``utilization`` was
+        already rounded at serialization time.
+        """
+        fields = {
+            "epoch", "running_jobs", "queued_jobs", "utilization",
+            "admitted_total", "rejected_total", "completed_total",
+            "migration_epochs_total", "migrated_units_total",
+            "qos_checks_total", "qos_violations_total",
+            "model_observations", "unobserved_workloads",
+        }
+        try:
+            kwargs = {name: entry[name] for name in fields}
+        except KeyError as exc:
+            raise ValueError(f"snapshot entry missing {exc}") from exc
+        kwargs["utilization"] = float(kwargs["utilization"])
+        for name in fields - {"utilization"}:
+            kwargs[name] = int(kwargs[name])
+        return cls(**kwargs)
+
     def rows(self) -> List[Tuple[str, object]]:
         """(metric, value) rows for table rendering."""
         return list(self.to_dict().items())

@@ -11,9 +11,15 @@ them, the way a real testbed would re-read its run logs.
 The store is a single JSON file, loaded eagerly and rewritten
 atomically on :meth:`flush` (or on every put with ``autosave``).  Keys
 embed a *fingerprint* of the measurement environment (cluster shape,
-base seed, noise profile) so one file can safely serve several
-environments — a cache entry recorded on the quiet private testbed is
-never replayed for the noisy EC2 environment.
+base seed, noise profile, and any active fault plan) so one file can
+safely serve several environments — a cache entry recorded on the
+quiet private testbed is never replayed for the noisy EC2 environment.
+
+A corrupt backing file (e.g. a torn write from a killed process) is
+**quarantined**, not fatal: the bytes are moved aside to
+``<path>.corrupt`` for inspection, a one-line warning is printed, and
+the cache starts empty — measurements re-simulate deterministically,
+so nothing is lost but time.
 """
 
 from __future__ import annotations
@@ -24,7 +30,7 @@ import tempfile
 from pathlib import Path
 from typing import Dict, Optional, Tuple, Union
 
-from repro.errors import ConfigurationError
+from repro.obs import console
 
 CacheValue = Union[float, Dict[str, float]]
 
@@ -62,13 +68,18 @@ class MeasurementCache:
             try:
                 self._entries = json.loads(self.path.read_text())
             except json.JSONDecodeError as exc:
-                # Refusing (rather than silently rebuilding) protects a
-                # possibly-salvageable measurement log from being
-                # overwritten by the next flush.
-                raise ConfigurationError(
-                    f"measurement cache {self.path} is not valid JSON "
-                    f"({exc}); repair it or delete the file to re-measure"
-                ) from exc
+                # Quarantine instead of crashing: the bytes stay
+                # available at <path>.corrupt for manual salvage, the
+                # next flush cannot overwrite them, and every
+                # measurement re-derives deterministically anyway.
+                quarantine = self.path.with_name(self.path.name + ".corrupt")
+                os.replace(self.path, quarantine)
+                console.info(
+                    f"warning: measurement cache {self.path} is not valid "
+                    f"JSON ({exc}); quarantined to {quarantine}, starting "
+                    "with an empty cache"
+                )
+                self._entries = {}
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:
@@ -123,6 +134,8 @@ class MeasurementCache:
         try:
             with os.fdopen(fd, "w") as handle:
                 json.dump(self._entries, handle)
+                handle.flush()
+                os.fsync(handle.fileno())
             os.replace(tmp, self.path)
         finally:
             if os.path.exists(tmp):

@@ -17,16 +17,20 @@ run.
 
 from __future__ import annotations
 
+import os
 import pickle
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Set, Tuple
 
 from repro._util import stable_seed
 from repro.apps.base import Workload
 from repro.obs import recorder as _obs
 from repro.apps.catalog import get_workload, make_bubble
 from repro.cluster.cluster import ClusterSpec
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, MeasurementFault
+from repro.faults.injection import attempt_reading
+from repro.faults.plan import FaultPlan
+from repro.faults.retry import DEFAULT_RETRY_POLICY, RetryPolicy
 from repro.parallel import fan_out, resolve_workers
 from repro.sim.cache import MeasurementCache, cache_key
 from repro.sim.execution import CoRunExecutor, DeployedInstance
@@ -152,6 +156,22 @@ def _run_measurement_request(request: MeasurementRequest):
     )
 
 
+def _run_request_or_die(payload):
+    """Fan-out target for batches whose fault plan kills one worker.
+
+    ``payload`` is ``(request, die, parent_pid)``.  In a pool worker
+    with ``die`` set, the process exits hard — modelling a node crash
+    mid-batch and breaking the pool.  During the serial recovery the
+    parent re-runs the same payload in-process (its pid matches
+    ``parent_pid``), so the doomed item computes normally and the batch
+    result is identical to an undisturbed run.
+    """
+    request, die, parent_pid = payload
+    if die and os.getpid() != parent_pid:
+        os._exit(1)
+    return _run_measurement_request(request)
+
+
 class ClusterRunner:
     """Runs controlled experiments on the simulated cluster.
 
@@ -172,6 +192,17 @@ class ClusterRunner:
         label, a cached result is indistinguishable from re-running
         the simulation — re-running a benchmark replays recorded
         times like re-reading a run log.
+    faults:
+        Optional :class:`~repro.faults.plan.FaultPlan`.  When any of
+        its rates are nonzero, every measurement runs on the retrying
+        path: attempts can crash (and are retried with deterministic
+        simulated-time backoff), probe readings can come back
+        straggler-inflated or as outliers, and parallel fan-out batches
+        can lose workers.  All fault decisions are stable functions of
+        the measurement labels, so a faulty run replays byte-identically.
+    retry:
+        Retry budget/backoff for faulting measurements; defaults to
+        :data:`~repro.faults.retry.DEFAULT_RETRY_POLICY`.
     """
 
     def __init__(
@@ -182,6 +213,8 @@ class ClusterRunner:
         base_seed: int = 2016,
         workload_factory=get_workload,
         cache: Optional[MeasurementCache] = None,
+        faults: Optional[FaultPlan] = None,
+        retry: Optional[RetryPolicy] = None,
     ) -> None:
         self.spec = spec or ClusterSpec()
         self.noise = noise
@@ -193,6 +226,14 @@ class ClusterRunner:
         #: profiling cost must account for these too).
         self.solo_measurement_count = 0
         self.cache = cache
+        self.faults = faults
+        self.retry = retry if retry is not None else DEFAULT_RETRY_POLICY
+        #: Workloads for which some reading exhausted its retry budget.
+        #: Consumers (admission control) treat these as *degraded*: their
+        #: profiles partially rest on fallbacks, so predictions fall
+        #: back to the conservative ALL-max mapping.
+        self.faulted_workloads: Set[str] = set()
+        self._fanout_batches = 0
         self._fingerprint = self._environment_fingerprint()
 
     # ------------------------------------------------------------------
@@ -202,26 +243,66 @@ class ClusterRunner:
         """Stable identity of this measurement environment.
 
         Cache entries are only replayed for an identical environment:
-        same cluster shape, same base seed, same noise profile.
+        same cluster shape, same base seed, same noise profile — and,
+        when fault injection is active, the same fault plan: a reading
+        recorded under injected faults must never be replayed into a
+        clean run (or vice versa).
         """
         noise = self.noise
         ambient = (
             None if noise.ambient is None
             else (noise.ambient.max_pressure, noise.ambient.occupancy)
         )
-        return "|".join(
-            str(part)
-            for part in (
-                "v1",
-                self.spec.num_nodes,
-                self.spec.cores_per_node,
-                self.base_seed,
-                noise.jitter_scale,
-                ambient,
-                noise.stall.prob_at_max,
-                noise.stall.scale,
+        parts = [
+            "v1",
+            self.spec.num_nodes,
+            self.spec.cores_per_node,
+            self.base_seed,
+            noise.jitter_scale,
+            ambient,
+            noise.stall.prob_at_max,
+            noise.stall.scale,
+        ]
+        if self.faults_active:
+            parts.append(self.faults.signature())
+        return "|".join(str(part) for part in parts)
+
+    @property
+    def faults_active(self) -> bool:
+        """Whether measurements run on the fault-injected retrying path."""
+        return self.faults is not None and self.faults.enabled
+
+    def _read(
+        self,
+        label: Tuple,
+        simulate: Callable[[], float],
+        *,
+        workloads: Sequence[str],
+        perturb: bool,
+    ) -> float:
+        """One reading, fault-injected and retried when faults are active.
+
+        The clean path (no plan, or an all-zero plan) is exactly
+        ``simulate()`` — no extra spans, counters, or draws — so runs
+        without ``--faults`` stay byte-identical to pre-fault builds.
+        An exhausted retry budget marks every involved workload as
+        degraded before the :class:`~repro.errors.MeasurementFault`
+        propagates.
+        """
+        if not self.faults_active:
+            return simulate()
+        try:
+            return attempt_reading(
+                self.faults,
+                self.retry,
+                tuple(label),
+                simulate,
+                workload=",".join(workloads),
+                perturb=perturb,
             )
-        )
+        except MeasurementFault:
+            self.faulted_workloads.update(workloads)
+            raise
 
     def _cache_key(self, *labels: object) -> str:
         return cache_key(self._fingerprint, *labels)
@@ -341,15 +422,27 @@ class ClusterRunner:
                 if self.cache is not None:
                     _obs.RECORDER.count("measure.store_miss")
                 units = {i: i % self.num_nodes for i in range(num_units)}
-                times = []
-                for rep in range(self.SOLO_REPS):
+
+                def simulate_rep(rep: int) -> float:
                     instance = DeployedInstance(abbrev, self.workload(abbrev), units)
                     seed = stable_seed(self.base_seed, abbrev, "solo", num_units, rep)
-                    result = CoRunExecutor(
+                    return CoRunExecutor(
                         [instance], seed=seed, noise=self.noise,
                         num_nodes=self.num_nodes,
-                    ).run()[abbrev]
-                    times.append(result.finish_time)
+                    ).run()[abbrev].finish_time
+
+                # The solo baseline is every normalization's denominator,
+                # so its runs can crash and be retried but are never
+                # value-perturbed (perturb=False).
+                times = [
+                    self._read(
+                        ("solo", abbrev, num_units, rep),
+                        lambda rep=rep: simulate_rep(rep),
+                        workloads=(abbrev,),
+                        perturb=False,
+                    )
+                    for rep in range(self.SOLO_REPS)
+                ]
                 solo = sum(times) / len(times)
                 _obs.RECORDER.count("measure.simulated", self.SOLO_REPS)
                 if self.cache is not None:
@@ -424,10 +517,23 @@ class ClusterRunner:
             target = self.full_span_deployment(abbrev, span=span)
             bubbles = self._bubble_instances(node_pressures)
             seed = stable_seed(self.base_seed, abbrev, rep, *label)
-            executor = CoRunExecutor(
-                [target] + bubbles, seed=seed, noise=self.noise, num_nodes=self.num_nodes
+
+            def simulate() -> float:
+                executor = CoRunExecutor(
+                    [target] + bubbles, seed=seed, noise=self.noise,
+                    num_nodes=self.num_nodes,
+                )
+                return executor.run()[abbrev].finish_time
+
+            # Probe readings take the fully perturbable path: stragglers
+            # and outliers land here, where robust profiling
+            # (median-of-k re-probes) can catch them.
+            time = self._read(
+                ("measure", abbrev, rep) + tuple(label),
+                simulate,
+                workloads=(abbrev,),
+                perturb=True,
             )
-            time = executor.run()[abbrev].finish_time
             _obs.RECORDER.count("measure.simulated")
             obs_span.set_sim(time)
             if self.cache is not None:
@@ -477,17 +583,28 @@ class ClusterRunner:
                 inst_a = self.full_span_deployment(abbrev_a, instance_key=key_a)
                 inst_b = self.full_span_deployment(abbrev_b, instance_key=key_b)
                 seed = stable_seed(self.base_seed, "corun", abbrev_a, abbrev_b, rep)
-                results = CoRunExecutor(
-                    [inst_a, inst_b],
-                    seed=seed,
-                    noise=self.noise,
-                    num_nodes=self.num_nodes,
-                    sustained=True,
-                ).run()
-                finish_times = {
-                    key_a: results[key_a].finish_time,
-                    key_b: results[key_b].finish_time,
-                }
+
+                def simulate() -> Dict[str, float]:
+                    results = CoRunExecutor(
+                        [inst_a, inst_b],
+                        seed=seed,
+                        noise=self.noise,
+                        num_nodes=self.num_nodes,
+                        sustained=True,
+                    ).run()
+                    return {
+                        key_a: results[key_a].finish_time,
+                        key_b: results[key_b].finish_time,
+                    }
+
+                # Ground truth: runs can crash and be retried, but a
+                # completed run's values are believed (perturb=False).
+                finish_times = self._read(
+                    ("corun", abbrev_a, abbrev_b, rep),
+                    simulate,
+                    workloads=(abbrev_a, abbrev_b),
+                    perturb=False,
+                )
                 _obs.RECORDER.count("measure.simulated")
                 if self.cache is not None:
                     self.cache.put(store_key, finish_times)
@@ -544,16 +661,28 @@ class ClusterRunner:
                     for key, abbrev, units in deployments
                 ]
                 seed = stable_seed(self.base_seed, "deploy", rep, *map(str, label))
-                results = CoRunExecutor(
-                    instances,
-                    seed=seed,
-                    noise=self.noise,
-                    num_nodes=self.num_nodes,
-                    sustained=True,
-                ).run()
-                finish_times = {
-                    key: results[key].finish_time for key, _, _ in deployments
-                }
+
+                def simulate() -> Dict[str, float]:
+                    results = CoRunExecutor(
+                        instances,
+                        seed=seed,
+                        noise=self.noise,
+                        num_nodes=self.num_nodes,
+                        sustained=True,
+                    ).run()
+                    return {
+                        key: results[key].finish_time
+                        for key, _, _ in deployments
+                    }
+
+                # Ground truth for the service's QoS accounting: crash
+                # faults retry, but completed values are never perturbed.
+                finish_times = self._read(
+                    ("deploy", rep) + tuple(map(str, label)),
+                    simulate,
+                    workloads=tuple(abbrev for _, abbrev, _ in deployments),
+                    perturb=False,
+                )
                 _obs.RECORDER.count("measure.simulated")
                 if self.cache is not None:
                     self.cache.put(store_key, finish_times)
@@ -612,17 +741,40 @@ class ClusterRunner:
             ):
                 return [request.apply(self) for request in requests]
         _obs.RECORDER.count("fanout.parallel_requests", len(requests))
+        self._fanout_batches += 1
+        batch_no = self._fanout_batches
         with _obs.RECORDER.span(
             "measure.batch", requests=len(requests), workers=workers,
             parallel=True,
         ):
-            outcomes = fan_out(
-                _run_measurement_request,
-                requests,
-                max_workers=workers,
-                initializer=_init_measurement_worker,
-                initargs=(blob,),
-            )
+            if self.faults_active and self.faults.pool_fails(("fanout", batch_no)):
+                # The plan dooms one worker this batch: ship each request
+                # with a die flag; the victim's worker exits hard, and
+                # fan_out's BrokenProcessPool recovery re-runs whatever
+                # was unfinished serially in the parent.
+                victim = self.faults.pool_victim(
+                    ("fanout", batch_no), len(requests)
+                )
+                _obs.RECORDER.count("fault.pool_kill")
+                parent_pid = os.getpid()
+                outcomes = fan_out(
+                    _run_request_or_die,
+                    [
+                        (request, index == victim, parent_pid)
+                        for index, request in enumerate(requests)
+                    ],
+                    max_workers=workers,
+                    initializer=_init_measurement_worker,
+                    initargs=(blob,),
+                )
+            else:
+                outcomes = fan_out(
+                    _run_measurement_request,
+                    requests,
+                    max_workers=workers,
+                    initializer=_init_measurement_worker,
+                    initargs=(blob,),
+                )
             values: List = []
             for value, solo_entries, measurement_delta, cache_entries in outcomes:
                 # Replay the serial accounting in batch order: each solo

@@ -1,0 +1,144 @@
+"""Tests for deterministic fault plans."""
+
+import json
+
+import pytest
+
+from repro.errors import FaultError
+from repro.faults import FAULT_FAMILIES, FaultConfig, FaultPlan
+
+
+class TestFaultConfig:
+    def test_defaults_inject_nothing(self):
+        plan = FaultPlan(FaultConfig())
+        assert not plan.enabled
+        assert not plan.crashes(("a",), 0)
+        assert plan.straggler(("a",), 0) == 1.0
+        assert plan.outlier(("a",), 0) == 1.0
+        assert not plan.pool_fails(("a",))
+
+    @pytest.mark.parametrize("field", [
+        "crash_rate", "straggler_rate", "outlier_rate", "pool_failure_rate",
+    ])
+    def test_rates_must_be_probabilities(self, field):
+        with pytest.raises(FaultError):
+            FaultConfig(**{field: -0.1})
+        with pytest.raises(FaultError):
+            FaultConfig(**{field: 1.5})
+
+    def test_straggler_factor_must_slow_down(self):
+        with pytest.raises(FaultError):
+            FaultConfig(straggler_factor=0.9)
+
+    def test_outlier_factor_must_be_positive(self):
+        with pytest.raises(FaultError):
+            FaultConfig(outlier_factor=0.0)
+
+
+class TestDeterminism:
+    def test_decisions_are_pure_functions_of_labels(self):
+        a = FaultPlan.chaos(seed=7)
+        b = FaultPlan.chaos(seed=7)
+        labels = [("measure", "app", rep) for rep in range(50)]
+        assert [a.crashes(l, 0) for l in labels] == [
+            b.crashes(l, 0) for l in labels
+        ]
+        assert [a.straggler(l, 1) for l in labels] == [
+            b.straggler(l, 1) for l in labels
+        ]
+        assert [a.outlier(l, 0) for l in labels] == [
+            b.outlier(l, 0) for l in labels
+        ]
+
+    def test_decisions_independent_of_query_order(self):
+        plan = FaultPlan.chaos(seed=3)
+        first = plan.crashes(("x",), 0)
+        # Interleave unrelated queries; the original decision must hold.
+        for rep in range(20):
+            plan.crashes(("y", rep), 0)
+            plan.straggler(("z", rep), 0)
+        assert plan.crashes(("x",), 0) == first
+
+    def test_families_draw_independent_streams(self):
+        # Zeroing one family's rate must not change another family's
+        # decisions: each family derives its own stream.
+        full = FaultPlan.chaos(seed=11)
+        crash_only = FaultPlan(FaultConfig(seed=11, crash_rate=0.15))
+        labels = [("m", rep) for rep in range(100)]
+        assert [full.crashes(l, 0) for l in labels] == [
+            crash_only.crashes(l, 0) for l in labels
+        ]
+
+    def test_different_seeds_differ(self):
+        a, b = FaultPlan.chaos(seed=1), FaultPlan.chaos(seed=2)
+        labels = [("m", rep) for rep in range(200)]
+        assert [a.crashes(l, 0) for l in labels] != [
+            b.crashes(l, 0) for l in labels
+        ]
+
+    def test_with_seed_keeps_rates(self):
+        reseeded = FaultPlan.chaos(seed=1, scale=0.5).with_seed(9)
+        assert reseeded.config.seed == 9
+        assert reseeded.config.crash_rate == pytest.approx(0.075)
+
+    def test_rates_are_hit_in_the_long_run(self):
+        plan = FaultPlan(FaultConfig(seed=0, crash_rate=0.25))
+        crashes = sum(
+            plan.crashes(("m", rep), 0) for rep in range(2000)
+        )
+        assert 0.2 < crashes / 2000 < 0.3
+
+    def test_pool_victim_in_range_and_stable(self):
+        plan = FaultPlan.chaos(seed=5)
+        victim = plan.pool_victim(("fanout", 1), 8)
+        assert 0 <= victim < 8
+        assert plan.pool_victim(("fanout", 1), 8) == victim
+        with pytest.raises(FaultError):
+            plan.pool_victim(("fanout", 1), 0)
+
+
+class TestSerialization:
+    def test_round_trip(self, tmp_path):
+        plan = FaultPlan.chaos(seed=42, scale=0.5)
+        path = tmp_path / "plan.json"
+        plan.save(path)
+        loaded = FaultPlan.load(path)
+        assert loaded.config == plan.config
+        assert loaded.signature() == plan.signature()
+
+    def test_from_dict_rejects_unknown_keys(self):
+        with pytest.raises(FaultError, match="crash_rat"):
+            FaultPlan.from_dict({"crash_rat": 0.5})
+
+    def test_load_rejects_bad_json(self, tmp_path):
+        path = tmp_path / "plan.json"
+        path.write_text("{torn")
+        with pytest.raises(FaultError, match="not valid JSON"):
+            FaultPlan.load(path)
+
+    def test_load_rejects_non_object(self, tmp_path):
+        path = tmp_path / "plan.json"
+        path.write_text(json.dumps([1, 2]))
+        with pytest.raises(FaultError, match="JSON object"):
+            FaultPlan.load(path)
+
+    def test_load_missing_file(self, tmp_path):
+        with pytest.raises(FaultError, match="cannot read"):
+            FaultPlan.load(tmp_path / "absent.json")
+
+    def test_signature_distinguishes_plans(self):
+        assert (
+            FaultPlan.chaos(seed=1).signature()
+            != FaultPlan.chaos(seed=2).signature()
+        )
+        assert (
+            FaultPlan.chaos(seed=1).signature()
+            != FaultPlan.chaos(seed=1, scale=2.0).signature()
+        )
+
+    def test_chaos_rejects_negative_scale(self):
+        with pytest.raises(FaultError):
+            FaultPlan.chaos(scale=-1.0)
+
+    def test_families_constant_is_exhaustive(self):
+        assert FAULT_FAMILIES == ("crash", "straggler", "outlier", "pool")

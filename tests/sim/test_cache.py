@@ -5,7 +5,6 @@ import json
 import pytest
 
 import repro.sim.runner as runner_module
-from repro.errors import ConfigurationError
 from repro.sim.cache import MeasurementCache, cache_key
 from tests._synthetic import quiet_runner, synthetic_factory
 
@@ -82,13 +81,26 @@ class TestMeasurementCache:
         assert clone.get("a") == 1.0
         assert clone.fresh_entries() == {}
 
-    def test_corrupt_file_raises_configuration_error(self, tmp_path):
+    def test_corrupt_file_is_quarantined(self, tmp_path):
         path = tmp_path / "cache.json"
         path.write_text("{not json!!")
-        with pytest.raises(ConfigurationError, match="not valid JSON"):
-            MeasurementCache(path)
-        # The corrupt file must survive untouched for manual repair.
-        assert path.read_text() == "{not json!!"
+        cache = MeasurementCache(path)
+        # The cache starts empty and is usable (flushing must not
+        # clobber the quarantined bytes).
+        assert len(cache) == 0
+        cache.put("a", 1.0)
+        cache.flush()
+        assert json.loads(path.read_text()) == {"a": 1.0}
+        # The corrupt bytes survive untouched for manual repair.
+        quarantine = tmp_path / "cache.json.corrupt"
+        assert quarantine.read_text() == "{not json!!"
+
+    def test_quarantine_then_reload_round_trips(self, tmp_path):
+        path = tmp_path / "cache.json"
+        path.write_text("[torn")
+        MeasurementCache(path)
+        reloaded = MeasurementCache(path)  # no file: starts empty again
+        assert len(reloaded) == 0
 
 
 class _Bomb:

@@ -140,3 +140,17 @@ class TestServeCommand:
         expect.write_text(json.dumps(data))
         assert main(SERVE_FAST + ["--expect", str(expect)]) == 1
         assert "QoS-violation regression" in capsys.readouterr().err
+
+    def test_bad_fault_plan_reports_cli_error(self, tmp_path, capsys):
+        plan = tmp_path / "plan.json"
+        plan.write_text(json.dumps({"crash_rat": 0.5}))
+        assert main(SERVE_FAST + ["--faults", str(plan)]) == 1
+        err = capsys.readouterr().err
+        assert "error:" in err
+        assert "crash_rat" in err
+
+    def test_resume_requires_checkpoint(self, capsys):
+        assert main(SERVE_FAST + ["--resume"]) == 1
+        err = capsys.readouterr().err
+        assert "error:" in err
+        assert "--resume requires --checkpoint" in err

@@ -16,6 +16,19 @@ def square(x):
     return x * x
 
 
+def square_or_die(payload):
+    """Kill the hosting pool worker when asked; compute otherwise.
+
+    ``payload`` is ``(value, die, parent_pid)`` — in the parent process
+    (serial recovery) the die flag is ignored, so the recovered batch
+    result is identical to an undisturbed run.
+    """
+    value, die, parent_pid = payload
+    if die and os.getpid() != parent_pid:
+        os._exit(1)
+    return value * value
+
+
 _WORKER_STATE = {}
 
 
@@ -24,6 +37,13 @@ def remember(value):
 
 
 def read_state(_):
+    return _WORKER_STATE.get("value")
+
+
+def _read_state_or_die(payload):
+    index, die, parent_pid = payload
+    if die and os.getpid() != parent_pid:
+        os._exit(1)
     return _WORKER_STATE.get("value")
 
 
@@ -88,3 +108,33 @@ class TestFanOut:
             initargs=(7,),
         )
         assert results == [7] * 6
+
+
+class TestBrokenPoolRecovery:
+    """A worker dying mid-batch must not lose the batch."""
+
+    def test_killed_worker_recovers_to_serial_result(self):
+        from repro.obs import recording
+
+        parent_pid = os.getpid()
+        items = [(value, value == 7, parent_pid) for value in range(16)]
+        with recording() as rec:
+            results = fan_out(square_or_die, items, max_workers=2)
+        assert results == [value * value for value in range(16)]
+        assert rec.counters.get("fault.pool_failure") == 1
+        # At least the doomed item had to be recovered serially.
+        assert rec.counters.get("retry.pool_serial_items", 0) >= 1
+
+    def test_recovery_reruns_initializer_in_parent(self):
+        _WORKER_STATE.clear()
+        parent_pid = os.getpid()
+        items = [(index, index == 0, parent_pid) for index in range(6)]
+
+        results = fan_out(
+            _read_state_or_die,
+            items,
+            max_workers=2,
+            initializer=remember,
+            initargs=(9,),
+        )
+        assert results == [9] * 6
