@@ -11,6 +11,11 @@ Covers the PR's fast paths, each against the slow path it replaces:
   cores; bit-identity is asserted everywhere.)
 * **Persistent measurement cache** — a cold sweep that simulates and
   records, versus a warm sweep that replays the recorded times.
+* **Batch prediction** — a full-placement evaluation and an admission
+  candidate wave scored through the vectorized
+  :class:`~repro.core.kernel.PredictionKernel` path, versus the scalar
+  per-instance reference.  Bit-identical by construction (see the
+  "Batch prediction" section of ``docs/performance.md``).
 
 Numbers land in ``benchmarks/results/perf_hotpaths.txt`` (plus a JSON
 twin for tooling).  The tier-1 ``perf_smoke`` regression guard
@@ -34,8 +39,11 @@ from repro.placement.assignment import InstanceSpec, Placement
 from repro.placement.objectives import (
     WeightedTimeEnergy,
     predict_placement,
+    predict_placement_scalar,
     weighted_total_time,
 )
+from repro.service.admission import AdmissionController
+from repro.service.jobs import Job
 from repro.sim.cache import MeasurementCache
 from repro.sim.runner import ClusterRunner, MeasurementRequest
 
@@ -120,10 +128,86 @@ def sweep_requests():
     ]
 
 
+#: Consolidated-cluster shape for the batch-prediction benchmarks:
+#: the vectorized path's advantage grows with the instance count (the
+#: scalar route is quadratic in it), so these use a cluster an order
+#: of magnitude beyond the annealing shape above.
+BATCH_NUM_INSTANCES = 192
+BATCH_NUM_NODES = 432
+
+#: Admission-wave shape: 16 resident tenants leaving ten half-free
+#: nodes, so one four-unit job enumerates C(10, 4) = 210 candidate
+#: placements of 17 instances each.
+WAVE_NUM_NODES = 37
+WAVE_NUM_TENANTS = 16
+
+
+def consolidated_placement(num_instances, num_nodes, seed=7):
+    """A dense random spread of 4-unit instances over 2-slot nodes."""
+    import random
+
+    rng = random.Random(seed)
+    kinds = ("loud", "quiet", "sensitive")
+    spec = ClusterSpec(num_nodes=num_nodes)
+    instances, assignment = [], {}
+    free = {node: 2 for node in range(num_nodes)}
+    for i in range(num_instances):
+        key = f"{kinds[i % 3]}#{i}"
+        instances.append(InstanceSpec(key, kinds[i % 3], UNITS_PER_INSTANCE))
+        open_nodes = [node for node, slots in free.items() if slots > 0]
+        nodes = rng.sample(open_nodes, UNITS_PER_INSTANCE)
+        for node in nodes:
+            free[node] -= 1
+        assignment[key] = tuple(nodes)
+    return Placement(spec, instances, assignment, unit_slots_per_node=2)
+
+
+class _ScalarOnly:
+    """Model proxy hiding the batch interface (scalar-reference timing)."""
+
+    _HIDDEN = frozenset(
+        {
+            "predict_batch",
+            "predict_corunners_batch",
+            "predict_placement_batch",
+            "predict_placements_batch",
+            "prediction_kernel",
+        }
+    )
+
+    def __init__(self, model):
+        self._model = model
+
+    def __getattr__(self, name):
+        if name in _ScalarOnly._HIDDEN:
+            raise AttributeError(name)
+        return getattr(self._model, name)
+
+
 def _timed(fn):
     start = time.perf_counter()
     result = fn()
     return result, time.perf_counter() - start
+
+
+def _best_pair(slow_fn, fast_fn, reps: int, rounds: int = 7):
+    """Best-of-``rounds`` seconds per call for two competing paths.
+
+    The rounds interleave the two measurements so a transient load
+    spike cannot land on only one side and skew the ratio; each side
+    keeps its own minimum across rounds.
+    """
+    slow_best = fast_best = float("inf")
+    for _ in range(rounds):
+        start = time.perf_counter()
+        for _ in range(reps):
+            slow_fn()
+        slow_best = min(slow_best, (time.perf_counter() - start) / reps)
+        start = time.perf_counter()
+        for _ in range(reps):
+            fast_fn()
+        fast_best = min(fast_best, (time.perf_counter() - start) / reps)
+    return slow_best, fast_best
 
 
 RESULTS: dict = {}
@@ -166,7 +250,12 @@ def test_incremental_vs_full_search(record_artifact, artifact_dir):
         f"  speedup:                {speedup:8.2f}x (bit-identical result)",
     )
     _record_json(artifact_dir)
-    assert speedup >= 3.0
+    # The full-evaluation denominator rides the batch kernel too
+    # (predict_placement dispatches to predict_placement_batch), so the
+    # incremental win over it is narrower than against the historical
+    # scalar full path (~2.1-2.9x measured); the incremental path's
+    # absolute time is separately guarded by the perf_smoke baseline.
+    assert speedup >= 1.8
 
 
 def test_parallel_vs_serial_sweep(record_artifact, artifact_dir):
@@ -236,3 +325,109 @@ def test_cache_cold_vs_warm(record_artifact, artifact_dir, tmp_path):
     )
     _record_json(artifact_dir)
     assert speedup >= 3.0
+
+
+def test_full_placement_batch(record_artifact, artifact_dir):
+    model = make_search_model()
+    placement = consolidated_placement(BATCH_NUM_INSTANCES, BATCH_NUM_NODES)
+
+    scalar = predict_placement_scalar(model, placement)
+    batch = predict_placement(model, placement)
+    assert batch == scalar  # bit-identical, not approximately equal
+
+    scalar_s, batch_s = _best_pair(
+        lambda: predict_placement_scalar(model, placement),
+        lambda: predict_placement(model, placement),
+        reps=20,
+    )
+
+    speedup = scalar_s / batch_s
+    RESULTS["full_placement_batch"] = {
+        "scalar_s": scalar_s, "batch_s": batch_s, "speedup": speedup,
+        "instances": BATCH_NUM_INSTANCES, "nodes": BATCH_NUM_NODES,
+    }
+    record_artifact(
+        "perf_hotpaths_full_placement_batch",
+        f"Full-placement prediction ({BATCH_NUM_INSTANCES}x"
+        f"{UNITS_PER_INSTANCE} units on {BATCH_NUM_NODES} nodes)\n"
+        f"  scalar per-instance: {scalar_s * 1e3:8.3f} ms\n"
+        f"  vectorized batch:    {batch_s * 1e3:8.3f} ms\n"
+        f"  speedup:             {speedup:8.2f}x (bit-identical table)",
+    )
+    _record_json(artifact_dir)
+    assert speedup >= 10.0
+
+
+def wave_placement_and_tenants():
+    """Sixteen 4-unit tenants leaving ten nodes with one free slot."""
+    kinds = ("loud", "quiet", "sensitive")
+    spec = ClusterSpec(num_nodes=WAVE_NUM_NODES)
+    # Slot list: nodes 0-9 offer one unit, the rest two; tenant i takes
+    # every 16th slot, which keeps its units on distinct nodes.
+    slots = list(range(10)) + [
+        node for node in range(10, WAVE_NUM_NODES) for _ in range(2)
+    ]
+    tenants, instances, assignment = [], [], {}
+    for i in range(WAVE_NUM_TENANTS):
+        job = Job(
+            job_id=f"tenant-{i}",
+            workload=kinds[i % 3],
+            num_units=UNITS_PER_INSTANCE,
+            qos_target=2.5 if i % 3 == 0 else None,
+        )
+        tenants.append(job)
+        instances.append(job.instance_spec())
+        assignment[job.job_id] = tuple(slots[i::WAVE_NUM_TENANTS])
+    placement = Placement(spec, instances, assignment, unit_slots_per_node=2)
+    return spec, placement, tenants
+
+
+def test_admission_wave_batch(record_artifact, artifact_dir):
+    model = make_search_model()
+    spec, placement, tenants = wave_placement_and_tenants()
+    job = Job(
+        job_id="arriving", workload="sensitive",
+        num_units=UNITS_PER_INSTANCE, qos_target=2.5,
+    )
+
+    batch_controller = AdmissionController(model, spec)
+    scalar_controller = AdmissionController(_ScalarOnly(model), spec)
+    batch_decision = batch_controller.try_admit(placement, tenants, job)
+    scalar_decision = scalar_controller.try_admit(placement, tenants, job)
+
+    assert batch_decision.admitted == scalar_decision.admitted
+    assert batch_decision.reason == scalar_decision.reason
+    assert (
+        batch_decision.candidates_evaluated
+        == scalar_decision.candidates_evaluated
+    )
+    assert batch_decision.predictions == scalar_decision.predictions
+    if batch_decision.placement is not None:
+        assert assignment_of(batch_decision.placement) == assignment_of(
+            scalar_decision.placement
+        )
+
+    scalar_s, batch_s = _best_pair(
+        lambda: scalar_controller.try_admit(placement, tenants, job),
+        lambda: batch_controller.try_admit(placement, tenants, job),
+        reps=2, rounds=3,
+    )
+
+    speedup = scalar_s / batch_s
+    RESULTS["admission_wave_batch"] = {
+        "scalar_s": scalar_s, "batch_s": batch_s, "speedup": speedup,
+        "candidates": batch_decision.candidates_evaluated,
+    }
+    record_artifact(
+        "perf_hotpaths_admission_wave_batch",
+        f"Admission wave ({batch_decision.candidates_evaluated} candidate "
+        f"placements of {WAVE_NUM_TENANTS + 1} instances)\n"
+        f"  scalar per-candidate: {scalar_s * 1e3:8.3f} ms\n"
+        f"  vectorized wave:      {batch_s * 1e3:8.3f} ms\n"
+        f"  speedup:              {speedup:8.2f}x (identical decision)",
+    )
+    _record_json(artifact_dir)
+    # Candidate Placement construction is shared overhead on both
+    # sides, so the wave's end-to-end win is bounded well below the
+    # prediction-only ratio.
+    assert speedup >= 2.0

@@ -10,9 +10,14 @@ stable across releases:
 * **Model building & prediction** — :func:`build_model` /
   :func:`build_batch_profiles`, the :class:`InterferenceModel` (whose
   :meth:`~repro.core.model.InterferenceModel.predict` is the single
-  prediction entry point), persistence via :func:`load_model` /
-  :func:`save_model`, the :class:`NaiveProportionalModel` baseline,
-  and the :class:`OnlineModel` refinement wrapper.
+  scalar prediction entry point and whose
+  :meth:`~repro.core.model.InterferenceModel.predict_batch` scores
+  many requests through the vectorized, bit-identical
+  :class:`PredictionRequest` / kernel-snapshot path — see the "Batch
+  prediction" section of ``docs/performance.md``), persistence via
+  :func:`load_model` / :func:`save_model`, the
+  :class:`NaiveProportionalModel` baseline, and the
+  :class:`OnlineModel` refinement wrapper.
 * **Placement** — :class:`Placement` / :class:`InstanceSpec`, the
   annealing placers, and QoS constraints.
 * **Service** — the online :class:`ConsolidationService` and its
@@ -53,6 +58,8 @@ from repro.core import (
     ModelBuildReport,
     NaiveProportionalModel,
     OnlineModel,
+    PredictionKernel,
+    PredictionRequest,
     PropagationMatrix,
     build_batch_profiles,
     build_model,
@@ -119,6 +126,8 @@ __all__ = [
     "ModelBuildReport",
     "NaiveProportionalModel",
     "OnlineModel",
+    "PredictionKernel",
+    "PredictionRequest",
     "PropagationMatrix",
     "build_batch_profiles",
     "build_model",

@@ -13,6 +13,7 @@ from repro.core.curves import (
     PropagationMatrix,
     exhaustive_matrix_from,
 )
+from repro.core.kernel import PredictionKernel, PredictionRequest
 from repro.core.model import InterferenceModel, InterferenceProfile
 from repro.core.multiway import (
     MultiwayPredictor,
@@ -52,6 +53,8 @@ __all__ = [
     "OnlineModel",
     "CorrectionState",
     "POLICY_CLASSES",
+    "PredictionKernel",
+    "PredictionRequest",
     "PropagationMatrix",
     "all_policies",
     "build_batch_profiles",

@@ -159,6 +159,51 @@ class PropagationMatrix:
             [np.interp(count, self.counts, self.values[i]) for i in range(len(self.pressures))]
         )
 
+    def lookup_batch(
+        self, pressures: np.ndarray, counts: np.ndarray
+    ) -> np.ndarray:
+        """Vectorized :meth:`lookup` over parallel setting arrays.
+
+        ``pressures[i]`` and ``counts[i]`` describe one homogeneous
+        setting; the result is bit-identical to calling :meth:`lookup`
+        per element (same interpolation bracketing, same clamp and
+        blend operation order), which is what lets the batch prediction
+        path stand in for the scalar one without moving any float.
+
+        Raises
+        ------
+        ModelError
+            If the matrix still has unfilled cells.
+        """
+        if not self.is_complete():
+            raise ModelError("cannot look up an incomplete propagation matrix")
+        pressure_in = np.asarray(pressures, dtype=float)
+        count_in = np.asarray(counts, dtype=float)
+        out = np.ones(pressure_in.shape, dtype=float)
+        active = (count_in > 0.0) & (pressure_in > 0.0)
+        if not active.any():
+            return out
+        count = np.minimum(count_in[active], self.max_count)
+        levels = self.pressures
+        pressure = np.minimum(pressure_in[active], levels[-1])
+
+        # Count-axis interpolation: every sensitivity curve shares the
+        # count axis, so one bracketing serves all rows at once.
+        columns = _interp_rows(count, self.counts, self.values)
+
+        result = np.empty(count.size, dtype=float)
+        below = pressure <= levels[0]
+        if below.any():
+            fraction = pressure[below] / levels[0]
+            result[below] = 1.0 + (columns[0, below] - 1.0) * fraction
+        above = ~below
+        if above.any():
+            result[above] = _interp_per_column(
+                pressure[above], levels, columns[:, above]
+            )
+        out[active] = result
+        return out
+
     # ------------------------------------------------------------------
     def to_dict(self) -> dict:
         """JSON-serializable representation."""
@@ -178,6 +223,80 @@ class PropagationMatrix:
             f"PropagationMatrix(levels={len(self.pressures)}, "
             f"counts={self.counts.tolist()})"
         )
+
+
+def _interp_per_column(
+    x: np.ndarray, xp: np.ndarray, fp: np.ndarray
+) -> np.ndarray:
+    """``np.interp(x[i], xp, fp[:, i])`` for every ``i``, bit-identically.
+
+    ``np.interp`` only broadcasts over ``x``, not over per-element
+    ordinate columns, so the pressure-axis interpolation replicates its
+    C kernel by hand: bracket with a right-sided binary search, then
+    apply the identical slope/offset arithmetic (including the exact-knot
+    shortcut and the NaN fallback recomputation from the right knot).
+    Inputs must already satisfy ``xp[0] < x <= xp[-1]``.
+    """
+    index = np.searchsorted(xp, x, side="right") - 1
+    columns = np.arange(x.size)
+    result = np.empty(x.size, dtype=float)
+    last = index == len(xp) - 1
+    result[last] = fp[-1, columns[last]]
+    rest = ~last
+    j = index[rest]
+    col = columns[rest]
+    x_rest = x[rest]
+    left = fp[j, col]
+    slope = (fp[j + 1, col] - left) / (xp[j + 1] - xp[j])
+    value = slope * (x_rest - xp[j]) + left
+    overflow = np.isnan(value)
+    if overflow.any():
+        value[overflow] = (slope * (x_rest - xp[j + 1]) + fp[j + 1, col])[
+            overflow
+        ]
+        flat = np.isnan(value) & (left == fp[j + 1, col])
+        value[flat] = left[flat]
+    result[rest] = np.where(xp[j] == x_rest, left, value)
+    return result
+
+
+def _interp_rows(
+    x: np.ndarray, xp: np.ndarray, fp: np.ndarray
+) -> np.ndarray:
+    """``np.interp(x, xp, fp[i])`` for every row ``i``, bit-identically.
+
+    All rows share one abscissa, so a single right-sided bracketing of
+    ``x`` serves the whole ``(rows, len(xp))`` ordinate table; the
+    slope/offset arithmetic, the below-/above-range clamps, the
+    exact-knot shortcut, and the NaN fallback replicate ``np.interp``'s
+    C kernel per element (see :func:`_interp_per_column`).  Returns a
+    ``(rows, x.size)`` array.
+    """
+    index = np.searchsorted(xp, x, side="right") - 1
+    out = np.empty((fp.shape[0], x.size), dtype=float)
+    under = index < 0
+    if under.any():
+        out[:, under] = fp[:, :1]
+    last = index == len(xp) - 1
+    if last.any():
+        out[:, last] = fp[:, -1:]
+    rest = ~(under | last)
+    if rest.any():
+        j = index[rest]
+        x_rest = x[rest]
+        left = fp[:, j]
+        right = fp[:, j + 1]
+        slope = (right - left) / (xp[j + 1] - xp[j])
+        value = slope * (x_rest - xp[j]) + left
+        overflow = np.isnan(value)
+        if overflow.any():
+            value[overflow] = (slope * (x_rest - xp[j + 1]) + right)[
+                overflow
+            ]
+            flat = np.isnan(value) & (left == right)
+            value[flat] = left[flat]
+        out[:, rest] = np.where(xp[j] == x_rest, left, value)
+    return out
 
 
 def exhaustive_matrix_from(

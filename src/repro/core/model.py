@@ -18,20 +18,28 @@ scores of whatever shares its nodes (Figure 5's procedure).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Mapping, Sequence, Tuple, Union
+from typing import Dict, List, Mapping, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro.cluster.contention import combine_pressures
 from repro.core.curves import HomogeneousSetting, PropagationMatrix
+from repro.core.kernel import PredictionKernel, PredictionRequest
 from repro.core.policies import HeterogeneityPolicy, get_policy
 from repro.errors import ModelError
+from repro.obs import recorder as _obs
 
 #: What :meth:`InterferenceModel.predict` accepts as an interference
 #: description: a homogeneous ``(pressure, count)`` setting (a
 #: :class:`HomogeneousSetting` or a plain 2-tuple) or a per-node
 #: pressure vector (a list/array, one entry per spanned node).
 Interference = Union[HomogeneousSetting, Tuple[float, float], Sequence[float]]
+
+
+def _count_batch(size: int) -> None:
+    """Batch-size counters for ``repro trace summarize`` rollups."""
+    _obs.RECORDER.count("model.predict.batch.calls")
+    _obs.RECORDER.count("model.predict.batch.requests", size)
 
 
 @dataclass(frozen=True)
@@ -85,6 +93,10 @@ class InterferenceModel:
 
     def __init__(self, profiles: Mapping[str, InterferenceProfile]) -> None:
         self._profiles = dict(profiles)
+        #: Bumped on every profile registration; the cached
+        #: :class:`PredictionKernel` snapshot is keyed on it.
+        self._version = 0
+        self._kernel: PredictionKernel | None = None
 
     @property
     def workloads(self) -> List[str]:
@@ -108,8 +120,25 @@ class InterferenceModel:
             ) from None
 
     def add_profile(self, profile: InterferenceProfile) -> None:
-        """Register (or replace) a workload profile."""
+        """Register (or replace) a workload profile.
+
+        Invalidates the cached :meth:`prediction_kernel` snapshot.
+        """
         self._profiles[profile.workload] = profile
+        self._version += 1
+
+    def prediction_kernel(self) -> PredictionKernel:
+        """The frozen batch-prediction snapshot of this model.
+
+        Rebuilt lazily whenever :meth:`add_profile` has registered or
+        replaced a profile since the last build; see
+        :mod:`repro.core.kernel` for the bit-identity contract.
+        """
+        kernel = self._kernel
+        if kernel is None or kernel.version != self._version:
+            kernel = PredictionKernel(self._profiles, version=self._version)
+            self._kernel = kernel
+        return kernel
 
     # ------------------------------------------------------------------
     # Predictions
@@ -148,7 +177,16 @@ class InterferenceModel:
             return self._predict_homogeneous(
                 workload, float(pressure), float(count)
             )
-        if isinstance(interference, (list, np.ndarray)) or (
+        if isinstance(interference, np.ndarray):
+            # Float64 vectors pass through uncopied — the per-element
+            # ``float()`` round-trip below is a pure identity for them
+            # and a measurable allocation on the heterogeneous hot path.
+            if interference.dtype == np.float64 and interference.ndim == 1:
+                return self._predict_heterogeneous(workload, interference)
+            return self._predict_heterogeneous(
+                workload, [float(p) for p in interference]
+            )
+        if isinstance(interference, list) or (
             isinstance(interference, Sequence)
             and not isinstance(interference, (str, bytes))
         ):
@@ -244,6 +282,184 @@ class InterferenceModel:
         """Normalized time of ``workload`` given its co-runners per node."""
         vector = self.pressure_vector(workload_nodes, co_runners_by_node)
         return self.predict_heterogeneous(workload, vector)
+
+    # ------------------------------------------------------------------
+    # Batch predictions (the vectorized hot path)
+    # ------------------------------------------------------------------
+    def predict_batch(
+        self, requests: Sequence[Union[PredictionRequest, Tuple[str, object]]]
+    ) -> np.ndarray:
+        """Vectorized :meth:`predict` over many requests at once.
+
+        Each request is a :class:`~repro.core.kernel.PredictionRequest`
+        or a plain ``(workload, interference)`` pair; ``interference``
+        takes the same forms :meth:`predict` accepts.  Results are
+        bit-identical to calling :meth:`predict` per request (see
+        :mod:`repro.core.kernel`); any malformed request drops the
+        whole batch onto the scalar path so the scalar exception is
+        raised, in request order.
+        """
+        unpacked: List[Tuple[str, object]] = []
+        for request in requests:
+            if isinstance(request, PredictionRequest):
+                unpacked.append((request.workload, request.interference))
+            else:
+                workload, interference = request
+                unpacked.append((workload, interference))
+        _count_batch(len(unpacked))
+        kernel = self.prediction_kernel()
+        out = np.empty(len(unpacked), dtype=float)
+        het_indices: List[int] = []
+        het_workloads: List[str] = []
+        het_vectors: List[Sequence[float]] = []
+        # Homogeneous settings grouped per workload: indices, pressures,
+        # counts.
+        hom: Dict[str, Tuple[List[int], List[float], List[float]]] = {}
+        for i, (workload, interference) in enumerate(unpacked):
+            if not kernel.knows(workload):
+                return self._predict_batch_scalar(unpacked)
+            if isinstance(interference, tuple) and not isinstance(
+                interference, HomogeneousSetting
+            ):
+                if len(interference) != 2:
+                    return self._predict_batch_scalar(unpacked)
+                try:
+                    interference = HomogeneousSetting(
+                        float(interference[0]), float(interference[1])
+                    )
+                except (TypeError, ValueError):
+                    return self._predict_batch_scalar(unpacked)
+            if isinstance(interference, HomogeneousSetting):
+                bucket = hom.setdefault(workload, ([], [], []))
+                bucket[0].append(i)
+                bucket[1].append(interference.pressure)
+                bucket[2].append(interference.count)
+            elif isinstance(interference, (list, np.ndarray)) or (
+                isinstance(interference, Sequence)
+                and not isinstance(interference, (str, bytes))
+            ):
+                het_indices.append(i)
+                het_workloads.append(workload)
+                het_vectors.append(interference)
+            else:
+                return self._predict_batch_scalar(unpacked)
+        if het_indices:
+            values = kernel.predict_vectors(het_workloads, het_vectors)
+            if values is None:
+                return self._predict_batch_scalar(unpacked)
+            out[het_indices] = values
+        for workload, (indices, pressures, counts) in hom.items():
+            out[indices] = kernel.lookup_settings(
+                workload, np.asarray(pressures), np.asarray(counts)
+            )
+        return out
+
+    def _predict_batch_scalar(
+        self, unpacked: Sequence[Tuple[str, object]]
+    ) -> np.ndarray:
+        """Reference scalar path (also the error-raising fallback)."""
+        return np.array(
+            [self.predict(workload, interference)
+             for workload, interference in unpacked],
+            dtype=float,
+        )
+
+    def predict_corunners_batch(
+        self,
+        items: Sequence[Tuple[str, Sequence[int], Mapping[int, Sequence[str]]]],
+    ) -> np.ndarray:
+        """Vectorized :meth:`predict_under_corunners` over many items.
+
+        Each item is ``(workload, workload_nodes, co_runners_by_node)``.
+        """
+        _count_batch(len(items))
+        kernel = self.prediction_kernel()
+        workloads: List[str] = []
+        vectors: List[List[float]] = []
+        try:
+            for workload, nodes, co_runners in items:
+                workloads.append(workload)
+                vectors.append(kernel.pressure_vector(nodes, co_runners))
+        except ModelError:
+            # An unknown co-runner: replay scalar in item order so the
+            # error surfaces exactly where the scalar loop raises it.
+            return np.array(
+                [self.predict_under_corunners(w, n, c) for w, n, c in items],
+                dtype=float,
+            )
+        values = kernel.predict_vectors(workloads, vectors)
+        if values is None:
+            return np.array(
+                [self.predict_under_corunners(w, n, c) for w, n, c in items],
+                dtype=float,
+            )
+        return values
+
+    def predict_placement_batch(
+        self, placement: "Placement"  # noqa: F821
+    ) -> Dict[str, float]:
+        """All of a placement's instance predictions in one batch.
+
+        Bit-identical to
+        :func:`repro.placement.objectives.predict_placement_scalar`,
+        with the per-instance table in the same (instance) order.
+        """
+        kernel = self.prediction_kernel()
+        triples = kernel.placement_vectors(placement)
+        _count_batch(len(triples))
+        values = kernel.predict_vectors(
+            [workload for _, workload, _ in triples],
+            [vector for _, _, vector in triples],
+        )
+        if values is None:
+            return {
+                key: self.predict_heterogeneous(workload, vector)
+                for key, workload, vector in triples
+            }
+        return {
+            key: float(value)
+            for (key, _, _), value in zip(triples, values)
+        }
+
+    def predict_placements_batch(
+        self, placements: Sequence["Placement"]  # noqa: F821
+    ) -> np.ndarray:
+        """Score a whole wave of candidate placements in one batch.
+
+        All placements must share the same instance list in the same
+        order (an admission wave extends one base placement with the
+        same job).  Returns a ``(num_placements, num_instances)`` array
+        whose row ``c`` holds candidate ``c``'s per-instance
+        predictions in instance order.
+        """
+        if not placements:
+            return np.empty((0, 0), dtype=float)
+        keys = tuple(spec.instance_key for spec in placements[0].instances)
+        workloads: List[str] = []
+        vectors: List[List[float]] = []
+        kernel = self.prediction_kernel()
+        for placement in placements:
+            if tuple(
+                spec.instance_key for spec in placement.instances
+            ) != keys:
+                raise ModelError(
+                    "predict_placements_batch requires every placement "
+                    "to share one instance list"
+                )
+            for _, workload, vector in kernel.placement_vectors(placement):
+                workloads.append(workload)
+                vectors.append(vector)
+        _count_batch(len(workloads))
+        values = kernel.predict_vectors(workloads, vectors)
+        if values is None:
+            values = np.array(
+                [
+                    self.predict_heterogeneous(workload, vector)
+                    for workload, vector in zip(workloads, vectors)
+                ],
+                dtype=float,
+            )
+        return values.reshape(len(placements), len(keys))
 
     # ------------------------------------------------------------------
     def to_dict(self) -> dict:

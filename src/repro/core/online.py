@@ -23,8 +23,11 @@ unobserved workload predicts exactly like the static model.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Sequence
+from typing import Dict, List, Mapping, Sequence, Tuple
 
+import numpy as np
+
+from repro.core.kernel import PredictionKernel, PredictionRequest
 from repro.core.model import InterferenceModel
 from repro.errors import ModelError
 
@@ -129,6 +132,72 @@ class OnlineModel:
                 workload, workload_nodes, co_runners_by_node
             ),
         )
+
+    # ------------------------------------------------------------------
+    # Batch predictions (mirrors InterferenceModel's vectorized path)
+    # ------------------------------------------------------------------
+    def prediction_kernel(self) -> PredictionKernel:
+        """The static base model's frozen batch snapshot (delegated).
+
+        Corrections are applied on top of the kernel's raw
+        predictions, so the snapshot never needs rebuilding when the
+        online state learns.
+        """
+        return self.base.prediction_kernel()
+
+    def _apply_batch(
+        self, workloads: Sequence[str], values: np.ndarray
+    ) -> np.ndarray:
+        factors = np.array(
+            [self.correction(workload).factor for workload in workloads],
+            dtype=float,
+        )
+        # Elementwise replay of :meth:`_apply` — same operation order.
+        return 1.0 + (values - 1.0) * factors
+
+    def predict_batch(self, requests: Sequence) -> np.ndarray:
+        """Corrected :meth:`InterferenceModel.predict_batch`."""
+        values = self.base.predict_batch(requests)
+        workloads = [
+            request.workload
+            if isinstance(request, PredictionRequest)
+            else request[0]
+            for request in requests
+        ]
+        return self._apply_batch(workloads, values)
+
+    def predict_corunners_batch(
+        self,
+        items: Sequence[Tuple[str, Sequence[int], Mapping[int, Sequence[str]]]],
+    ) -> np.ndarray:
+        """Corrected :meth:`InterferenceModel.predict_corunners_batch`."""
+        values = self.base.predict_corunners_batch(items)
+        return self._apply_batch([workload for workload, _, _ in items], values)
+
+    def predict_placement_batch(self, placement) -> Dict[str, float]:
+        """Corrected :meth:`InterferenceModel.predict_placement_batch`."""
+        raw = self.base.predict_placement_batch(placement)
+        workload_of = {
+            spec.instance_key: spec.workload for spec in placement.instances
+        }
+        return {
+            key: float(self._apply(workload_of[key], value))
+            for key, value in raw.items()
+        }
+
+    def predict_placements_batch(self, placements: Sequence) -> np.ndarray:
+        """Corrected :meth:`InterferenceModel.predict_placements_batch`."""
+        values = self.base.predict_placements_batch(placements)
+        if values.size == 0:
+            return values
+        factors = np.array(
+            [
+                self.correction(spec.workload).factor
+                for spec in placements[0].instances
+            ],
+            dtype=float,
+        )
+        return 1.0 + (values - 1.0) * factors[None, :]
 
     # ------------------------------------------------------------------
     # Learning

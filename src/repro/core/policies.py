@@ -20,7 +20,9 @@ docstring and in ``tests/core/test_policies.py``.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Type
+from typing import Dict, List, Sequence, Tuple, Type
+
+import numpy as np
 
 from repro.core.curves import HomogeneousSetting
 from repro.errors import ModelError
@@ -46,11 +48,44 @@ class HeterogeneityPolicy:
         """
         raise NotImplementedError
 
+    def convert_batch(
+        self, padded: np.ndarray, lengths: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Vectorized :meth:`convert` over a batch of pressure vectors.
+
+        ``padded`` is a ``(batch, width)`` float array holding each
+        vector left-aligned and zero-padded to the widest one;
+        ``lengths`` gives each row's true vector length (all positive).
+        Rows must be pre-validated (finite, non-negative): the batch
+        entry points fall back to the scalar path to raise the exact
+        scalar errors, so this method never validates.
+
+        Returns the per-row ``(pressure, count)`` setting arrays,
+        bit-identical to per-row :meth:`convert`.
+        """
+        raise NotImplementedError
+
     @staticmethod
     def _validated(pressures: Sequence[float]) -> List[float]:
         if len(pressures) == 0:
             raise ModelError("pressure vector must cover at least one node")
         return [validate_pressure(p) for p in pressures]
+
+    @staticmethod
+    def _valid_mask(padded: np.ndarray, lengths: np.ndarray) -> np.ndarray:
+        """Which ``padded`` cells are real vector entries (not padding)."""
+        return np.arange(padded.shape[1]) < np.asarray(lengths)[:, None]
+
+    @staticmethod
+    def _peak(padded: np.ndarray, valid: np.ndarray) -> np.ndarray:
+        """Row maxima over the real entries only.
+
+        Entries are non-negative, but padding cannot simply be treated
+        as pressure 0: a peak within ``band`` of zero would then count
+        padding cells as max nodes.  Masking with ``-inf`` keeps the
+        maximum exact (it is a comparison, not arithmetic).
+        """
+        return np.max(np.where(valid, padded, -np.inf), axis=1)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"{type(self).__name__}()"
@@ -78,6 +113,18 @@ class NMaxPolicy(HeterogeneityPolicy):
         n_max = sum(1 for p in values if p >= peak - self.band)
         return HomogeneousSetting(peak, float(n_max))
 
+    def convert_batch(
+        self, padded: np.ndarray, lengths: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        valid = self._valid_mask(padded, lengths)
+        peak = self._peak(padded, valid)
+        n_max = np.sum((padded >= (peak - self.band)[:, None]) & valid, axis=1)
+        active = peak > 0.0
+        return (
+            np.where(active, peak, 0.0),
+            np.where(active, n_max.astype(float), 0.0),
+        )
+
 
 class NPlusOneMaxPolicy(HeterogeneityPolicy):
     """Worst-pressure nodes plus one stand-in for all milder nodes.
@@ -104,6 +151,21 @@ class NPlusOneMaxPolicy(HeterogeneityPolicy):
         count = min(n_max + (1 if has_milder else 0), len(values))
         return HomogeneousSetting(peak, float(count))
 
+    def convert_batch(
+        self, padded: np.ndarray, lengths: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        valid = self._valid_mask(padded, lengths)
+        peak = self._peak(padded, valid)
+        threshold = (peak - self.band)[:, None]
+        n_max = np.sum((padded >= threshold) & valid, axis=1)
+        has_milder = ((padded > 0.0) & (padded < threshold) & valid).any(axis=1)
+        count = np.minimum(n_max + has_milder.astype(np.intp), lengths)
+        active = peak > 0.0
+        return (
+            np.where(active, peak, 0.0),
+            np.where(active, count.astype(float), 0.0),
+        )
+
 
 class AllMaxPolicy(HeterogeneityPolicy):
     """The worst pressure anywhere propagates to every node.
@@ -119,6 +181,17 @@ class AllMaxPolicy(HeterogeneityPolicy):
         if peak <= 0.0:
             return HomogeneousSetting(0.0, 0.0)
         return HomogeneousSetting(peak, float(len(values)))
+
+    def convert_batch(
+        self, padded: np.ndarray, lengths: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        valid = self._valid_mask(padded, lengths)
+        peak = self._peak(padded, valid)
+        active = peak > 0.0
+        return (
+            np.where(active, peak, 0.0),
+            np.where(active, np.asarray(lengths, dtype=float), 0.0),
+        )
 
 
 class InterpolatePolicy(HeterogeneityPolicy):
@@ -136,6 +209,24 @@ class InterpolatePolicy(HeterogeneityPolicy):
         if average <= 0.0:
             return HomogeneousSetting(0.0, 0.0)
         return HomogeneousSetting(average, float(len(values)))
+
+    def convert_batch(
+        self, padded: np.ndarray, lengths: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        # The scalar path sums left to right with ``sum()``; ``np.sum``
+        # uses pairwise summation, which rounds differently from eight
+        # addends on.  Accumulating the padded columns sequentially
+        # replays the scalar order exactly — trailing ``+ 0.0`` padding
+        # terms cannot change a non-negative partial sum.
+        total = np.zeros(padded.shape[0], dtype=float)
+        for column in range(padded.shape[1]):
+            total = total + padded[:, column]
+        average = total / np.asarray(lengths, dtype=float)
+        active = average > 0.0
+        return (
+            np.where(active, average, 0.0),
+            np.where(active, np.asarray(lengths, dtype=float), 0.0),
+        )
 
 
 #: All policies the selection procedure evaluates, in paper order.

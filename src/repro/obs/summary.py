@@ -175,6 +175,28 @@ def fault_accounting(payload: Dict[str, object]) -> List[Tuple[str, object]]:
     )
 
 
+def batch_accounting(payload: Dict[str, object]) -> List[Tuple[str, object]]:
+    """Vectorized-prediction totals: the ``model.predict.batch.*`` counters.
+
+    ``...calls`` counts batch dispatches, ``...requests`` the
+    predictions they carried; the derived mean batch size is how an
+    operator checks the hot loop actually amortizes (a mean near 1
+    means the batch path is pure overhead).  Empty when the run never
+    touched the batch kernel.
+    """
+    counters = payload.get("counters", {})
+    rows = sorted(
+        (name, value)
+        for name, value in counters.items()
+        if name.startswith("model.predict.batch.")
+    )
+    calls = counters.get("model.predict.batch.calls", 0)
+    requests = counters.get("model.predict.batch.requests", 0)
+    if calls:
+        rows.append(("mean batch size", round(requests / calls, 1)))
+    return rows
+
+
 def summarize_text(payload: Dict[str, object]) -> str:
     """Human-readable trace summary (the ``repro trace summarize`` body)."""
     # Imported here: analysis -> obs would otherwise be circular for
@@ -223,6 +245,18 @@ def summarize_text(payload: Dict[str, object]) -> str:
                 [
                     (name, value if isinstance(value, int) else f"{value:.3f}")
                     for name, value in faults
+                ],
+            )
+        )
+    batches = batch_accounting(payload)
+    if batches:
+        sections.append(
+            "Batch prediction (model.predict.batch.* totals):\n"
+            + format_table(
+                ["Metric", "Total"],
+                [
+                    (name, value if isinstance(value, int) else f"{value:.1f}")
+                    for name, value in batches
                 ],
             )
         )

@@ -223,6 +223,23 @@ class Placement:
                     result[node].append(workload)
         return result
 
+    def node_residents(self) -> Dict[int, List[Tuple[str, str]]]:
+        """Per-node ``(instance_key, workload)`` of every resident unit.
+
+        The single-pass complement of :meth:`co_runner_workloads`:
+        filtering a node's residents by ``instance_key != key`` yields
+        exactly that method's per-node co-runner list, in the same
+        assignment order — which is what lets batch prediction extract
+        every instance's pressure vector from one sweep instead of one
+        quadratic pass per instance.
+        """
+        residents: Dict[int, List[Tuple[str, str]]] = {}
+        for key, nodes in self._assignment.items():
+            workload = self._by_key[key].workload
+            for node in nodes:
+                residents.setdefault(node, []).append((key, workload))
+        return residents
+
     def swap_units(
         self, key_a: str, unit_a: int, key_b: str, unit_b: int
     ) -> "Placement":

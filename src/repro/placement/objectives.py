@@ -14,6 +14,7 @@ time and aggregating.  Two aggregates appear in the paper:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from itertools import islice
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from repro.errors import PlacementError
@@ -25,7 +26,19 @@ def predict_placement(model, placement: Placement) -> Dict[str, float]:
 
     ``model`` may be the interference-aware model or the naive
     proportional model — both expose ``predict_under_corunners``.
+    Models exposing ``predict_placement_batch`` (the interference-aware
+    family) are evaluated in one vectorized batch; results are
+    bit-identical to :func:`predict_placement_scalar`, which remains
+    the reference oracle.
     """
+    batch = getattr(model, "predict_placement_batch", None)
+    if batch is not None:
+        return batch(placement)
+    return predict_placement_scalar(model, placement)
+
+
+def predict_placement_scalar(model, placement: Placement) -> Dict[str, float]:
+    """One-instance-at-a-time reference path of :func:`predict_placement`."""
     predictions: Dict[str, float] = {}
     for spec in placement.instances:
         key = spec.instance_key
@@ -206,9 +219,18 @@ class PredictionEnergy(IncrementalEnergy):
         Prediction model exposing ``predict_under_corunners``.
     """
 
-    #: Memo entries kept before the table is dropped (a full annealing
-    #: search revisits far fewer distinct local configurations).
+    #: Memo entries kept before stale entries are evicted (a full
+    #: annealing search revisits far fewer distinct local
+    #: configurations).
     MEMO_LIMIT = 200_000
+
+    #: Fewest memo misses routed through one vectorized
+    #: ``predict_corunners_batch`` call; below this the per-call array
+    #: setup outweighs the win and the scalar path (bit-identical
+    #: anyway) is faster.  Swap deltas re-predict a handful of
+    #: instances, so in practice only full-state evaluations of large
+    #: placements batch.
+    BATCH_MIN = 32
 
     def __init__(self, model) -> None:
         self.model = model
@@ -222,32 +244,73 @@ class PredictionEnergy(IncrementalEnergy):
         raise NotImplementedError
 
     # -- prediction table maintenance ---------------------------------
-    def _predict(self, placement: Placement, key: str) -> float:
-        spec = placement.instance(key)
-        nodes = placement.spanned_nodes(key)
-        co_runners = placement.co_runner_workloads(key)
-        # The co-runner lists keep placement iteration order (NOT
-        # sorted): combining pressures sums floats in list order, so a
-        # reordered key could replay a bit-different result.
-        memo_key = (
-            spec.workload,
-            tuple((node, tuple(co_runners[node])) for node in nodes),
-        )
-        value = self._memo.get(memo_key)
-        if value is None:
-            value = self.model.predict_under_corunners(
-                spec.workload, nodes, co_runners
+    def _store(self, memo_key: Tuple, value: float) -> None:
+        if len(self._memo) >= self.MEMO_LIMIT:
+            # Evict only the oldest half (dict preserves insertion
+            # order) so a long search keeps its warm recent entries
+            # instead of losing the whole table at the limit.
+            for stale in list(islice(iter(self._memo), self.MEMO_LIMIT // 2)):
+                del self._memo[stale]
+        self._memo[memo_key] = value
+
+    def _predict_table(
+        self, placement: Placement, keys: Sequence[str]
+    ) -> Dict[str, float]:
+        """Memoized predictions for ``keys``, misses batched together."""
+        memo_keys: List[Tuple] = []
+        # Values are captured here as they are resolved (not re-read
+        # from the memo at the end): a huge table could trip eviction
+        # mid-call and drop entries this very call produced.
+        resolved: Dict[Tuple, float] = {}
+        missing: List[Tuple[Tuple, str, List[int], Dict[int, List[str]]]] = []
+        for key in keys:
+            spec = placement.instance(key)
+            nodes = placement.spanned_nodes(key)
+            co_runners = placement.co_runner_workloads(key)
+            # The co-runner lists keep placement iteration order (NOT
+            # sorted): combining pressures sums floats in list order,
+            # so a reordered key could replay a bit-different result.
+            memo_key = (
+                spec.workload,
+                tuple((node, tuple(co_runners[node])) for node in nodes),
             )
-            if len(self._memo) >= self.MEMO_LIMIT:
-                self._memo.clear()
-            self._memo[memo_key] = value
-        return value
+            memo_keys.append(memo_key)
+            cached = self._memo.get(memo_key)
+            if cached is None:
+                if memo_key not in resolved:
+                    missing.append((memo_key, spec.workload, nodes, co_runners))
+                    resolved[memo_key] = 0.0  # placeholder, filled below
+            else:
+                resolved[memo_key] = cached
+        if missing:
+            batch = getattr(self.model, "predict_corunners_batch", None)
+            if batch is not None and len(missing) >= self.BATCH_MIN:
+                values = batch(
+                    [(workload, nodes, co_runners)
+                     for _, workload, nodes, co_runners in missing]
+                )
+                for (memo_key, *_), value in zip(missing, values):
+                    self._store(memo_key, float(value))
+                    resolved[memo_key] = float(value)
+            else:
+                for memo_key, workload, nodes, co_runners in missing:
+                    value = self.model.predict_under_corunners(
+                        workload, nodes, co_runners
+                    )
+                    self._store(memo_key, value)
+                    resolved[memo_key] = value
+        return {
+            key: resolved[memo_key]
+            for key, memo_key in zip(keys, memo_keys)
+        }
+
+    def _predict(self, placement: Placement, key: str) -> float:
+        return self._predict_table(placement, [key])[key]
 
     def full_state(self, placement: Placement) -> EnergyState:
-        predictions = {
-            spec.instance_key: self._predict(placement, spec.instance_key)
-            for spec in placement.instances
-        }
+        predictions = self._predict_table(
+            placement, [spec.instance_key for spec in placement.instances]
+        )
         return EnergyState(
             placement, predictions, self.aggregate(predictions, placement)
         )
@@ -259,11 +322,13 @@ class PredictionEnergy(IncrementalEnergy):
         touched_nodes: Iterable[int],
     ) -> EnergyState:
         touched = set(touched_nodes)
+        changed = [
+            spec.instance_key
+            for spec in new_placement.instances
+            if touched.intersection(new_placement.nodes_of(spec.instance_key))
+        ]
         predictions = dict(state.predictions)
-        for spec in new_placement.instances:
-            key = spec.instance_key
-            if touched.intersection(new_placement.nodes_of(key)):
-                predictions[key] = self._predict(new_placement, key)
+        predictions.update(self._predict_table(new_placement, changed))
         return EnergyState(
             new_placement, predictions, self.aggregate(predictions, new_placement)
         )

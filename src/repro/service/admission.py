@@ -20,9 +20,12 @@ from dataclasses import dataclass
 from itertools import combinations, islice
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
+import numpy as np
+
 from repro.cluster.cluster import ClusterSpec
 from repro.errors import PlacementError, ServiceError
 from repro.faults.degradation import (
+    conservative_placements_batch,
     conservative_prediction,
     supports_degradation,
 )
@@ -30,7 +33,7 @@ from repro.obs import recorder as _obs
 from repro.placement.assignment import Placement
 from repro.placement.objectives import (
     QoSConstraint,
-    predict_placement,
+    predict_placement_scalar,
     weighted_total_time,
 )
 from repro.service.jobs import Job
@@ -164,8 +167,13 @@ class AdmissionController:
         )
 
     def _predict(self, candidate: Placement) -> Dict[str, float]:
-        """Per-instance predictions, conservatively for degraded workloads."""
-        predictions = predict_placement(self.model, candidate)
+        """Per-instance predictions, conservatively for degraded workloads.
+
+        The scalar reference path: :meth:`try_admit` scores whole
+        candidate waves through the vectorized batch instead whenever
+        the model supports it, with bit-identical results.
+        """
+        predictions = predict_placement_scalar(self.model, candidate)
         if not self.degraded_workloads or not supports_degradation(self.model):
             return predictions
         for spec in candidate.instances:
@@ -239,36 +247,36 @@ class AdmissionController:
         if len(free) < job.num_units:
             return AdmissionDecision(job, False, NO_CAPACITY)
         constraints = self._constraints(tenants, job)
-        best: Optional[Tuple[float, Placement, Dict[str, float]]] = None
-        evaluated = 0
-        saw_valid_candidate = False
+        candidates: List[Placement] = []
         for nodes in islice(
             combinations(free, job.num_units), self.max_candidates
         ):
             try:
-                candidate = placement_with_job(
-                    placement,
-                    self.cluster_spec,
-                    job,
-                    nodes,
-                    unit_slots_per_node=self.unit_slots_per_node,
+                candidates.append(
+                    placement_with_job(
+                        placement,
+                        self.cluster_spec,
+                        job,
+                        nodes,
+                        unit_slots_per_node=self.unit_slots_per_node,
+                    )
                 )
             except PlacementError:
                 continue
-            saw_valid_candidate = True
-            evaluated += 1
-            predictions = self._predict(candidate)
-            if any(not c.satisfied_by(predictions) for c in constraints):
-                continue
-            total = weighted_total_time(predictions, candidate)
-            if best is None or total < best[0]:
-                best = (total, candidate, predictions)
-        if best is None:
-            reason = QOS_INFEASIBLE if saw_valid_candidate else NO_CAPACITY
+        evaluated = len(candidates)
+        if not candidates:
             return AdmissionDecision(
-                job, False, reason, candidates_evaluated=evaluated
+                job, False, NO_CAPACITY, candidates_evaluated=0
             )
-        _, chosen, predictions = best
+        if hasattr(self.model, "predict_placements_batch"):
+            best = self._select_batch(candidates, constraints)
+        else:
+            best = self._select_scalar(candidates, constraints)
+        if best is None:
+            return AdmissionDecision(
+                job, False, QOS_INFEASIBLE, candidates_evaluated=evaluated
+            )
+        chosen, predictions = best
         return AdmissionDecision(
             job,
             True,
@@ -277,3 +285,75 @@ class AdmissionController:
             predictions=predictions,
             candidates_evaluated=evaluated,
         )
+
+    def _select_scalar(
+        self,
+        candidates: Sequence[Placement],
+        constraints: Sequence[QoSConstraint],
+    ) -> Optional[Tuple[Placement, Dict[str, float]]]:
+        """Reference selection: predict candidates one at a time."""
+        best: Optional[Tuple[float, Placement, Dict[str, float]]] = None
+        for candidate in candidates:
+            predictions = self._predict(candidate)
+            if any(not c.satisfied_by(predictions) for c in constraints):
+                continue
+            total = weighted_total_time(predictions, candidate)
+            if best is None or total < best[0]:
+                best = (total, candidate, predictions)
+        if best is None:
+            return None
+        return best[1], best[2]
+
+    def _select_batch(
+        self,
+        candidates: Sequence[Placement],
+        constraints: Sequence[QoSConstraint],
+    ) -> Optional[Tuple[Placement, Dict[str, float]]]:
+        """Score the whole candidate wave as one vectorized batch.
+
+        Bit-identical to :meth:`_select_scalar`: predictions replay the
+        scalar float operations (see :mod:`repro.core.kernel`), the
+        degraded-workload conservative ALL-max override applies
+        per-cell with the same replacement rule, and the winner is the
+        *first* feasible candidate attaining the minimum total — the
+        same deterministic sorted-enumeration tie-break as the scalar
+        ``total < best`` scan.
+        """
+        instances = candidates[0].instances
+        predictions = self.model.predict_placements_batch(candidates)
+        if self.degraded_workloads and supports_degradation(self.model):
+            for column, spec in enumerate(instances):
+                if spec.workload not in self.degraded_workloads:
+                    continue
+                conservative = conservative_placements_batch(
+                    self.model, candidates, spec.workload, spec.instance_key
+                )
+                # Degradation only ever raises a prediction: the
+                # model's own estimate still applies when it is
+                # already worse.
+                raised = conservative > predictions[:, column]
+                if raised.any():
+                    predictions[raised, column] = conservative[raised]
+                    _obs.RECORDER.count(
+                        "fault.degraded_prediction", int(raised.sum())
+                    )
+        keys = [spec.instance_key for spec in instances]
+        feasible = np.ones(len(candidates), dtype=bool)
+        for constraint in constraints:
+            column = keys.index(constraint.instance_key)
+            feasible &= (
+                predictions[:, column] <= constraint.max_normalized_time
+            )
+        chosen = np.flatnonzero(feasible)
+        if chosen.size == 0:
+            return None
+        # Same summation order as ``weighted_total_time``: one
+        # instance-weight term at a time, accumulated left to right.
+        totals = np.zeros(len(candidates), dtype=float)
+        for column, spec in enumerate(instances):
+            totals = totals + spec.weight * predictions[:, column]
+        winner = int(chosen[np.argmin(totals[chosen])])
+        return candidates[winner], {
+            key: float(value)
+            for key, value in zip(keys, predictions[winner])
+        }

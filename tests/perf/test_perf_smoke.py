@@ -161,3 +161,63 @@ def test_measurement_batch_not_regressed():
             quiet_runner(num_nodes=4).measure_many(requests)
 
     _check("measurement_batch_s", _best_of(run))
+
+
+def _smoke_placement(num_instances: int, num_nodes: int) -> Placement:
+    kinds = ("loud", "quiet", "mid")
+    spec = ClusterSpec(num_nodes=num_nodes)
+    instances = [
+        InstanceSpec(f"{kinds[i % 3]}#{i}", kinds[i % 3], 4)
+        for i in range(num_instances)
+    ]
+    return Placement.random(spec, instances, seed=9)
+
+
+def test_full_placement_batch_not_regressed():
+    model = _smoke_model()
+    placement = _smoke_placement(num_instances=24, num_nodes=56)
+    batch = model.predict_placement_batch(placement)
+    from repro.placement.objectives import predict_placement_scalar
+
+    assert batch == predict_placement_scalar(model, placement)
+
+    def run():
+        for _ in range(40):
+            model.predict_placement_batch(placement)
+
+    _check("full_placement_batch_s", _best_of(run))
+
+
+def test_admission_wave_batch_not_regressed():
+    from repro.service.admission import AdmissionController
+    from repro.service.jobs import Job
+
+    model = _smoke_model()
+    kinds = ("loud", "quiet", "mid")
+    num_nodes = 20
+    spec = ClusterSpec(num_nodes=num_nodes)
+    # Nodes 0-7 offer one free slot, the rest are full: an arriving
+    # 4-unit job enumerates C(8, 4) = 70 candidate placements.
+    slots = list(range(8)) + [
+        node for node in range(8, num_nodes) for _ in range(2)
+    ]
+    tenants, instances, assignment = [], [], {}
+    for i in range(8):
+        job = Job(
+            job_id=f"tenant-{i}",
+            workload=kinds[i % 3],
+            num_units=4,
+            qos_target=2.5 if i % 2 == 0 else None,
+        )
+        tenants.append(job)
+        instances.append(job.instance_spec())
+        assignment[job.job_id] = tuple(slots[i::8])
+    placement = Placement(spec, instances, assignment, unit_slots_per_node=2)
+    controller = AdmissionController(model, spec)
+    job = Job(job_id="arriving", workload="mid", num_units=4, qos_target=2.5)
+
+    def run():
+        for _ in range(5):
+            controller.try_admit(placement, tenants, job)
+
+    _check("admission_wave_batch_s", _best_of(run))
