@@ -23,6 +23,12 @@ stable across releases:
 * **Service** — the online :class:`ConsolidationService` and its
   traffic, config, telemetry, and crash-safety
   (:class:`ServiceCheckpoint`) types.
+* **Scale** — the sharded hierarchical tier for 1000-node days:
+  :func:`shard_cluster` cells, the :class:`HeadroomRouter`, the
+  :class:`GlobalCoordinator`, the :class:`ShardedConsolidationService`
+  (built via :func:`build_sharded_service`), and
+  :class:`ScaleCheckpoint` crash safety (see the "Scale layer"
+  section of ``docs/architecture.md``).
 * **Robustness** — deterministic fault injection
   (:class:`FaultPlan` / :class:`FaultConfig`), the :class:`RetryPolicy`
   governing the retrying measurement path, and :class:`MeasurementFault`
@@ -96,6 +102,16 @@ from repro.placement import (
     SimulatedAnnealingPlacer,
     ThroughputPlacer,
 )
+from repro.scale import (
+    CoordinatorConfig,
+    GlobalCoordinator,
+    HeadroomRouter,
+    ScaleCheckpoint,
+    ShardedConsolidationService,
+    build_sharded_service,
+    scale_day_service,
+    shard_cluster,
+)
 from repro.service import (
     ConsolidationService,
     EventLog,
@@ -152,6 +168,15 @@ __all__ = [
     "ServiceConfig",
     "StreamConfig",
     "WorkloadStream",
+    # scale
+    "CoordinatorConfig",
+    "GlobalCoordinator",
+    "HeadroomRouter",
+    "ScaleCheckpoint",
+    "ShardedConsolidationService",
+    "build_sharded_service",
+    "scale_day_service",
+    "shard_cluster",
     # robustness
     "FaultConfig",
     "FaultPlan",

@@ -74,7 +74,55 @@ def _check_expectation(expected: dict, actual: dict) -> int:
     return 0
 
 
-def _build_service(args: argparse.Namespace) -> ConsolidationService:
+def _build_sharded(args: argparse.Namespace, profiling_runner, model, stream):
+    """Stand up the sharded (``--cells``) service behind the same flags.
+
+    ``--cells 1`` keeps the flat per-cell config and serves on the
+    profiling runner itself, so its day replays the flat service byte
+    for byte (even under a fault plan whose schedule spans profiling
+    and serving).  Multi-cell days run the scale-layer config (shorter
+    annealing schedule, capped admission candidates) on derived
+    per-cell seeds.
+    """
+    from repro.cluster.cluster import ClusterSpec
+    from repro.scale import build_sharded_service, scale_service_config
+
+    nodes = args.nodes or profiling_runner.spec.num_nodes
+    if args.cells == 1:
+        config = ServiceConfig(
+            reschedule_every=args.reschedule_every,
+            migration_cost=args.migration_cost,
+        )
+    else:
+        config = scale_service_config(
+            reschedule_every=args.reschedule_every,
+            migration_cost=args.migration_cost,
+        )
+    fault_plan = getattr(args, "fault_plan", None)
+
+    def factory(shard, cell_seed):
+        if (
+            args.cells == 1
+            and shard.num_nodes == profiling_runner.spec.num_nodes
+        ):
+            return profiling_runner
+        return ClusterRunner(shard.spec, base_seed=cell_seed, faults=fault_plan)
+
+    return build_sharded_service(
+        model,
+        ClusterSpec(num_nodes=nodes),
+        args.cells,
+        stream,
+        seed=args.seed,
+        config=config,
+        checkpoint_path=args.checkpoint,
+        cell_workers=args.cell_workers,
+        runner_factory=factory,
+        degraded_workloads=sorted(profiling_runner.faulted_workloads),
+    )
+
+
+def _build_service(args: argparse.Namespace):
     """Construct the (deterministic) service a serve invocation runs."""
     workloads = tuple(args.workloads or DEFAULT_SERVE_MIX)
     distributed = [w for w in workloads if w not in BATCH_WORKLOADS]
@@ -102,6 +150,8 @@ def _build_service(args: argparse.Namespace) -> ConsolidationService:
         ),
         seed=args.seed,
     )
+    if getattr(args, "cells", None):
+        return _build_sharded(args, runner, report.model, stream)
     return ConsolidationService(
         runner,
         report.model,
@@ -119,9 +169,20 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if args.resume and not args.checkpoint:
         console.info("error: --resume requires --checkpoint")
         return 1
+    if args.cells is not None and args.cells < 1:
+        console.info("error: --cells must be at least 1")
+        return 1
+    if args.cells is None and (args.nodes or args.cell_workers):
+        console.info("error: --nodes/--cell-workers require --cells")
+        return 1
     service = _build_service(args)
     if args.resume:
-        checkpoint = ServiceCheckpoint.load(args.checkpoint)
+        if args.cells:
+            from repro.scale import ScaleCheckpoint
+
+            checkpoint = ScaleCheckpoint.load(args.checkpoint)
+        else:
+            checkpoint = ServiceCheckpoint.load(args.checkpoint)
         log = None
         if args.event_log and os.path.exists(args.event_log):
             log = EventLog.recover(args.event_log)
@@ -200,6 +261,26 @@ def register(
     p_serve.add_argument("--policy-samples", type=int, default=10)
     p_serve.add_argument("--reschedule-every", type=int, default=1)
     p_serve.add_argument("--migration-cost", type=float, default=0.02)
+    p_serve.add_argument(
+        "--cells",
+        type=int,
+        help=(
+            "shard the cluster into N cells under the headroom router "
+            "and global QoS coordinator (1 replays the flat day byte "
+            "for byte; default: the flat service)"
+        ),
+    )
+    p_serve.add_argument(
+        "--nodes",
+        type=int,
+        help="cluster size for sharded days (default: the flat testbed size)",
+    )
+    p_serve.add_argument(
+        "--cell-workers",
+        type=int,
+        default=0,
+        help="fan per-cell epochs out over N worker processes (0 = serial)",
+    )
     p_serve.add_argument("--event-log", help="write the JSONL event log here")
     p_serve.add_argument("--snapshot", help="write the metrics snapshot JSON here")
     p_serve.add_argument(

@@ -10,6 +10,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Iterator, List
 
+from repro._util import make_rng, stable_seed
 from repro.cluster.node import PhysicalNode
 from repro.errors import ConfigurationError
 from repro.units import DEFAULT_CORES_PER_HOST, DEFAULT_NUM_HOSTS
@@ -70,6 +71,54 @@ class Cluster:
             )
             for i in range(self.spec.num_nodes)
         ]
+
+    @classmethod
+    def synthetic(
+        cls,
+        num_nodes: int,
+        *,
+        seed: int = 0,
+        cores_choices: tuple = (16, 24, 32),
+        memory_choices: tuple = (64, 128),
+        max_workloads_per_node: int = 2,
+    ) -> "Cluster":
+        """A seeded, deterministic heterogeneous cluster of ``num_nodes``.
+
+        Each node draws its core count and memory uniformly from the
+        given choices using a generator keyed by
+        ``stable_seed("synthetic-cluster", num_nodes, seed)``, so the
+        same arguments always build the same inventory — what the
+        scale-layer tests and benches need instead of hand-rolled node
+        lists.  The :class:`ClusterSpec` records the *floor* of the
+        core choices (placement and simulation size unit slots off the
+        spec's homogeneous value; per-node heterogeneity lives on the
+        :class:`~repro.cluster.node.PhysicalNode` inventory).
+        """
+        if num_nodes <= 0:
+            raise ConfigurationError("num_nodes must be positive")
+        if not cores_choices or not memory_choices:
+            raise ConfigurationError(
+                "cores_choices and memory_choices must be non-empty"
+            )
+        spec = ClusterSpec(
+            num_nodes=num_nodes,
+            cores_per_node=min(int(c) for c in cores_choices),
+            memory_gb_per_node=min(int(m) for m in memory_choices),
+            max_workloads_per_node=max_workloads_per_node,
+        )
+        cluster = cls(spec)
+        rng = make_rng(stable_seed("synthetic-cluster", num_nodes, seed))
+        cluster._nodes = [
+            PhysicalNode(
+                node_id=i,
+                cores=int(cores_choices[int(rng.integers(len(cores_choices)))]),
+                memory_gb=int(
+                    memory_choices[int(rng.integers(len(memory_choices)))]
+                ),
+            )
+            for i in range(num_nodes)
+        ]
+        return cluster
 
     def __len__(self) -> int:
         return len(self._nodes)

@@ -33,6 +33,7 @@ from repro.obs.recorder import (
     NullSpan,
     Span,
     TraceRecorder,
+    ambient,
     current,
     install,
     recording,
@@ -46,6 +47,7 @@ from repro.obs.sinks import (
     write_trace,
 )
 from repro.obs.summary import (
+    cell_rollup,
     load_trace,
     probe_accounting,
     span_rollup,
@@ -61,6 +63,8 @@ __all__ = [
     "Span",
     "TRACE_VERSION",
     "TraceRecorder",
+    "ambient",
+    "cell_rollup",
     "current",
     "install",
     "load_trace",

@@ -90,6 +90,35 @@ class NullRecorder:
 NULL_RECORDER = NullRecorder()
 
 
+#: Ambient span attributes: merged into every span started while an
+#: :func:`ambient` block is active.  The scale layer uses this to stamp
+#: ``cell=<id>`` onto every span a cell's epoch produces
+#: (``service.epoch``, ``anneal.search``, ...) without threading a cell
+#: id through every instrumented call site.  Explicit ``span()``
+#: attributes win on key collisions.
+_AMBIENT: Dict[str, object] = {}
+
+
+@contextmanager
+def ambient(**attrs: object) -> Iterator[None]:
+    """Attach ``attrs`` to every span started inside the block.
+
+    Nests: inner blocks shadow outer values for the duration of the
+    inner block only.  Costs nothing when tracing is disabled beyond
+    the dict update (the :class:`NullRecorder` never reads it).
+    """
+    previous = {key: _AMBIENT[key] for key in attrs if key in _AMBIENT}
+    _AMBIENT.update(attrs)
+    try:
+        yield
+    finally:
+        for key in attrs:
+            if key in previous:
+                _AMBIENT[key] = previous[key]
+            else:
+                _AMBIENT.pop(key, None)
+
+
 @dataclass
 class Span:
     """One recorded span.
@@ -167,6 +196,10 @@ class TraceRecorder:
         return self._seq
 
     def span(self, name: str, **attrs) -> ActiveSpan:
+        if _AMBIENT:
+            merged = dict(_AMBIENT)
+            merged.update(attrs)
+            attrs = merged
         record = Span(
             span_id=len(self.spans) + 1,
             parent_id=None,

@@ -120,6 +120,33 @@ def span_rollup(payload: Dict[str, object]) -> List[Tuple[str, int, int, float]]
     ]
 
 
+def cell_rollup(payload: Dict[str, object]) -> List[Tuple[int, int, int, int, float]]:
+    """Per-cell attribution for sharded days.
+
+    Groups spans carrying a ``cell`` attribute (the scale layer tags
+    every span recorded inside a cell's epoch body) into
+    ``(cell, epochs, spans, steps, sim_time)`` rows.  Empty for flat
+    traces — no span carries the attribute, and the summary section is
+    suppressed.
+    """
+    totals: Dict[int, List[float]] = {}
+    for span in payload["spans"]:
+        cell = span.get("attrs", {}).get("cell")
+        if cell is None:
+            continue
+        entry = totals.setdefault(int(cell), [0, 0, 0, 0.0])
+        if span["name"] == "service.epoch":
+            entry[0] += 1
+        entry[1] += 1
+        seq1 = span.get("seq1") or span.get("seq0", 0)
+        entry[2] += max(seq1 - span.get("seq0", 0), 0)
+        entry[3] += float(span.get("sim") or 0.0)
+    return [
+        (cell, int(epochs), int(spans), int(steps), sim)
+        for cell, (epochs, spans, steps, sim) in sorted(totals.items())
+    ]
+
+
 def probe_accounting(
     payload: Dict[str, object],
 ) -> List[Tuple[str, str, int, int, float]]:
@@ -224,6 +251,18 @@ def summarize_text(payload: Dict[str, object]) -> str:
                 for name, s in sorted(histograms.items())
             ],
         ))
+    cells = cell_rollup(payload)
+    if cells:
+        sections.append(
+            "Per-cell attribution (spans tagged by the scale layer):\n"
+            + format_table(
+                ["Cell", "Epochs", "Spans", "Steps", "Sim time"],
+                [
+                    (cell, epochs, spans, steps, f"{sim:.3f}")
+                    for cell, epochs, spans, steps, sim in cells
+                ],
+            )
+        )
     table3 = probe_accounting(payload)
     if table3:
         sections.append(

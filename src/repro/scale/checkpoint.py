@@ -1,0 +1,162 @@
+"""Crash-safe checkpoints for sharded days.
+
+A :class:`ScaleCheckpoint` is the sharded counterpart of
+:class:`~repro.service.checkpoint.ServiceCheckpoint`: one per-cell
+service checkpoint each, plus the global tier's own non-derivable
+state (cross-cell migration counters, the merged snapshots, the global
+event-log length).  Restoring it into a freshly built
+:class:`~repro.scale.service.ShardedConsolidationService` and running
+the remaining epochs replays the uninterrupted day's bytes — the same
+recovery contract the flat service's ``--resume`` keeps.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro._util import atomic_write_text
+from repro.errors import ServiceError
+from repro.service.checkpoint import ServiceCheckpoint
+from repro.service.telemetry import MetricsSnapshot
+
+#: Scale-checkpoint format version; bumped on incompatible changes.
+SCALE_CHECKPOINT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class ScaleCheckpoint:
+    """One epoch boundary of a sharded day, across every cell."""
+
+    seed: int
+    epochs_run: int
+    cell_checkpoints: List[ServiceCheckpoint]
+    migrations_in: Dict[int, int]
+    migrations_out: Dict[int, int]
+    snapshots: List[MetricsSnapshot]
+    log_length: int
+    version: int = SCALE_CHECKPOINT_VERSION
+
+    @property
+    def n_cells(self) -> int:
+        """Cells the captured deployment ran."""
+        return len(self.cell_checkpoints)
+
+    @property
+    def epoch(self) -> int:
+        """Epochs the captured deployment had completed."""
+        return self.epochs_run
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def capture(cls, sharded) -> "ScaleCheckpoint":
+        """Snapshot a sharded service at an epoch boundary."""
+        return cls(
+            seed=sharded.seed,
+            epochs_run=sharded.epochs_run,
+            cell_checkpoints=[
+                ServiceCheckpoint.capture(cell.service)
+                for cell in sharded.cells
+            ],
+            migrations_in=dict(sharded._migrations_in),
+            migrations_out=dict(sharded._migrations_out),
+            snapshots=list(sharded.snapshots),
+            log_length=len(sharded.log),
+        )
+
+    def restore(self, sharded) -> None:
+        """Install this state into a freshly built sharded service."""
+        if self.seed != sharded.seed:
+            raise ServiceError(
+                f"checkpoint was captured at seed {self.seed}, "
+                f"service runs seed {sharded.seed}"
+            )
+        if self.n_cells != len(sharded.cells):
+            raise ServiceError(
+                f"checkpoint covers {self.n_cells} cell(s), "
+                f"service has {len(sharded.cells)}"
+            )
+        for cell, checkpoint in zip(sharded.cells, self.cell_checkpoints):
+            cell.service.restore(checkpoint)
+            # The cell's in-memory log restarts empty after a resume;
+            # the already-merged events live in the recovered global
+            # log, so merging starts over from the cell log's head.
+            cell.consumed = 0
+        sharded._epochs_run = self.epochs_run
+        sharded._migrations_in = dict(self.migrations_in)
+        sharded._migrations_out = dict(self.migrations_out)
+        sharded.snapshots = list(self.snapshots)
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        """Plain JSON-able rendering."""
+        return {
+            "version": self.version,
+            "seed": self.seed,
+            "epochs_run": self.epochs_run,
+            "cells": [cp.to_dict() for cp in self.cell_checkpoints],
+            "migrations_in": {
+                str(cell_id): count
+                for cell_id, count in sorted(self.migrations_in.items())
+            },
+            "migrations_out": {
+                str(cell_id): count
+                for cell_id, count in sorted(self.migrations_out.items())
+            },
+            "snapshots": [snap.to_dict() for snap in self.snapshots],
+            "log_length": self.log_length,
+        }
+
+    @classmethod
+    def from_dict(cls, entry: Dict[str, object]) -> "ScaleCheckpoint":
+        """Rebuild a checkpoint from its :meth:`to_dict` form."""
+        try:
+            version = int(entry["version"])
+            if version != SCALE_CHECKPOINT_VERSION:
+                raise ServiceError(
+                    f"scale checkpoint version {version} unsupported "
+                    f"(expected {SCALE_CHECKPOINT_VERSION})"
+                )
+            return cls(
+                version=version,
+                seed=int(entry["seed"]),
+                epochs_run=int(entry["epochs_run"]),
+                cell_checkpoints=[
+                    ServiceCheckpoint.from_dict(item)
+                    for item in entry["cells"]
+                ],
+                migrations_in={
+                    int(cell_id): int(count)
+                    for cell_id, count in entry["migrations_in"].items()
+                },
+                migrations_out={
+                    int(cell_id): int(count)
+                    for cell_id, count in entry["migrations_out"].items()
+                },
+                snapshots=[
+                    MetricsSnapshot.from_dict(item)
+                    for item in entry["snapshots"]
+                ],
+                log_length=int(entry["log_length"]),
+            )
+        except ServiceError:
+            raise
+        except (KeyError, TypeError, ValueError, AttributeError) as exc:
+            raise ServiceError("malformed scale checkpoint") from exc
+
+    def save(self, path: str) -> None:
+        """Write the checkpoint atomically (crash keeps the old one)."""
+        atomic_write_text(
+            path, json.dumps(self.to_dict(), sort_keys=True, indent=2) + "\n"
+        )
+
+    @classmethod
+    def load(cls, path: str) -> "ScaleCheckpoint":
+        """Read a checkpoint written by :meth:`save`."""
+        with open(path, "r", encoding="utf-8") as handle:
+            try:
+                entry = json.load(handle)
+            except json.JSONDecodeError as exc:
+                raise ServiceError(f"{path}: corrupt checkpoint") from exc
+        return cls.from_dict(entry)

@@ -194,7 +194,13 @@ class AdmissionController:
         return predictions
 
     # ------------------------------------------------------------------
-    def _free_nodes(self, placement: Optional[Placement]) -> List[int]:
+    def free_nodes(self, placement: Optional[Placement]) -> List[int]:
+        """Node ids with at least one free unit slot, in sorted order.
+
+        Public because the scale layer's
+        :class:`~repro.scale.router.HeadroomRouter` probes candidate
+        placements over the same free-slot inventory admission uses.
+        """
         load: Dict[int, int] = {}
         if placement is not None:
             for spec in placement.instances:
@@ -243,7 +249,7 @@ class AdmissionController:
         job:
             The candidate.
         """
-        free = self._free_nodes(placement)
+        free = self.free_nodes(placement)
         if len(free) < job.num_units:
             return AdmissionDecision(job, False, NO_CAPACITY)
         constraints = self._constraints(tenants, job)

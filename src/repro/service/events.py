@@ -29,7 +29,11 @@ from typing import Dict, Iterator, List, Optional, Tuple
 from repro._util import atomic_write_text
 from repro.errors import ServiceError
 
-#: Event kinds, in the order they can occur within an epoch.
+#: Event kinds, in the order they can occur within an epoch.  The
+#: final entry is appended by the scale layer's global coordinator
+#: *after* the per-cell epoch bodies (so it follows the cells'
+#: ``epoch_end`` events in a merged log); the flat service never
+#: emits it.
 EVENT_KINDS = (
     "depart",
     "arrival",
@@ -40,6 +44,7 @@ EVENT_KINDS = (
     "measure_fault",
     "qos_violation",
     "epoch_end",
+    "cell_migrate",
 )
 
 

@@ -27,7 +27,7 @@ byte-identical event logs and snapshots.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro._util import stable_seed
 from repro.core.online import OnlineModel
@@ -73,6 +73,11 @@ class ServiceConfig:
         Annealing schedule for the per-epoch searches.  Rescheduling
         assumes the paper's two-unit-slot hosts (the placers' random
         starts do).
+    admission_candidates:
+        Cap on node combinations the admission controller evaluates
+        per decision (its ``max_candidates``).  The default matches
+        the flat 8-node service; the scale layer lowers it per cell so
+        admission latency stays bounded on 50-node cells.
     """
 
     admission_retries: int = 2
@@ -82,6 +87,7 @@ class ServiceConfig:
     schedule: AnnealingSchedule = field(
         default_factory=lambda: AnnealingSchedule(iterations=600, restarts=2)
     )
+    admission_candidates: int = 4096
 
     def __post_init__(self) -> None:
         if self.admission_retries < 0:
@@ -92,6 +98,8 @@ class ServiceConfig:
             raise ServiceError("reschedule_every must be non-negative")
         if self.migration_cost < 0:
             raise ServiceError("migration_cost must be non-negative")
+        if self.admission_candidates <= 0:
+            raise ServiceError("admission_candidates must be positive")
 
 
 @dataclass
@@ -123,6 +131,13 @@ class ConsolidationService:
         is written (atomically) to this path after every completed
         epoch, so a crashed service can resume from its last epoch
         boundary via :meth:`restore`.
+    cell_id:
+        When this service is one cell of a sharded deployment
+        (:mod:`repro.scale`), its cell id.  Every span its epochs
+        record then carries a ``cell`` attribute (via
+        :func:`repro.obs.recorder.ambient`).  ``None`` — the default —
+        is the flat service, whose spans and events are byte-identical
+        to releases before the scale layer existed.
     """
 
     def __init__(
@@ -134,6 +149,7 @@ class ConsolidationService:
         config: Optional[ServiceConfig] = None,
         seed: int = 0,
         checkpoint_path: Optional[str] = None,
+        cell_id: Optional[int] = None,
     ) -> None:
         self.runner = runner
         self.model = model if isinstance(model, OnlineModel) else OnlineModel(model)
@@ -141,12 +157,14 @@ class ConsolidationService:
         self.config = config or ServiceConfig()
         self.seed = seed
         self.checkpoint_path = checkpoint_path
+        self.cell_id = cell_id
         # The admission controller shares the runner's degraded set
         # live: a workload whose profile needed a fallback is predicted
         # with the conservative ALL-max mapping from then on.
         self.admission = AdmissionController(
             self.model,
             runner.spec,
+            max_candidates=self.config.admission_candidates,
             degraded_workloads=runner.faulted_workloads,
         )
         self.log = EventLog()
@@ -437,43 +455,104 @@ class ConsolidationService:
             raise ServiceError("epochs must be positive")
         fresh: List[MetricsSnapshot] = []
         for epoch in range(self._epochs_run, self._epochs_run + epochs):
-            # The epoch span cross-links to the EventLog: log_seq_start
-            # and log_seq_end bracket the sequence numbers this epoch
-            # appended, so a trace row resolves to its event-log lines.
-            with _obs.RECORDER.span(
-                "service.epoch", epoch=epoch, log_seq_start=len(self.log)
-            ) as espan:
-                with _obs.RECORDER.span("service.depart", epoch=epoch):
-                    self._depart(epoch)
-                with _obs.RECORDER.span("service.arrive", epoch=epoch):
-                    self._arrive(epoch)
-                with _obs.RECORDER.span("service.admit", epoch=epoch):
-                    self._admit(epoch)
-                with _obs.RECORDER.span("service.reschedule", epoch=epoch):
-                    self._reschedule(epoch)
-                with _obs.RECORDER.span("service.measure", epoch=epoch):
-                    measured_total = self._measure_and_learn(epoch)
-                snapshot = self._snapshot(epoch)
-                self.log.append(
-                    "epoch_end",
-                    epoch,
-                    running=snapshot.running_jobs,
-                    queued=snapshot.queued_jobs,
-                    utilization=snapshot.utilization,
-                    measured_total=measured_total,
-                )
-                _obs.RECORDER.count("service.epochs")
-                espan.set(
-                    running=snapshot.running_jobs,
-                    queued=snapshot.queued_jobs,
-                    measured_total=measured_total,
-                    log_seq_end=len(self.log),
-                ).set_sim(measured_total)
-            fresh.append(snapshot)
-            self._epochs_run = epoch + 1
-            if self.checkpoint_path is not None:
-                self.checkpoint().save(self.checkpoint_path)
+            fresh.append(self.run_epoch(epoch))
         return fresh
+
+    def run_epoch(self, epoch: int) -> MetricsSnapshot:
+        """Run exactly one epoch (the next one due).
+
+        The reusable epoch body the scale layer drives per cell:
+        depart, arrive, admit, reschedule, measure-and-learn, snapshot,
+        ``epoch_end``.  ``epoch`` must be the service's next epoch —
+        epochs cannot be skipped or replayed.  When :attr:`cell_id` is
+        set, every span recorded inside carries a ``cell`` attribute.
+        """
+        if epoch != self._epochs_run:
+            raise ServiceError(
+                f"epoch {epoch} is not next (service has run "
+                f"{self._epochs_run})"
+            )
+        if self.cell_id is None:
+            snapshot = self._epoch_body(epoch)
+        else:
+            with _obs.ambient(cell=self.cell_id):
+                snapshot = self._epoch_body(epoch)
+        self._epochs_run = epoch + 1
+        if self.checkpoint_path is not None:
+            self.checkpoint().save(self.checkpoint_path)
+        return snapshot
+
+    def _epoch_body(self, epoch: int) -> MetricsSnapshot:
+        # The epoch span cross-links to the EventLog: log_seq_start
+        # and log_seq_end bracket the sequence numbers this epoch
+        # appended, so a trace row resolves to its event-log lines.
+        with _obs.RECORDER.span(
+            "service.epoch", epoch=epoch, log_seq_start=len(self.log)
+        ) as espan:
+            with _obs.RECORDER.span("service.depart", epoch=epoch):
+                self._depart(epoch)
+            with _obs.RECORDER.span("service.arrive", epoch=epoch):
+                self._arrive(epoch)
+            with _obs.RECORDER.span("service.admit", epoch=epoch):
+                self._admit(epoch)
+            with _obs.RECORDER.span("service.reschedule", epoch=epoch):
+                self._reschedule(epoch)
+            with _obs.RECORDER.span("service.measure", epoch=epoch):
+                measured_total = self._measure_and_learn(epoch)
+            snapshot = self._snapshot(epoch)
+            self.log.append(
+                "epoch_end",
+                epoch,
+                running=snapshot.running_jobs,
+                queued=snapshot.queued_jobs,
+                utilization=snapshot.utilization,
+                measured_total=measured_total,
+            )
+            _obs.RECORDER.count("service.epochs")
+            espan.set(
+                running=snapshot.running_jobs,
+                queued=snapshot.queued_jobs,
+                measured_total=measured_total,
+                log_seq_end=len(self.log),
+            ).set_sim(measured_total)
+        return snapshot
+
+    # ------------------------------------------------------------------
+    # Cross-cell transfer hooks (the scale layer's coordinator)
+    # ------------------------------------------------------------------
+    def transfer_out(self, job_id: str) -> Tuple[Job, int]:
+        """Evict a tenant for a cross-cell move; returns ``(job, ends_at)``.
+
+        No ``depart`` event is logged — the tenancy continues in the
+        destination cell, which logs its eventual departure.  Only the
+        :class:`~repro.scale.coordinator.GlobalCoordinator` should call
+        this, paired with :meth:`admit_transfer` on the destination.
+        """
+        if job_id not in self._tenants:
+            raise ServiceError(f"job {job_id!r} is not a tenant")
+        job = self._tenants.pop(job_id)
+        ends_at = self._ends_at.pop(job_id)
+        self._placement = placement_without_job(self._placement, job_id)
+        return job, ends_at
+
+    def admit_transfer(self, job: Job, ends_at: int, decision) -> None:
+        """Install a cross-cell transferee admitted by this cell.
+
+        ``decision`` is an admitted
+        :class:`~repro.service.admission.AdmissionDecision` produced by
+        this service's own :attr:`admission` controller against its
+        current placement.  The tenancy keeps its absolute ``ends_at``
+        epoch, so a moved job departs on schedule in its new cell.
+        """
+        if not decision.admitted or decision.placement is None:
+            raise ServiceError("admit_transfer needs an admitted decision")
+        if job.job_id in self._tenants:
+            raise ServiceError(f"job {job.job_id!r} is already a tenant")
+        # Not counted in ``_admitted``: the job was admitted once, on
+        # arrival; cross-cell moves are tracked by the scale layer.
+        self._placement = decision.placement
+        self._tenants[job.job_id] = job
+        self._ends_at[job.job_id] = ends_at
 
     # ------------------------------------------------------------------
     # Crash safety

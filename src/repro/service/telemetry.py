@@ -11,7 +11,7 @@ paper-table renderers.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 
 @dataclass(frozen=True)
@@ -24,6 +24,13 @@ class MetricsSnapshot:
     and ``unobserved_workloads`` summarize the online model's
     staleness: how many measurements it has folded in, and how many of
     its workloads still predict purely from the static prior.
+
+    ``cells`` is the scale layer's additive extension: a sharded
+    deployment (:mod:`repro.scale`) aggregates its cell counters into
+    the flat fields and attaches one per-cell row (occupancy, queue
+    depth, worst predicted QoS margin, cross-cell migrations).  Flat
+    services leave it ``None``, and a ``None`` value is omitted from
+    :meth:`to_dict`, so the flat snapshot bytes are unchanged.
     """
 
     epoch: int
@@ -39,6 +46,7 @@ class MetricsSnapshot:
     qos_violations_total: int
     model_observations: int
     unobserved_workloads: int
+    cells: Optional[Tuple[Dict[str, object], ...]] = None
 
     @property
     def violation_rate(self) -> float:
@@ -48,8 +56,12 @@ class MetricsSnapshot:
         return self.qos_violations_total / self.qos_checks_total
 
     def to_dict(self) -> Dict[str, object]:
-        """Flat, JSON-friendly view (includes derived rates)."""
-        return {
+        """Flat, JSON-friendly view (includes derived rates).
+
+        The ``cells`` key appears only for sharded snapshots, so the
+        flat path's serialization stays byte-stable across releases.
+        """
+        entry: Dict[str, object] = {
             "epoch": self.epoch,
             "running_jobs": self.running_jobs,
             "queued_jobs": self.queued_jobs,
@@ -65,6 +77,9 @@ class MetricsSnapshot:
             "model_observations": self.model_observations,
             "unobserved_workloads": self.unobserved_workloads,
         }
+        if self.cells is not None:
+            entry["cells"] = [dict(cell) for cell in self.cells]
+        return entry
 
     @classmethod
     def from_dict(cls, entry: Dict[str, object]) -> "MetricsSnapshot":
@@ -88,8 +103,20 @@ class MetricsSnapshot:
         kwargs["utilization"] = float(kwargs["utilization"])
         for name in fields - {"utilization"}:
             kwargs[name] = int(kwargs[name])
+        if entry.get("cells") is not None:
+            kwargs["cells"] = tuple(dict(cell) for cell in entry["cells"])
         return cls(**kwargs)
 
     def rows(self) -> List[Tuple[str, object]]:
-        """(metric, value) rows for table rendering."""
-        return list(self.to_dict().items())
+        """(metric, value) rows for table rendering.
+
+        Sharded snapshots collapse the per-cell list to its length —
+        the detailed rows live in the snapshot JSON, not the table.
+        """
+        rows = []
+        for name, value in self.to_dict().items():
+            if name == "cells":
+                rows.append(("cells", len(self.cells or ())))
+            else:
+                rows.append((name, value))
+        return rows

@@ -1,0 +1,42 @@
+"""Seeded synthetic cluster builder (``Cluster.synthetic``)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.cluster import Cluster
+from repro.errors import ConfigurationError
+
+
+def _inventory(cluster: Cluster):
+    return [(node.node_id, node.cores, node.memory_gb) for node in cluster.nodes]
+
+
+def test_same_arguments_build_the_same_inventory():
+    a = Cluster.synthetic(50, seed=7)
+    b = Cluster.synthetic(50, seed=7)
+    assert _inventory(a) == _inventory(b)
+
+
+def test_seed_changes_the_inventory():
+    a = Cluster.synthetic(50, seed=7)
+    b = Cluster.synthetic(50, seed=8)
+    assert _inventory(a) != _inventory(b)
+
+
+def test_nodes_draw_from_the_choices():
+    cluster = Cluster.synthetic(
+        200, seed=1, cores_choices=(16, 32), memory_choices=(64,)
+    )
+    assert cluster.spec.num_nodes == 200
+    assert cluster.spec.cores_per_node == 16  # floor of the choices
+    cores = {node.cores for node in cluster.nodes}
+    assert cores == {16, 32}
+    assert all(node.memory_gb == 64 for node in cluster.nodes)
+
+
+def test_invalid_arguments_rejected():
+    with pytest.raises(ConfigurationError):
+        Cluster.synthetic(0)
+    with pytest.raises(ConfigurationError):
+        Cluster.synthetic(4, cores_choices=())

@@ -1,0 +1,13 @@
+"""Shared fixtures for the scale-layer tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from tests.scale._helpers import build_synthetic_model
+
+
+@pytest.fixture(scope="session")
+def synthetic_model():
+    """A model profiled once on the quiet synthetic testbed (shared)."""
+    return build_synthetic_model()

@@ -1,0 +1,104 @@
+"""Crash-safe resume of sharded days (``ScaleCheckpoint``)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.scale import SCALE_CHECKPOINT_VERSION, ScaleCheckpoint
+from repro.service.events import EventLog
+from tests.scale._helpers import sharded_service
+
+
+def test_resumed_day_is_byte_identical(synthetic_model, tmp_path):
+    """Kill at epoch 3, resume, finish — same bytes as an unbroken day."""
+    checkpoint_path = str(tmp_path / "scale.ckpt")
+    event_path = str(tmp_path / "events.jsonl")
+
+    unbroken = sharded_service(synthetic_model, 3)
+    unbroken.run(6)
+
+    first = sharded_service(
+        synthetic_model, 3, checkpoint_path=checkpoint_path
+    )
+    first.log.attach(event_path)
+    first.run(3)
+    first.log.detach()
+
+    resumed = sharded_service(
+        synthetic_model, 3, checkpoint_path=checkpoint_path
+    )
+    checkpoint = ScaleCheckpoint.load(checkpoint_path)
+    assert checkpoint.epoch == 3
+    assert checkpoint.n_cells == 3
+    resumed.restore(checkpoint, log=EventLog.recover(event_path))
+    resumed.log.attach(event_path)
+    resumed.run(3)
+    resumed.log.detach()
+
+    assert resumed.log.to_jsonl() == unbroken.log.to_jsonl()
+    assert [s.to_dict() for s in resumed.snapshots] == [
+        s.to_dict() for s in unbroken.snapshots
+    ]
+    with open(event_path, "r", encoding="utf-8") as handle:
+        assert handle.read() == unbroken.log.to_jsonl()
+
+
+def test_checkpoint_round_trips_through_json(synthetic_model, tmp_path):
+    path = str(tmp_path / "scale.ckpt")
+    service = sharded_service(synthetic_model, 2, checkpoint_path=path)
+    service.run(2)
+    loaded = ScaleCheckpoint.load(path)
+    assert loaded.to_dict() == service.checkpoint().to_dict()
+    assert loaded.version == SCALE_CHECKPOINT_VERSION
+
+
+def test_restore_requires_matching_seed(synthetic_model, tmp_path):
+    path = str(tmp_path / "scale.ckpt")
+    service = sharded_service(synthetic_model, 2, checkpoint_path=path)
+    service.run(1)
+    other = sharded_service(synthetic_model, 2, seed=99)
+    with pytest.raises(ServiceError):
+        other.restore(ScaleCheckpoint.load(path))
+
+
+def test_restore_requires_matching_cell_count(synthetic_model, tmp_path):
+    path = str(tmp_path / "scale.ckpt")
+    service = sharded_service(synthetic_model, 2, checkpoint_path=path)
+    service.run(1)
+    other = sharded_service(synthetic_model, 3)
+    with pytest.raises(ServiceError):
+        other.restore(ScaleCheckpoint.load(path))
+
+
+def test_restore_requires_a_fresh_service(synthetic_model, tmp_path):
+    path = str(tmp_path / "scale.ckpt")
+    service = sharded_service(synthetic_model, 2, checkpoint_path=path)
+    service.run(2)
+    with pytest.raises(ServiceError):
+        service.restore(ScaleCheckpoint.load(path))
+
+
+def test_malformed_checkpoint_rejected(synthetic_model, tmp_path):
+    path = tmp_path / "scale.ckpt"
+    path.write_text("{not json")
+    with pytest.raises(ServiceError):
+        ScaleCheckpoint.load(str(path))
+    path.write_text(json.dumps({"version": SCALE_CHECKPOINT_VERSION}))
+    with pytest.raises(ServiceError):
+        ScaleCheckpoint.load(str(path))
+    path.write_text(json.dumps({"version": 999}))
+    with pytest.raises(ServiceError):
+        ScaleCheckpoint.load(str(path))
+
+
+def test_recovered_log_must_cover_the_checkpoint(synthetic_model, tmp_path):
+    path = str(tmp_path / "scale.ckpt")
+    service = sharded_service(synthetic_model, 2, checkpoint_path=path)
+    service.run(2)
+    fresh = sharded_service(synthetic_model, 2)
+    short = EventLog()
+    with pytest.raises(ServiceError):
+        fresh.restore(ScaleCheckpoint.load(path), log=short)

@@ -1,0 +1,99 @@
+"""The sharded 1000-node day smoke (``-m scale_smoke``).
+
+Deselected from the default test run (it replays a real slice of the
+scale scenario, minutes of work); the ``scale-smoke`` CI job runs it
+explicitly.  Two guards:
+
+* **Determinism** — the replayed prefix of the seeded 1000-node day
+  must reproduce the checked-in event counters and final snapshot in
+  ``benchmarks/baselines/scale_smoke.json`` exactly.  A drift means
+  the deterministic day changed and the baseline needs a refresh.
+* **Wall time** — the slowest epoch must stay within
+  :data:`REGRESSION_FACTOR` x of the recorded per-epoch baseline, so
+  per-epoch latency at 1000 nodes stays bounded as the code grows.
+
+To refresh after an intentional change::
+
+    REPRO_UPDATE_SCALE_BASELINE=1 PYTHONPATH=src python -m pytest -m scale_smoke
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.scale import scale_day_service
+
+pytestmark = pytest.mark.scale_smoke
+
+BASELINE_PATH = (
+    Path(__file__).resolve().parents[2]
+    / "benchmarks"
+    / "baselines"
+    / "scale_smoke.json"
+)
+
+#: Set this environment variable to re-record the baseline instead of
+#: asserting against it.
+UPDATE_ENV = "REPRO_UPDATE_SCALE_BASELINE"
+
+#: Allowed per-epoch slowdown before the wall-time guard trips (same
+#: tolerance as the perf-smoke suite).
+REGRESSION_FACTOR = 2.0
+
+#: Epochs of the 1000-node day the smoke replays.  A prefix keeps CI
+#: turnaround reasonable while still loading the cluster well past
+#: half utilization; the full 25-epoch day runs via
+#: ``examples/scale_day.py``.
+SMOKE_EPOCHS = 8
+
+
+def test_scale_day_prefix_matches_baseline_with_bounded_epochs():
+    service = scale_day_service()
+    epoch_seconds = []
+    for epoch in range(SMOKE_EPOCHS):
+        start = time.perf_counter()
+        service.run_epoch(epoch)
+        epoch_seconds.append(time.perf_counter() - start)
+
+    actual = {
+        "counters": service.log.counts(),
+        "final": service.snapshots[-1].to_dict(),
+    }
+    slowest = max(epoch_seconds)
+
+    if os.environ.get(UPDATE_ENV):
+        BASELINE_PATH.parent.mkdir(parents=True, exist_ok=True)
+        BASELINE_PATH.write_text(
+            json.dumps(
+                {
+                    "epochs": SMOKE_EPOCHS,
+                    "counters": actual["counters"],
+                    "final": actual["final"],
+                    "max_epoch_seconds": round(slowest, 3),
+                },
+                sort_keys=True,
+                indent=2,
+            )
+            + "\n"
+        )
+        return
+
+    baseline = json.loads(BASELINE_PATH.read_text())
+    assert baseline["epochs"] == SMOKE_EPOCHS
+    assert actual["counters"] == baseline["counters"], (
+        "the seeded scale day drifted; refresh the baseline if the "
+        f"change is intentional ({UPDATE_ENV}=1)"
+    )
+    assert actual["final"] == baseline["final"]
+    limit = REGRESSION_FACTOR * float(baseline["max_epoch_seconds"])
+    assert slowest <= limit, (
+        f"slowest epoch took {slowest:.2f}s; baseline "
+        f"{baseline['max_epoch_seconds']}s (limit {REGRESSION_FACTOR}x)"
+    )
+    # The day must actually be loaded for the guard to mean anything.
+    assert actual["final"]["utilization"] > 0.5
