@@ -29,6 +29,12 @@ stable across releases:
   (built via :func:`build_sharded_service`), and
   :class:`ScaleCheckpoint` crash safety (see the "Scale layer"
   section of ``docs/architecture.md``).
+* **Daemon** — the long-running serving layer: the
+  :class:`ConsolidationDaemon` over a durable :class:`JobSpool`
+  (submit/status/cancel), built from a :class:`ServiceBlueprint`
+  whose :func:`execute_epoch` is a pure function of
+  ``(checkpoint, arrivals)`` (see the "Daemon layer" section of
+  ``docs/architecture.md``).
 * **Robustness** — deterministic fault injection
   (:class:`FaultPlan` / :class:`FaultConfig`), the :class:`RetryPolicy`
   governing the retrying measurement path, and :class:`MeasurementFault`
@@ -56,6 +62,12 @@ from repro.apps import (
     get_workload,
 )
 from repro.cluster import ClusterSpec
+from repro.daemon import (
+    ConsolidationDaemon,
+    JobSpool,
+    ServiceBlueprint,
+    execute_epoch,
+)
 from repro.core import (
     HomogeneousSetting,
     InterferenceModel,
@@ -75,6 +87,7 @@ from repro.core import (
 from repro.errors import (
     CatalogError,
     ConfigurationError,
+    DaemonError,
     FaultError,
     MeasurementFault,
     ModelError,
@@ -177,6 +190,11 @@ __all__ = [
     "build_sharded_service",
     "scale_day_service",
     "shard_cluster",
+    # daemon
+    "ConsolidationDaemon",
+    "JobSpool",
+    "ServiceBlueprint",
+    "execute_epoch",
     # robustness
     "FaultConfig",
     "FaultPlan",
@@ -192,6 +210,7 @@ __all__ = [
     # errors
     "CatalogError",
     "ConfigurationError",
+    "DaemonError",
     "FaultError",
     "MeasurementFault",
     "ModelError",

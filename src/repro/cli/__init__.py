@@ -10,6 +10,10 @@ Provides direct access to the reproduction's main entry points::
     python -m repro serve --seed 2016 --epochs 12   # simulated traffic day
     python -m repro --trace day.json serve --seed 2016 --epochs 12
     python -m repro trace summarize day.json
+    python -m repro daemon --spool day/ --seed 2016 --epochs 12
+    python -m repro submit --spool day/ M.lmps --duration 2
+    python -m repro status --spool day/ sub-000001
+    python -m repro cancel --spool day/ sub-000001
 
 Each verb lives in its own module exposing ``register(subparsers,
 parents)``; the shared flags (``--seed``, ``--output``, ``--trace``)
@@ -31,7 +35,7 @@ import sys
 from typing import List, Optional
 
 from repro import __version__
-from repro.cli import catalog, modeling, serve, tracecmd
+from repro.cli import catalog, daemoncmd, modeling, serve, tracecmd
 from repro.cli._parents import (
     FAULTS_HELP,
     TRACE_HELP,
@@ -67,7 +71,7 @@ def build_parser() -> argparse.ArgumentParser:
         "seed": seed_parent(),
         "output": output_parent(),
     }
-    for module in (catalog, modeling, serve, tracecmd):
+    for module in (catalog, daemoncmd, modeling, serve, tracecmd):
         module.register(sub, parents)
     return parser
 

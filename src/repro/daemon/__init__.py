@@ -1,0 +1,47 @@
+"""The daemon layer: a persistent, lease-fenced consolidation service.
+
+Turns the single-process traffic day (:mod:`repro.service`) into a
+daemon: a durable file-backed job spool fed by ``repro submit`` /
+``status`` / ``cancel``, a pool of executor workers that claim epoch
+executions under renewable leases, a health-checker that reaps lapsed
+leases and requeues orphaned work, and a status-updater that folds
+committed epochs back into the event log and checkpoint.  Epoch
+execution is a pure function of ``(checkpoint, arrivals, cancels)``,
+so committed bytes are independent of worker count, crashes, and lease
+churn — the determinism contract ``repro serve`` keeps, extended to a
+fault-tolerant executor.
+"""
+
+from repro.daemon.daemon import ConsolidationDaemon
+from repro.daemon.executor import (
+    EpochOutcome,
+    EpochTask,
+    ExecutorPool,
+    ServiceBlueprint,
+    execute_epoch,
+)
+from repro.daemon.lease import Lease, LogicalClock, SlotManager
+from repro.daemon.spool import (
+    JOB_STATUSES,
+    TERMINAL_STATUSES,
+    JobRecord,
+    JobSpool,
+    SpoolLock,
+)
+
+__all__ = [
+    "ConsolidationDaemon",
+    "EpochOutcome",
+    "EpochTask",
+    "ExecutorPool",
+    "ServiceBlueprint",
+    "execute_epoch",
+    "Lease",
+    "LogicalClock",
+    "SlotManager",
+    "JOB_STATUSES",
+    "TERMINAL_STATUSES",
+    "JobRecord",
+    "JobSpool",
+    "SpoolLock",
+]

@@ -1,0 +1,184 @@
+"""Renewable leases over claimed work.
+
+The daemon's executor pool claims epoch executions under *leases*: a
+worker that claims a piece of work must keep renewing its lease while
+it executes, and the daemon's health-checker reaps any lease whose
+holder stopped renewing (a crashed or wedged worker) so the work can be
+requeued.  The lease token is the fencing mechanism: a commit is only
+accepted from the *current* token holder, so a reaped worker that later
+finishes cannot double-commit work that was already re-executed.
+
+Time here is **logical**: a :class:`LogicalClock` counts scheduler
+ticks, not wall seconds.  That keeps the whole claim/renew/expire/reap
+protocol deterministic — the same seeded day with the same injected
+faults reaps the same leases on the same ticks, every run — which is
+what lets the daemon promise byte-identical event logs regardless of
+worker count or injected crashes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional
+
+from repro.errors import DaemonError
+
+
+class LogicalClock:
+    """A monotonic tick counter (the daemon's only notion of time)."""
+
+    def __init__(self) -> None:
+        self._now = 0
+
+    def now(self) -> int:
+        """The current tick."""
+        return self._now
+
+    def tick(self, steps: int = 1) -> int:
+        """Advance time by ``steps`` ticks; returns the new tick."""
+        if steps <= 0:
+            raise DaemonError("clock can only move forward")
+        self._now += steps
+        return self._now
+
+
+@dataclass(frozen=True)
+class Lease:
+    """One worker's time-bounded claim on one piece of work.
+
+    Parameters
+    ----------
+    work_id:
+        Key of the claimed work (e.g. ``"epoch-3#a0"``).
+    worker_id:
+        The claiming worker.
+    token:
+        Monotonically increasing fencing token; a commit is accepted
+        only while the slot still holds this token.
+    expires_at:
+        Tick at which the lease lapses unless renewed.  The
+        :class:`SlotManager` tracks the *live* expiry; this field is
+        the expiry as of grant/renew time.
+    """
+
+    work_id: str
+    worker_id: int
+    token: int
+    expires_at: int
+
+
+class SlotManager:
+    """Grants, renews, fences, and reaps leases over work slots.
+
+    Parameters
+    ----------
+    lease_ticks:
+        Ticks a lease stays valid after each grant or renewal.  Must be
+        at least 2 so a healthy worker that renews every tick can never
+        be reaped between its renewal and the next health check.
+    clock:
+        The logical clock leases are measured against (shared with the
+        executor pool's scheduler).
+    """
+
+    def __init__(
+        self,
+        *,
+        lease_ticks: int = 4,
+        clock: Optional[LogicalClock] = None,
+    ) -> None:
+        if lease_ticks < 2:
+            raise DaemonError("lease_ticks must be at least 2")
+        self.lease_ticks = lease_ticks
+        self.clock = clock or LogicalClock()
+        self._slots: Dict[str, Lease] = {}
+        self._next_token = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def active_count(self) -> int:
+        """Currently granted, unexpired leases."""
+        now = self.clock.now()
+        return sum(
+            1 for lease in self._slots.values() if lease.expires_at > now
+        )
+
+    def claim(self, work_id: str, worker_id: int) -> Lease:
+        """Grant ``worker_id`` a lease on ``work_id``.
+
+        Raises
+        ------
+        DaemonError
+            If another worker holds an unexpired lease on the same
+            work — claimed work is exclusive until its lease lapses.
+        """
+        now = self.clock.now()
+        current = self._slots.get(work_id)
+        if current is not None and current.expires_at > now:
+            raise DaemonError(
+                f"work {work_id!r} is already leased to worker "
+                f"{current.worker_id} (token {current.token})"
+            )
+        self._next_token += 1
+        lease = Lease(
+            work_id=work_id,
+            worker_id=worker_id,
+            token=self._next_token,
+            expires_at=now + self.lease_ticks,
+        )
+        self._slots[work_id] = lease
+        return lease
+
+    def renew(self, lease: Lease) -> bool:
+        """Extend a held lease; ``False`` when it is stale or lapsed.
+
+        Only the current token holder can renew, and only before
+        expiry — a worker that let its lease lapse must not resurrect
+        it (the reaper may already have requeued the work).
+        """
+        held = self._slots.get(lease.work_id)
+        now = self.clock.now()
+        if held is None or held.token != lease.token:
+            return False
+        if held.expires_at <= now:
+            return False
+        self._slots[lease.work_id] = replace(
+            held, expires_at=now + self.lease_ticks
+        )
+        return True
+
+    def is_current(self, lease: Lease) -> bool:
+        """Whether ``lease`` still fences its work (commit gate)."""
+        held = self._slots.get(lease.work_id)
+        return (
+            held is not None
+            and held.token == lease.token
+            and held.expires_at > self.clock.now()
+        )
+
+    def release(self, lease: Lease) -> bool:
+        """Give up a held lease (after a successful commit)."""
+        held = self._slots.get(lease.work_id)
+        if held is None or held.token != lease.token:
+            return False
+        del self._slots[lease.work_id]
+        return True
+
+    def reap_expired(self) -> List[Lease]:
+        """Remove and return every lapsed lease (the health check).
+
+        Returned in ``work_id`` order so the requeue order — and
+        therefore the whole day — is deterministic.
+        """
+        now = self.clock.now()
+        expired = sorted(
+            (
+                lease
+                for lease in self._slots.values()
+                if lease.expires_at <= now
+            ),
+            key=lambda lease: lease.work_id,
+        )
+        for lease in expired:
+            del self._slots[lease.work_id]
+        return expired

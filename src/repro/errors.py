@@ -40,6 +40,14 @@ class ServiceError(ReproError):
     """The consolidation service was configured or driven inconsistently."""
 
 
+class DaemonError(ServiceError):
+    """The daemon's spool, lease, or executor protocol was violated.
+
+    Subclasses :class:`ServiceError` so callers treating the daemon as
+    part of the service layer keep catching one exception family.
+    """
+
+
 class FaultError(ReproError):
     """A fault-injection plan or retry policy was configured inconsistently."""
 

@@ -28,8 +28,12 @@ from typing import Tuple, Union
 from repro._util import make_rng, stable_seed
 from repro.errors import FaultError
 
-#: Fault families, each with its own independent RNG stream.
-FAULT_FAMILIES = ("crash", "straggler", "outlier", "pool")
+#: Fault families, each with its own independent RNG stream.  The
+#: ``worker`` and ``lease`` families target the daemon's executor pool
+#: (a claimed epoch execution dying, a lease lapsing un-renewed); they
+#: never touch measurement draws, so enabling them leaves event-log
+#: bytes identical to an uninjected day.
+FAULT_FAMILIES = ("crash", "straggler", "outlier", "pool", "worker", "lease")
 
 
 @dataclass(frozen=True)
@@ -54,6 +58,15 @@ class FaultConfig:
     pool_failure_rate:
         Probability a parallel measurement fan-out loses a worker
         process mid-batch.
+    worker_crash_rate:
+        Probability one claimed epoch *execution attempt* in the
+        daemon's executor pool dies mid-run (the worker stops renewing
+        its lease and never commits; the health-checker reaps and
+        requeues the work).
+    lease_expiry_rate:
+        Probability an execution attempt wedges: the worker stops
+        renewing but eventually finishes and tries a stale commit,
+        which the status-updater must fence off.
     """
 
     seed: int = 0
@@ -63,10 +76,13 @@ class FaultConfig:
     outlier_rate: float = 0.0
     outlier_factor: float = 25.0
     pool_failure_rate: float = 0.0
+    worker_crash_rate: float = 0.0
+    lease_expiry_rate: float = 0.0
 
     def __post_init__(self) -> None:
         for name in ("crash_rate", "straggler_rate", "outlier_rate",
-                     "pool_failure_rate"):
+                     "pool_failure_rate", "worker_crash_rate",
+                     "lease_expiry_rate"):
             rate = getattr(self, name)
             if not 0.0 <= rate <= 1.0:
                 raise FaultError(f"{name} must be in [0, 1], got {rate}")
@@ -95,7 +111,8 @@ class FaultPlan:
         return any(
             rate > 0.0
             for rate in (cfg.crash_rate, cfg.straggler_rate,
-                         cfg.outlier_rate, cfg.pool_failure_rate)
+                         cfg.outlier_rate, cfg.pool_failure_rate,
+                         cfg.worker_crash_rate, cfg.lease_expiry_rate)
         )
 
     def signature(self) -> str:
@@ -109,7 +126,8 @@ class FaultPlan:
             str(part) for part in (
                 cfg.seed, cfg.crash_rate, cfg.straggler_rate,
                 cfg.straggler_factor, cfg.outlier_rate, cfg.outlier_factor,
-                cfg.pool_failure_rate,
+                cfg.pool_failure_rate, cfg.worker_crash_rate,
+                cfg.lease_expiry_rate,
             )
         )
 
@@ -147,6 +165,37 @@ class FaultPlan:
         if self.config.pool_failure_rate <= 0.0:
             return False
         return self._draw("pool", label) < self.config.pool_failure_rate
+
+    def worker_crashes(self, epoch: int, attempt: int) -> bool:
+        """Does execution attempt ``attempt`` of ``epoch`` die mid-run?
+
+        A crashed attempt stops renewing its lease and never commits;
+        the daemon's health-checker reaps the expired lease, requeues
+        the work, and replaces the dead worker.  Drawn from the
+        ``worker`` family's own stream, so enabling it perturbs no
+        measurement draw (event-log bytes stay identical).
+        """
+        if self.config.worker_crash_rate <= 0.0:
+            return False
+        return (
+            self._draw("worker", (epoch, attempt))
+            < self.config.worker_crash_rate
+        )
+
+    def lease_expires(self, epoch: int, attempt: int) -> bool:
+        """Does attempt ``attempt`` of ``epoch`` wedge past its lease?
+
+        A wedged attempt stops renewing but finishes eventually and
+        tries to commit under its stale lease — which the
+        status-updater must reject, since the reaped work has been
+        requeued (and possibly committed) by another worker.
+        """
+        if self.config.lease_expiry_rate <= 0.0:
+            return False
+        return (
+            self._draw("lease", (epoch, attempt))
+            < self.config.lease_expiry_rate
+        )
 
     def pool_victim(self, label: Tuple, batch_size: int) -> int:
         """Which item of a failing batch the dying worker was holding."""

@@ -224,6 +224,30 @@ def batch_accounting(payload: Dict[str, object]) -> List[Tuple[str, object]]:
     return rows
 
 
+def daemon_accounting(payload: Dict[str, object]) -> List[Tuple[str, object]]:
+    """Daemon totals: ``daemon.*`` counters plus queue/lease gauges.
+
+    Counters cover the whole claim/commit protocol (claims, commits,
+    reaps, requeues, worker crashes, fenced stale commits); the gauges
+    are the last-observed spool queue depth and active lease count.
+    Empty when the trace does not cover a daemon run, so flat-serve
+    summaries are unchanged.
+    """
+    counters = payload.get("counters", {})
+    rows = sorted(
+        (name, value)
+        for name, value in counters.items()
+        if name.startswith("daemon.")
+    )
+    gauges = payload.get("gauges", {})
+    rows.extend(sorted(
+        (f"{name} (gauge)", value)
+        for name, value in gauges.items()
+        if name.startswith("daemon.")
+    ))
+    return rows
+
+
 def summarize_text(payload: Dict[str, object]) -> str:
     """Human-readable trace summary (the ``repro trace summarize`` body)."""
     # Imported here: analysis -> obs would otherwise be circular for
@@ -284,6 +308,18 @@ def summarize_text(payload: Dict[str, object]) -> str:
                 [
                     (name, value if isinstance(value, int) else f"{value:.3f}")
                     for name, value in faults
+                ],
+            )
+        )
+    daemon = daemon_accounting(payload)
+    if daemon:
+        sections.append(
+            "Daemon (daemon.* counters and gauges):\n"
+            + format_table(
+                ["Metric", "Total"],
+                [
+                    (name, value if isinstance(value, int) else f"{value:.1f}")
+                    for name, value in daemon
                 ],
             )
         )

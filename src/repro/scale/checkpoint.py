@@ -79,10 +79,11 @@ class ScaleCheckpoint:
             )
         for cell, checkpoint in zip(sharded.cells, self.cell_checkpoints):
             cell.service.restore(checkpoint)
-            # The cell's in-memory log restarts empty after a resume;
-            # the already-merged events live in the recovered global
-            # log, so merging starts over from the cell log's head.
-            cell.consumed = 0
+            # The cell's in-memory log restarts empty after a resume,
+            # numbered from its checkpointed length; the already-merged
+            # events live in the recovered global log, so merging
+            # resumes from the restored log's head.
+            cell.consumed = cell.service.log.start_seq
         sharded._epochs_run = self.epochs_run
         sharded._migrations_in = dict(self.migrations_in)
         sharded._migrations_out = dict(self.migrations_out)

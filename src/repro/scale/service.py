@@ -289,8 +289,7 @@ class ShardedConsolidationService:
         """
         multi = len(self.cells) > 1
         for cell in self.cells:
-            events = list(cell.service.log)[cell.consumed:]
-            for event in events:
+            for event in cell.service.log.since(cell.consumed):
                 payload = dict(event.payload)
                 if multi:
                     payload["cell"] = cell.cell_id
@@ -386,12 +385,10 @@ class ShardedConsolidationService:
                 "restore() requires a freshly constructed service"
             )
         checkpoint.restore(self)
-        if log is not None:
-            if len(log) < checkpoint.log_length:
-                raise ServiceError(
-                    f"recovered log has {len(log)} events but the "
-                    f"checkpoint expects at least {checkpoint.log_length}"
-                )
+        if log is None:
+            self.log = EventLog(start_seq=checkpoint.log_length)
+        else:
+            log.validate_tail(checkpoint.log_length, checkpoint.epoch)
             log.truncate(checkpoint.log_length)
             self.log = log
 

@@ -35,11 +35,13 @@ from repro.service.telemetry import MetricsSnapshot
 CHECKPOINT_VERSION = 1
 
 #: Operational counters captured verbatim from the service.
+#: ``cancelled`` is additive (older checkpoints without it load as 0).
 _COUNTER_FIELDS = (
     "epochs_run",
     "admitted",
     "rejected",
     "completed",
+    "cancelled",
     "migration_epochs",
     "migrated_units",
     "qos_checks",
@@ -78,6 +80,7 @@ class ServiceCheckpoint:
     model_state: Dict[str, Dict[str, object]]
     faulted_workloads: Tuple[str, ...]
     log_length: int
+    pending_cancels: Tuple[str, ...] = ()
     seed: int = 0
     version: int = CHECKPOINT_VERSION
 
@@ -116,6 +119,7 @@ class ServiceCheckpoint:
             model_state=service.model.state_dict(),
             faulted_workloads=tuple(sorted(service.runner.faulted_workloads)),
             log_length=len(service.log),
+            pending_cancels=tuple(service._pending_cancels),
             seed=service.seed,
         )
 
@@ -151,6 +155,7 @@ class ServiceCheckpoint:
                 unit_slots_per_node=self.unit_slots_per_node,
             )
         service.snapshots = list(self.snapshots)
+        service._pending_cancels = list(self.pending_cancels)
         service.model.load_state(self.model_state)
         service.runner.faulted_workloads.update(self.faulted_workloads)
 
@@ -181,6 +186,7 @@ class ServiceCheckpoint:
             "model_state": self.model_state,
             "faulted_workloads": list(self.faulted_workloads),
             "log_length": self.log_length,
+            "pending_cancels": list(self.pending_cancels),
         }
 
     @classmethod
@@ -198,7 +204,7 @@ class ServiceCheckpoint:
                 version=version,
                 seed=int(entry["seed"]),
                 counters={
-                    name: int(entry["counters"][name])
+                    name: int(entry["counters"].get(name, 0))
                     for name in _COUNTER_FIELDS
                 },
                 tenants=[
@@ -229,6 +235,9 @@ class ServiceCheckpoint:
                     str(w) for w in entry["faulted_workloads"]
                 ),
                 log_length=int(entry["log_length"]),
+                pending_cancels=tuple(
+                    str(j) for j in entry.get("pending_cancels", ())
+                ),
             )
         except ServiceError:
             raise

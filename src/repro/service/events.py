@@ -29,12 +29,16 @@ from typing import Dict, Iterator, List, Optional, Tuple
 from repro._util import atomic_write_text
 from repro.errors import ServiceError
 
-#: Event kinds, in the order they can occur within an epoch.  The
-#: final entry is appended by the scale layer's global coordinator
-#: *after* the per-cell epoch bodies (so it follows the cells'
-#: ``epoch_end`` events in a merged log); the flat service never
+#: Event kinds, in the order they can occur within an epoch.
+#: ``job_cancel`` leads because cancellations requested since the last
+#: boundary are honoured before anything else happens in an epoch (a
+#: run without cancel requests never emits it, so flat-replay logs are
+#: unchanged).  The final entry is appended by the scale layer's global
+#: coordinator *after* the per-cell epoch bodies (so it follows the
+#: cells' ``epoch_end`` events in a merged log); the flat service never
 #: emits it.
 EVENT_KINDS = (
+    "job_cancel",
     "depart",
     "arrival",
     "admit",
@@ -112,12 +116,33 @@ class EventLog:
     event at append time (write + flush + fsync), which is what makes
     ``repro serve --resume`` possible — after a hard kill, the on-disk
     log holds every completed append plus at most one torn line.
+
+    ``start_seq`` offsets the sequence numbering: a log created with
+    ``start_seq=n`` holds no events but numbers its first append ``n``.
+    That is how a pure epoch execution (restored from a checkpoint
+    whose day already logged ``n`` events) stamps globally consistent
+    sequence numbers without holding the day's history — the fresh
+    events splice verbatim onto the durable log the daemon keeps.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, start_seq: int = 0) -> None:
+        if start_seq < 0:
+            raise ServiceError("start_seq must be non-negative")
         self._events: List[ServiceEvent] = []
+        self._start_seq = start_seq
         self._handle = None
         self._path: Optional[str] = None
+        self._source_path: Optional[str] = None
+
+    @property
+    def start_seq(self) -> int:
+        """Sequence number the first held event carries (0 = full log)."""
+        return self._start_seq
+
+    @property
+    def source_path(self) -> Optional[str]:
+        """The file this log was recovered from (``None`` otherwise)."""
+        return self._source_path
 
     # ------------------------------------------------------------------
     # Incremental persistence
@@ -186,7 +211,64 @@ class EventLog:
                     f"expected {len(log._events)}"
                 )
             log._events.append(event)
+        log._source_path = path
         return log
+
+    def validate_tail(
+        self,
+        expected_length: int,
+        boundary_epoch: int,
+        *,
+        path: Optional[str] = None,
+    ) -> None:
+        """Check this recovered log matches a checkpoint's tail.
+
+        A resume adopts the recovered log truncated to the
+        checkpoint's ``expected_length``; this validates — *before*
+        anything is truncated — that the two artifacts are from the
+        same run: the log is long enough, the event at the boundary is
+        the ``epoch_end`` (or trailing ``cell_migrate``) of epoch
+        ``boundary_epoch - 1``, and nothing beyond the boundary belongs
+        to an already-completed epoch.  A mismatched pair (a checkpoint
+        from one day next to another day's log) would otherwise replay
+        into a silently diverged history; instead the error names the
+        epoch, the path, and the reason.
+        """
+        where = path or self._source_path or self._path or "<in-memory log>"
+
+        def fail(reason: str) -> None:
+            raise ServiceError(
+                f"{where}: event log does not match the resume checkpoint "
+                f"at epoch boundary {boundary_epoch}: {reason}"
+            )
+
+        if len(self) < expected_length:
+            fail(
+                f"recovered log has {len(self)} event(s) but the "
+                f"checkpoint expects at least {expected_length}"
+            )
+        if expected_length == 0 or expected_length <= self._start_seq:
+            return
+        boundary = self._events[expected_length - 1 - self._start_seq]
+        if boundary.kind not in ("epoch_end", "cell_migrate"):
+            fail(
+                f"event {expected_length - 1} should close epoch "
+                f"{boundary_epoch - 1} but is kind {boundary.kind!r}"
+            )
+        if boundary.epoch != boundary_epoch - 1:
+            fail(
+                f"event {expected_length - 1} closes epoch "
+                f"{boundary.epoch}, not the checkpoint's epoch "
+                f"{boundary_epoch - 1} — checkpoint and log are from "
+                f"different runs or one is stale"
+            )
+        for event in self._events[expected_length - self._start_seq:]:
+            if event.epoch < boundary_epoch:
+                fail(
+                    f"event {event.seq} beyond the boundary belongs to "
+                    f"already-completed epoch {event.epoch}"
+                )
+                break
 
     # ------------------------------------------------------------------
     # Append-only store
@@ -199,7 +281,7 @@ class EventLog:
             )
         event = ServiceEvent(
             epoch=epoch,
-            seq=len(self._events),
+            seq=len(self),
             kind=kind,
             payload=tuple(sorted(
                 (key, _clean(value)) for key, value in payload.items()
@@ -210,25 +292,28 @@ class EventLog:
         return event
 
     def truncate(self, length: int) -> None:
-        """Drop events beyond the first ``length`` (resume-to-checkpoint).
+        """Drop events beyond global sequence ``length`` (resume-to-checkpoint).
 
         On an attached log the file is rewritten atomically, so the
         truncation is itself crash-safe.
         """
-        if not 0 <= length <= len(self._events):
+        if not self._start_seq <= length <= len(self):
             raise ServiceError(
-                f"cannot truncate log of {len(self._events)} events "
-                f"to {length}"
+                f"cannot truncate log of {len(self)} events to {length}"
             )
-        if length == len(self._events):
+        if length == len(self):
             return
-        del self._events[length:]
+        del self._events[length - self._start_seq:]
         if self._path is not None:
             path = self._path
             self.attach(path)
 
     def __len__(self) -> int:
-        return len(self._events)
+        return self._start_seq + len(self._events)
+
+    def since(self, seq: int) -> List[ServiceEvent]:
+        """Held events with sequence number ``>= seq``, in log order."""
+        return list(self._events[max(seq - self._start_seq, 0):])
 
     def __iter__(self) -> Iterator[ServiceEvent]:
         return iter(self._events)

@@ -174,11 +174,13 @@ class ConsolidationService:
         self._tenants: Dict[str, Job] = {}
         self._ends_at: Dict[str, int] = {}
         self._queue: List[_QueuedJob] = []
+        self._pending_cancels: List[str] = []
         self._epochs_run = 0
 
         self._admitted = 0
         self._rejected = 0
         self._completed = 0
+        self._cancelled = 0
         self._migration_epochs = 0
         self._migrated_units = 0
         self._qos_checks = 0
@@ -207,11 +209,72 @@ class ConsolidationService:
         """Epochs the service has completed so far."""
         return self._epochs_run
 
+    @property
+    def cancelled_total(self) -> int:
+        """Jobs cancelled (queued or resident) so far."""
+        return self._cancelled
+
     def utilization(self) -> float:
         """Occupied fraction of the cluster's unit slots."""
         slots = self.runner.spec.num_nodes * self.admission.unit_slots_per_node
         occupied = sum(job.num_units for job in self._tenants.values())
         return occupied / slots if slots else 0.0
+
+    # ------------------------------------------------------------------
+    # Cancellation
+    # ------------------------------------------------------------------
+    def cancel(self, job_id: str) -> None:
+        """Request cancellation of a queued or resident job.
+
+        The request takes effect at the next epoch boundary: a queued
+        job is dropped from the admission queue silently (no ``reject``
+        is logged), a resident job departs its placement.  Both emit a
+        ``job_cancel`` event when processed.  A job that departs
+        naturally before the boundary makes the request a no-op.
+        Pending requests survive checkpoints, so a resumed day honours
+        them identically.
+        """
+        if job_id in self._pending_cancels:
+            return
+        queued = any(entry.job.job_id == job_id for entry in self._queue)
+        if not queued and job_id not in self._tenants:
+            raise ServiceError(
+                f"job {job_id!r} is neither queued nor resident"
+            )
+        self._pending_cancels.append(job_id)
+
+    def _process_cancels(self, epoch: int) -> None:
+        for job_id in self._pending_cancels:
+            entry = next(
+                (e for e in self._queue if e.job.job_id == job_id), None
+            )
+            if entry is not None:
+                self._queue.remove(entry)
+                self._cancelled += 1
+                self.log.append(
+                    "job_cancel",
+                    epoch,
+                    job=job_id,
+                    workload=entry.job.workload,
+                    state="queued",
+                )
+                continue
+            job = self._tenants.pop(job_id, None)
+            if job is None:
+                # Departed (or was rejected) before the boundary.
+                continue
+            del self._ends_at[job_id]
+            self._placement = placement_without_job(self._placement, job_id)
+            self._cancelled += 1
+            self.log.append(
+                "job_cancel",
+                epoch,
+                job=job_id,
+                workload=job.workload,
+                state="running",
+                epochs_resident=epoch - job.arrival_epoch,
+            )
+        self._pending_cancels = []
 
     # ------------------------------------------------------------------
     # Epoch phases
@@ -489,6 +552,16 @@ class ConsolidationService:
         with _obs.RECORDER.span(
             "service.epoch", epoch=epoch, log_seq_start=len(self.log)
         ) as espan:
+            if self._pending_cancels:
+                # Spanned only when requests are pending, so cancel-free
+                # days trace byte-identically to releases without the
+                # cancellation path.
+                with _obs.RECORDER.span(
+                    "service.cancel",
+                    epoch=epoch,
+                    requests=len(self._pending_cancels),
+                ):
+                    self._process_cancels(epoch)
             with _obs.RECORDER.span("service.depart", epoch=epoch):
                 self._depart(epoch)
             with _obs.RECORDER.span("service.arrive", epoch=epoch):
@@ -572,23 +645,27 @@ class ConsolidationService:
         """Resume from a checkpoint captured on an identical service.
 
         ``log`` is the recovered event log (usually
-        :meth:`EventLog.recover` of the persisted file); it is adopted
-        and truncated to the checkpoint's length — events appended by a
+        :meth:`EventLog.recover` of the persisted file); it is
+        validated against the checkpoint's boundary (a mismatched
+        checkpoint/log pair fails with the epoch, path, and reason
+        rather than replaying a diverged history), then adopted and
+        truncated to the checkpoint's length — events appended by a
         partially completed epoch are re-derived when the epoch
-        re-runs.  Epoch numbering continues from the checkpoint's
-        boundary, so the resumed run's log and snapshots come out
-        byte-identical to an uninterrupted run's.
+        re-runs.  Without a ``log``, the service continues on an empty
+        log whose sequence numbering starts at the checkpoint's
+        boundary, so freshly appended events still carry their global
+        sequence numbers.  Epoch numbering continues from the
+        checkpoint's boundary, so the resumed run's log and snapshots
+        come out byte-identical to an uninterrupted run's.
         """
         if self._epochs_run or len(self.log):
             raise ServiceError(
                 "restore() requires a freshly constructed service"
             )
         checkpoint.restore(self)
-        if log is not None:
-            if len(log) < checkpoint.log_length:
-                raise ServiceError(
-                    f"recovered log has {len(log)} events but the "
-                    f"checkpoint expects at least {checkpoint.log_length}"
-                )
+        if log is None:
+            self.log = EventLog(start_seq=checkpoint.log_length)
+        else:
+            log.validate_tail(checkpoint.log_length, checkpoint.epoch)
             log.truncate(checkpoint.log_length)
             self.log = log

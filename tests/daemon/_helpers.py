@@ -1,0 +1,78 @@
+"""Shared builders for the daemon test suite.
+
+Everything runs on the synthetic two-workload environment the service
+recovery tests use: a quiet 4-node runner, a model profiled once per
+session, and a seeded 6-epoch traffic day whose flat
+:class:`~repro.service.loop.ConsolidationService` rendering is the
+byte-identity reference every daemon configuration must reproduce.
+"""
+
+from __future__ import annotations
+
+from repro.placement.annealing import AnnealingSchedule
+from repro.daemon import ConsolidationDaemon, ServiceBlueprint
+from repro.service.loop import ConsolidationService, ServiceConfig
+from repro.service.stream import StreamConfig, WorkloadStream
+from tests._synthetic import quiet_runner, synthetic_factory
+
+SEED = 4
+EPOCHS = 6
+FAST_SCHEDULE = AnnealingSchedule(iterations=150, restarts=1)
+
+
+def make_runner():
+    """A fresh quiet synthetic runner (one per pure execution)."""
+    return quiet_runner(num_nodes=4, factory=synthetic_factory())
+
+
+def make_config():
+    return ServiceConfig(schedule=FAST_SCHEDULE)
+
+
+def make_stream(seed: int = SEED) -> WorkloadStream:
+    return WorkloadStream(
+        StreamConfig(workloads=("A", "B"), arrival_rate=1.2), seed=seed
+    )
+
+
+def make_blueprint(model) -> ServiceBlueprint:
+    return ServiceBlueprint(
+        make_runner, model, config=make_config(), seed=SEED
+    )
+
+
+def make_daemon(spool, model, **kwargs) -> ConsolidationDaemon:
+    kwargs.setdefault("stream", make_stream())
+    stream = kwargs.pop("stream")
+    return ConsolidationDaemon(
+        str(spool), make_blueprint(model), stream, **kwargs
+    )
+
+
+def make_flat_service(model, seed: int = SEED) -> ConsolidationService:
+    return ConsolidationService(
+        make_runner(), model, make_stream(seed),
+        config=make_config(), seed=seed,
+    )
+
+
+def day_bytes(holder):
+    """The determinism contract's view: (event JSONL, snapshot dicts)."""
+    return (
+        holder.log.to_jsonl(),
+        [snapshot.to_dict() for snapshot in holder.snapshots],
+    )
+
+
+class ScriptedFaults:
+    """Duck-typed fault plan wedging/crashing exact (epoch, attempt)s."""
+
+    def __init__(self, crashes=(), wedges=()):
+        self.crashes = set(crashes)
+        self.wedges = set(wedges)
+
+    def worker_crashes(self, epoch: int, attempt: int) -> bool:
+        return (epoch, attempt) in self.crashes
+
+    def lease_expires(self, epoch: int, attempt: int) -> bool:
+        return (epoch, attempt) in self.wedges

@@ -1,0 +1,28 @@
+"""Session fixtures for the daemon tests (profiled once, shared)."""
+
+import pytest
+
+from repro.core.builder import build_model
+from tests.daemon._helpers import (
+    EPOCHS,
+    day_bytes,
+    make_flat_service,
+    make_runner,
+)
+
+
+@pytest.fixture(scope="session")
+def model():
+    runner = make_runner()
+    report = build_model(
+        runner, ["A", "B"], policy_samples=4, seed=31, span=4
+    )
+    return report.model
+
+
+@pytest.fixture(scope="session")
+def flat_day(model):
+    """The uninterrupted flat day every daemon run must reproduce."""
+    service = make_flat_service(model)
+    service.run(EPOCHS)
+    return day_bytes(service)

@@ -1,0 +1,156 @@
+"""Pure epoch execution and the deterministic executor pool."""
+
+import json
+
+import pytest
+
+from repro.core.online import OnlineModel
+from repro.daemon import (
+    EpochTask,
+    ExecutorPool,
+    LogicalClock,
+    ServiceBlueprint,
+    SlotManager,
+    execute_epoch,
+)
+from repro.errors import DaemonError
+from repro.service.checkpoint import ServiceCheckpoint
+from tests.daemon._helpers import (
+    ScriptedFaults,
+    make_blueprint,
+    make_flat_service,
+    make_runner,
+    make_stream,
+)
+
+
+class TestBlueprint:
+    def test_rejects_an_online_model(self, model):
+        with pytest.raises(DaemonError, match="base profiled model"):
+            ServiceBlueprint(make_runner, OnlineModel(model))
+
+    def test_initial_checkpoint_is_the_pristine_boundary(self, model):
+        checkpoint = make_blueprint(model).initial_checkpoint()
+        assert checkpoint.epoch == 0
+        assert checkpoint.log_length == 0
+        assert checkpoint.tenants == []
+
+
+class TestExecuteEpoch:
+    @pytest.fixture(scope="class")
+    def boundary(self, model):
+        """A mid-day boundary with history: 3 flat epochs."""
+        service = make_flat_service(model)
+        service.run(3)
+        return service.checkpoint()
+
+    def _task(self, boundary):
+        return EpochTask(
+            epoch=boundary.epoch,
+            arrivals=tuple(make_stream().arrivals(boundary.epoch)),
+        )
+
+    def test_is_pure(self, model, boundary):
+        blueprint = make_blueprint(model)
+        # Round-trip the checkpoint through JSON, as the daemon does.
+        restored = ServiceCheckpoint.from_dict(
+            json.loads(json.dumps(boundary.to_dict()))
+        )
+        first = execute_epoch(blueprint, boundary, self._task(boundary))
+        second = execute_epoch(blueprint, restored, self._task(boundary))
+        assert [e.to_json() for e in first.events] == [
+            e.to_json() for e in second.events
+        ]
+        assert first.snapshot.to_dict() == second.snapshot.to_dict()
+        assert first.checkpoint.to_dict() == second.checkpoint.to_dict()
+
+    def test_events_are_globally_numbered(self, model, boundary):
+        outcome = execute_epoch(
+            make_blueprint(model), boundary, self._task(boundary)
+        )
+        assert outcome.events[0].seq == boundary.log_length
+        assert outcome.checkpoint.log_length == (
+            boundary.log_length + len(outcome.events)
+        )
+        assert outcome.checkpoint.epoch == boundary.epoch + 1
+
+    def test_rejects_an_out_of_phase_task(self, model, boundary):
+        with pytest.raises(DaemonError, match="boundary"):
+            execute_epoch(
+                make_blueprint(model),
+                boundary,
+                EpochTask(epoch=boundary.epoch + 1),
+            )
+
+
+def make_pool(workers=2, *, faults=None, exec_ticks=2, lease_ticks=4):
+    clock = LogicalClock()
+    slots = SlotManager(lease_ticks=lease_ticks, clock=clock)
+    pool = ExecutorPool(
+        workers, slots, faults=faults, exec_ticks=exec_ticks
+    )
+    return clock, slots, pool
+
+
+class TestExecutorPool:
+    def test_needs_at_least_one_worker(self):
+        clock = LogicalClock()
+        with pytest.raises(DaemonError, match="at least one worker"):
+            ExecutorPool(0, SlotManager(clock=clock))
+
+    def test_healthy_claim_completes_after_exec_ticks(self):
+        clock, slots, pool = make_pool(exec_ticks=3)
+        task = EpochTask(epoch=0)
+        lease = pool.dispatch(task)
+        assert lease is not None and lease.worker_id == 0
+        done = []
+        for _ in range(3):
+            assert not done
+            clock.tick()
+            done = [ex for ex in pool.advance() if ex.task is task]
+        assert done and slots.is_current(done[0].lease)
+        assert pool.idle_count == 2
+
+    def test_all_busy_returns_none(self):
+        _, _, pool = make_pool(workers=1)
+        assert pool.dispatch(EpochTask(epoch=0)) is not None
+        assert pool.dispatch(EpochTask(epoch=0, attempt=1)) is None
+
+    def test_crashed_worker_is_replaced_and_task_orphaned(self):
+        clock, slots, pool = make_pool(
+            workers=1, faults=ScriptedFaults(crashes=[(0, 0)]),
+            lease_ticks=2,
+        )
+        task = EpochTask(epoch=0)
+        lease = pool.dispatch(task)
+        clock.tick()
+        assert pool.advance() == []  # the worker dies instead
+        assert pool.stats["worker_crashes"] == 1
+        assert pool.stats["respawns"] == 1
+        assert pool.idle_count == 1  # replacement worker
+        clock.tick()
+        reaped = slots.reap_expired()
+        assert [l.token for l in reaped] == [lease.token]
+        assert pool.task_of_reaped(reaped[0]) is task
+        # The orphan is handed back exactly once.
+        assert pool.task_of_reaped(reaped[0]) is None
+
+    def test_wedged_worker_finishes_late_under_a_stale_lease(self):
+        clock, slots, pool = make_pool(
+            workers=1, faults=ScriptedFaults(wedges=[(0, 0)]),
+            exec_ticks=2, lease_ticks=2,
+        )
+        task = EpochTask(epoch=0)
+        lease = pool.dispatch(task)
+        done = []
+        while not done:
+            clock.tick()
+            for reaped in slots.reap_expired():
+                # The reaper can still identify the wedged task...
+                assert pool.task_of_reaped(reaped) is task
+            done = pool.advance()
+        # ...and the eventual completion is fenced by its stale token.
+        assert done[0].lease.token == lease.token
+        assert not slots.is_current(done[0].lease)
+        assert pool.stats["wedges"] == 1
+        assert pool.idle_count == 1  # the worker recovers afterwards

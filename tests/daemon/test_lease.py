@@ -1,0 +1,98 @@
+"""SlotManager lease protocol: claim, renew, fence, reap."""
+
+import pytest
+
+from repro.daemon import LogicalClock, SlotManager
+from repro.errors import DaemonError
+
+
+@pytest.fixture
+def slots():
+    return SlotManager(lease_ticks=3, clock=LogicalClock())
+
+
+class TestLogicalClock:
+    def test_starts_at_zero_and_ticks_forward(self):
+        clock = LogicalClock()
+        assert clock.now() == 0
+        assert clock.tick() == 1
+        assert clock.tick(5) == 6
+
+    def test_rejects_non_positive_steps(self):
+        with pytest.raises(DaemonError, match="forward"):
+            LogicalClock().tick(0)
+
+
+class TestClaim:
+    def test_grants_monotonic_fencing_tokens(self, slots):
+        first = slots.claim("epoch-0#a0", 0)
+        second = slots.claim("epoch-1#a0", 1)
+        assert second.token > first.token
+        assert slots.active_count == 2
+
+    def test_claimed_work_is_exclusive(self, slots):
+        slots.claim("epoch-0#a0", 0)
+        with pytest.raises(DaemonError, match="already leased to worker 0"):
+            slots.claim("epoch-0#a0", 1)
+
+    def test_expired_work_is_reclaimable(self, slots):
+        old = slots.claim("epoch-0#a0", 0)
+        slots.clock.tick(3)
+        fresh = slots.claim("epoch-0#a0", 1)
+        assert fresh.token > old.token
+        assert not slots.is_current(old)
+        assert slots.is_current(fresh)
+
+    def test_lease_ticks_floor(self):
+        # Below 2 a healthy renew-every-tick worker could still be
+        # reaped between renewal and health check.
+        with pytest.raises(DaemonError, match="lease_ticks"):
+            SlotManager(lease_ticks=1)
+
+
+class TestRenew:
+    def test_renewal_keeps_a_slow_worker_alive(self, slots):
+        lease = slots.claim("epoch-0#a0", 0)
+        for _ in range(10):  # far past the original expiry
+            slots.clock.tick()
+            assert slots.renew(lease)
+            assert slots.is_current(lease)
+
+    def test_stale_token_cannot_renew(self, slots):
+        old = slots.claim("epoch-0#a0", 0)
+        slots.clock.tick(3)
+        slots.reap_expired()
+        fresh = slots.claim("epoch-0#a0", 1)
+        assert not slots.renew(old)
+        assert slots.is_current(fresh)
+
+    def test_lapsed_lease_cannot_resurrect_itself(self, slots):
+        lease = slots.claim("epoch-0#a0", 0)
+        slots.clock.tick(3)
+        # Expired but not yet reaped: renewal must still fail, because
+        # the reaper may requeue this work on the next health check.
+        assert not slots.renew(lease)
+        assert not slots.is_current(lease)
+
+
+class TestReapAndRelease:
+    def test_reap_returns_and_removes_lapsed_leases(self, slots):
+        kept = slots.claim("epoch-0#a0", 0)
+        slots.claim("epoch-1#a0", 1)
+        slots.claim("epoch-2#a0", 2)
+        slots.clock.tick(2)
+        slots.renew(kept)
+        slots.clock.tick(1)
+        reaped = slots.reap_expired()
+        assert [lease.work_id for lease in reaped] == [
+            "epoch-1#a0", "epoch-2#a0"
+        ]
+        assert slots.is_current(kept)
+        assert slots.reap_expired() == []
+
+    def test_release_drops_only_the_holder(self, slots):
+        lease = slots.claim("epoch-0#a0", 0)
+        assert slots.release(lease)
+        assert not slots.release(lease)
+        assert not slots.is_current(lease)
+        assert slots.active_count == 0

@@ -1,0 +1,98 @@
+"""Lease liveness: stragglers renew, orphans requeue, nothing runs twice."""
+
+import pytest
+
+from repro.errors import DaemonError
+from repro.faults import FaultConfig, FaultPlan
+from tests.daemon._helpers import (
+    EPOCHS,
+    ScriptedFaults,
+    day_bytes,
+    make_daemon,
+)
+
+
+class TestStraggler:
+    def test_slow_workers_renew_instead_of_being_reaped(
+        self, tmp_path, model, flat_day
+    ):
+        # Execution takes three lease lifetimes; per-tick renewal must
+        # carry the worker through without the reaper stealing the work.
+        daemon = make_daemon(
+            tmp_path / "spool", model,
+            workers=2, exec_ticks=9, lease_ticks=3,
+        )
+        daemon.run(EPOCHS)
+        assert daemon.stats["reaps"] == 0
+        assert daemon.stats["requeues"] == 0
+        assert daemon.stats["claims"] == EPOCHS
+        assert day_bytes(daemon) == flat_day
+
+
+class TestExpiryRequeue:
+    def test_every_first_attempt_wedges_yet_nothing_runs_twice(
+        self, tmp_path, model, flat_day
+    ):
+        faults = ScriptedFaults(
+            wedges=[(epoch, 0) for epoch in range(EPOCHS)]
+        )
+        daemon = make_daemon(
+            tmp_path / "spool", model, workers=2, faults=faults
+        )
+        daemon.run(EPOCHS)
+        stats = daemon.stats
+        # Each epoch: attempt 0 wedges, is reaped and requeued, attempt 1
+        # commits; the late wedged completion is fenced, never committed.
+        # (The final epoch's wedged attempt may still be mid-flight when
+        # the day ends, so its stale completion never surfaces.)
+        assert stats["requeues"] == EPOCHS
+        assert EPOCHS - 1 <= stats["stale_commits"] <= EPOCHS
+        assert stats["commits"] == EPOCHS
+        assert day_bytes(daemon) == flat_day
+
+    def test_every_first_attempt_crashes_yet_the_day_completes(
+        self, tmp_path, model, flat_day
+    ):
+        faults = ScriptedFaults(
+            crashes=[(epoch, 0) for epoch in range(EPOCHS)]
+        )
+        daemon = make_daemon(
+            tmp_path / "spool", model, workers=2, faults=faults
+        )
+        daemon.run(EPOCHS)
+        stats = daemon.stats
+        assert stats["worker_crashes"] == EPOCHS
+        assert stats["respawns"] == EPOCHS
+        assert stats["requeues"] == EPOCHS
+        # A crashed worker never produces a completion, so nothing is
+        # ever fenced — the retry is the only execution that finishes.
+        assert stats["stale_commits"] == 0
+        assert stats["commits"] == EPOCHS
+        assert day_bytes(daemon) == flat_day
+
+
+class TestLivenessBound:
+    def test_perpetual_expiry_raises_instead_of_spinning(
+        self, tmp_path, model
+    ):
+        plan = FaultPlan(FaultConfig(seed=3, lease_expiry_rate=1.0))
+        daemon = make_daemon(
+            tmp_path / "spool", model,
+            workers=2, faults=plan, max_ticks_per_epoch=40,
+        )
+        with pytest.raises(DaemonError, match="no progress"):
+            daemon.run(1)
+
+
+class TestFaultyResume:
+    def test_resume_under_faults_is_byte_identical(
+        self, tmp_path, model, flat_day
+    ):
+        plan = FaultPlan(FaultConfig(
+            seed=11, worker_crash_rate=0.5, lease_expiry_rate=0.5
+        ))
+        spool = tmp_path / "spool"
+        make_daemon(spool, model, workers=3, faults=plan).run(2)
+        resumed = make_daemon(spool, model, workers=3, faults=plan)
+        resumed.run(EPOCHS)
+        assert day_bytes(resumed) == flat_day

@@ -141,4 +141,87 @@ class TestSerialization:
             FaultPlan.chaos(scale=-1.0)
 
     def test_families_constant_is_exhaustive(self):
-        assert FAULT_FAMILIES == ("crash", "straggler", "outlier", "pool")
+        assert FAULT_FAMILIES == (
+            "crash", "straggler", "outlier", "pool", "worker", "lease"
+        )
+
+
+class TestDaemonFamilies:
+    def test_defaults_inject_nothing(self):
+        plan = FaultPlan(FaultConfig())
+        assert not plan.worker_crashes(0, 0)
+        assert not plan.lease_expires(0, 0)
+
+    @pytest.mark.parametrize("field", [
+        "worker_crash_rate", "lease_expiry_rate",
+    ])
+    def test_rates_must_be_probabilities(self, field):
+        with pytest.raises(FaultError):
+            FaultConfig(**{field: -0.1})
+        with pytest.raises(FaultError):
+            FaultConfig(**{field: 1.5})
+
+    def test_either_rate_enables_the_plan(self):
+        assert FaultPlan(FaultConfig(worker_crash_rate=0.1)).enabled
+        assert FaultPlan(FaultConfig(lease_expiry_rate=0.1)).enabled
+
+    def test_decisions_are_pure_functions_of_epoch_and_attempt(self):
+        a = FaultPlan(FaultConfig(
+            seed=7, worker_crash_rate=0.4, lease_expiry_rate=0.4
+        ))
+        b = FaultPlan(FaultConfig(
+            seed=7, worker_crash_rate=0.4, lease_expiry_rate=0.4
+        ))
+        draws = [(e, att) for e in range(20) for att in range(3)]
+        assert [a.worker_crashes(e, att) for e, att in draws] == [
+            b.worker_crashes(e, att) for e, att in draws
+        ]
+        assert [a.lease_expires(e, att) for e, att in draws] == [
+            b.lease_expires(e, att) for e, att in draws
+        ]
+
+    def test_daemon_draws_leave_measurement_families_untouched(self):
+        # Adding daemon fault rates to a plan must not perturb the
+        # measurement-path decisions: the byte-identity contract relies
+        # on worker/lease deriving their own streams.
+        quiet = FaultPlan(FaultConfig(seed=11, crash_rate=0.15))
+        noisy = FaultPlan(FaultConfig(
+            seed=11, crash_rate=0.15,
+            worker_crash_rate=0.9, lease_expiry_rate=0.9,
+        ))
+        labels = [("m", rep) for rep in range(100)]
+        assert [quiet.crashes(l, 0) for l in labels] == [
+            noisy.crashes(l, 0) for l in labels
+        ]
+        assert [quiet.straggler(l, 0) for l in labels] == [
+            noisy.straggler(l, 0) for l in labels
+        ]
+
+    def test_rates_are_hit_in_the_long_run(self):
+        plan = FaultPlan(FaultConfig(seed=0, worker_crash_rate=0.25))
+        crashed = sum(
+            plan.worker_crashes(epoch, 0) for epoch in range(2000)
+        )
+        assert 0.2 < crashed / 2000 < 0.3
+
+    def test_signature_covers_daemon_rates(self):
+        base = FaultPlan(FaultConfig(seed=1))
+        assert (
+            base.signature()
+            != FaultPlan(FaultConfig(seed=1, worker_crash_rate=0.1)).signature()
+        )
+        assert (
+            base.signature()
+            != FaultPlan(FaultConfig(seed=1, lease_expiry_rate=0.1)).signature()
+        )
+
+    def test_round_trip_preserves_daemon_rates(self, tmp_path):
+        plan = FaultPlan(FaultConfig(
+            seed=42, worker_crash_rate=0.2, lease_expiry_rate=0.3
+        ))
+        path = tmp_path / "plan.json"
+        plan.save(path)
+        loaded = FaultPlan.load(path)
+        assert loaded.config == plan.config
+        assert loaded.config.worker_crash_rate == 0.2
+        assert loaded.config.lease_expiry_rate == 0.3

@@ -8,7 +8,12 @@ from repro.cli import main
 from repro.experiments.registry import REGISTRY, ExperimentEntry
 from repro.obs import recorder as _obs
 from repro.obs.recorder import NULL_RECORDER
-from repro.obs.summary import load_trace, probe_accounting
+from repro.obs.summary import (
+    daemon_accounting,
+    load_trace,
+    probe_accounting,
+    summarize_text,
+)
 
 SERVE_FAST = [
     "serve",
@@ -120,6 +125,31 @@ class TestTraceSummarize:
         path.write_text("not a trace")
         assert main(["trace", "summarize", str(path)]) == 1
         assert "error:" in capsys.readouterr().err
+
+    def test_daemon_accounting_lists_counters_and_gauges(self):
+        payload = {
+            "spans": [],
+            "counters": {
+                "daemon.commits": 6,
+                "daemon.claims": 8,
+                "engine.runs": 3,
+            },
+            "gauges": {"daemon.queue_depth": 2, "other.gauge": 1},
+        }
+        rows = daemon_accounting(payload)
+        assert rows == [
+            ("daemon.claims", 8),
+            ("daemon.commits", 6),
+            ("daemon.queue_depth (gauge)", 2),
+        ]
+        text = summarize_text(payload)
+        assert "Daemon (daemon.* counters and gauges):" in text
+        assert "daemon.queue_depth (gauge)" in text
+
+    def test_flat_traces_have_no_daemon_section(self):
+        payload = {"spans": [], "counters": {"engine.runs": 3}}
+        assert daemon_accounting(payload) == []
+        assert "Daemon" not in summarize_text(payload)
 
     def test_probe_accounting_matches_builder_report(self, tmp_path, capsys):
         from repro.core.builder import build_model

@@ -97,6 +97,90 @@ class TestEventLogPersistence:
             log.truncate(5)
 
 
+class TestValidateTail:
+    def _day_log(self):
+        log = EventLog()
+        log.append("arrival", 0, job="j0", workload="A")
+        log.append("admit", 0, job="j0", workload="A")
+        log.append("epoch_end", 0, running=1, queued=0)
+        log.append("epoch_end", 1, running=1, queued=0)
+        log.append("depart", 2, job="j0", workload="A")
+        return log
+
+    def test_matching_tail_passes(self, tmp_path):
+        log = self._day_log()
+        log.validate_tail(3, 1)
+        log.validate_tail(4, 2, path="anywhere")
+        log.validate_tail(0, 0)
+
+    def test_too_short_log_names_both_lengths(self):
+        log = self._day_log()
+        with pytest.raises(ServiceError) as err:
+            log.validate_tail(9, 3, path="/spool/events.jsonl")
+        message = str(err.value)
+        assert "/spool/events.jsonl" in message
+        assert "epoch boundary 3" in message
+        assert "5 event(s)" in message
+        assert "at least 9" in message
+
+    def test_wrong_boundary_kind_is_named(self):
+        log = self._day_log()
+        with pytest.raises(ServiceError) as err:
+            log.validate_tail(2, 1)  # event 1 is an admit, not epoch_end
+        assert "kind 'admit'" in str(err.value)
+        assert "close epoch 0" in str(err.value)
+
+    def test_boundary_epoch_mismatch_suggests_different_runs(self):
+        log = self._day_log()
+        with pytest.raises(ServiceError) as err:
+            log.validate_tail(3, 2)  # event 2 closes epoch 0, not 1
+        assert "different runs" in str(err.value)
+
+    def test_beyond_boundary_event_from_a_completed_epoch(self):
+        log = EventLog()
+        log.append("epoch_end", 0, running=0, queued=0)
+        log.append("arrival", 0, job="late", workload="A")
+        with pytest.raises(ServiceError) as err:
+            log.validate_tail(1, 1)
+        assert "already-completed epoch 0" in str(err.value)
+
+    def test_uses_the_recovered_source_path_by_default(self, tmp_path):
+        path = str(tmp_path / "events.jsonl")
+        self._day_log().write(path)
+        recovered = EventLog.recover(path)
+        with pytest.raises(ServiceError, match="events.jsonl"):
+            recovered.validate_tail(9, 3)
+
+
+class TestStartSeq:
+    def test_offsets_global_numbering(self):
+        log = EventLog(start_seq=7)
+        assert len(log) == 7
+        event = log.append("arrival", 3, job="j", workload="A")
+        assert event.seq == 7
+        assert [e.seq for e in log.since(0)] == [7]
+        assert log.since(8) == []
+
+    def test_rejects_negative_offsets(self):
+        with pytest.raises(ServiceError, match="non-negative"):
+            EventLog(start_seq=-1)
+
+    def test_truncate_cannot_reach_below_the_offset(self):
+        log = EventLog(start_seq=2)
+        log.append("epoch_end", 0, running=0, queued=0)
+        with pytest.raises(ServiceError):
+            log.truncate(1)
+        log.truncate(2)
+        assert len(log) == 2
+
+    def test_validate_tail_skips_boundaries_before_the_offset(self):
+        # An offset log cannot inspect history it does not hold; a
+        # boundary at or before start_seq is vacuously accepted.
+        log = EventLog(start_seq=4)
+        log.validate_tail(4, 2)
+        log.validate_tail(3, 1)
+
+
 class TestCheckpointRoundTrip:
     @pytest.fixture(scope="class")
     def checkpoint(self, environment):
