@@ -16,6 +16,11 @@ Covers the PR's fast paths, each against the slow path it replaces:
   :class:`~repro.core.kernel.PredictionKernel` path, versus the scalar
   per-instance reference.  Bit-identical by construction (see the
   "Batch prediction" section of ``docs/performance.md``).
+* **Flat-network gate** — the per-resource prediction API's only cost
+  on models without network profiles: one ``has_network`` consultation
+  per batch call.  The guard bounds the gate at 5% of an end-to-end
+  placement prediction, so flat models stay within 1.05x of the
+  scalar-era path they still execute.
 
 Numbers land in ``benchmarks/results/perf_hotpaths.txt`` (plus a JSON
 twin for tooling).  The tier-1 ``perf_smoke`` regression guard
@@ -356,6 +361,50 @@ def test_full_placement_batch(record_artifact, artifact_dir):
     )
     _record_json(artifact_dir)
     assert speedup >= 10.0
+
+
+def test_flat_network_gate_overhead(record_artifact, artifact_dir):
+    """Flat models must stay within 1.05x of the scalar-era path.
+
+    A model built without network profiles executes exactly the
+    scalar-era prediction code plus the NETWORK-domain gate: one
+    ``has_network`` consultation (and a dead branch) per batch call.
+    Rather than race wall clocks across machines, the guard measures
+    the gate and the full prediction in the same process and bounds
+    the former at 5% of the latter — the overhead factor over the
+    scalar baseline is ``1 + gate/predict`` by construction.
+    """
+    model = make_search_model()
+    placement = consolidated_placement(BATCH_NUM_INSTANCES, BATCH_NUM_NODES)
+    assert not model.has_network
+
+    def gate():
+        # The flat path's entire addition: consult the gate, skip the
+        # network branch.
+        if model.has_network:  # pragma: no cover - flat by construction
+            raise AssertionError("flat model grew a network domain")
+
+    predict_s, gate_s = _best_pair(
+        lambda: predict_placement(model, placement),
+        gate,
+        reps=20,
+    )
+
+    overhead = 1.0 + gate_s / predict_s
+    RESULTS["flat_network_gate"] = {
+        "predict_s": predict_s, "gate_s": gate_s,
+        "overhead_factor": overhead,
+    }
+    record_artifact(
+        "perf_hotpaths_flat_network_gate",
+        f"Flat-network gate ({BATCH_NUM_INSTANCES}x{UNITS_PER_INSTANCE} "
+        f"units on {BATCH_NUM_NODES} nodes)\n"
+        f"  full flat prediction: {predict_s * 1e6:8.3f} us\n"
+        f"  network-domain gate:  {gate_s * 1e6:8.3f} us\n"
+        f"  overhead factor:      {overhead:8.4f}x (bound 1.05x)",
+    )
+    _record_json(artifact_dir)
+    assert overhead <= 1.05
 
 
 def wave_placement_and_tenants():

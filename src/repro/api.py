@@ -8,7 +8,8 @@ stable across releases:
   :class:`MeasurementRequest` batches, the persistent
   :class:`MeasurementCache`.
 * **Model building & prediction** — :func:`build_model` /
-  :func:`build_batch_profiles`, the :class:`InterferenceModel` (whose
+  :func:`build_batch_profiles` / :func:`build_network_profiles`, the
+  :class:`InterferenceModel` (whose
   :meth:`~repro.core.model.InterferenceModel.predict` is the single
   scalar prediction entry point and whose
   :meth:`~repro.core.model.InterferenceModel.predict_batch` scores
@@ -17,7 +18,10 @@ stable across releases:
   prediction" section of ``docs/performance.md``), persistence via
   :func:`load_model` / :func:`save_model`, the
   :class:`NaiveProportionalModel` baseline, and the
-  :class:`OnlineModel` refinement wrapper.
+  :class:`OnlineModel` refinement wrapper.  Both prediction entry
+  points take a ``domain`` keyword selecting the contention resource
+  (:class:`ContentionDomain`); omitting it is the scalar-era
+  compute-only call and stays bit-identical.
 * **Placement** — :class:`Placement` / :class:`InstanceSpec`, the
   annealing placers, and QoS constraints.
 * **Service** — the online :class:`ConsolidationService` and its
@@ -59,9 +63,10 @@ from repro.apps import (
     ALL_WORKLOADS,
     BATCH_WORKLOADS,
     DISTRIBUTED_WORKLOADS,
+    NETWORK_WORKLOADS,
     get_workload,
 )
-from repro.cluster import ClusterSpec
+from repro.cluster import ClusterSpec, ContentionDomain
 from repro.daemon import (
     ConsolidationDaemon,
     JobSpool,
@@ -81,6 +86,7 @@ from repro.core import (
     PropagationMatrix,
     build_batch_profiles,
     build_model,
+    build_network_profiles,
     load_model,
     save_model,
 )
@@ -147,8 +153,10 @@ __all__ = [
     # model building & prediction
     "ALL_WORKLOADS",
     "BATCH_WORKLOADS",
+    "ContentionDomain",
     "DISTRIBUTED_WORKLOADS",
     "HomogeneousSetting",
+    "NETWORK_WORKLOADS",
     "InterferenceModel",
     "InterferenceProfile",
     "MATRIX_PROFILERS",
@@ -160,6 +168,7 @@ __all__ = [
     "PropagationMatrix",
     "build_batch_profiles",
     "build_model",
+    "build_network_profiles",
     "get_workload",
     "load_model",
     "save_model",

@@ -14,14 +14,17 @@ from repro.apps.catalog import (
     ALL_WORKLOADS,
     BATCH_WORKLOADS,
     DISTRIBUTED_WORKLOADS,
+    NETWORK_WORKLOADS,
     CatalogEntry,
     catalog_entry,
     get_workload,
     make_bubble,
     table1_rows,
 )
+from repro.apps.graph import GraphTraversalWorkload
 from repro.apps.mapreduce import MapReduceWorkload
 from repro.apps.mpi import BSPWorkload, CollectiveType, LooselyCoupledWorkload
+from repro.apps.paramserver import ParameterServerWorkload
 from repro.apps.spark import SparkWorkload
 
 __all__ = [
@@ -33,8 +36,11 @@ __all__ = [
     "CatalogEntry",
     "CollectiveType",
     "DISTRIBUTED_WORKLOADS",
+    "GraphTraversalWorkload",
     "LooselyCoupledWorkload",
     "MapReduceWorkload",
+    "NETWORK_WORKLOADS",
+    "ParameterServerWorkload",
     "PropagationClass",
     "SparkWorkload",
     "Stage",

@@ -33,6 +33,8 @@ import enum
 from dataclasses import dataclass
 from typing import List
 
+from typing import Optional
+
 from repro.cluster.contention import SensitivityFunction
 from repro.errors import ConfigurationError
 from repro.units import validate_pressure
@@ -47,6 +49,11 @@ class WorkloadFamily(enum.Enum):
     SPARK = "SPARK"
     SPEC_CPU = "SPEC CPU2006"
     SYNTHETIC = "SYNTHETIC"
+    #: Network-bound datacenter archetypes (after the DL/graph/HPC
+    #: characterization study, arXiv:2303.15763).  Kept out of the
+    #: paper's 12 distributed workloads so Table-anchored experiments
+    #: are unchanged.
+    DATACENTER = "DATACENTER"
 
 
 class PropagationClass(enum.Enum):
@@ -138,6 +145,16 @@ class WorkloadSpec:
         Execution slots contributed by one placed VM unit.  One per VM
         for distributed codes; two per VM for the single-threaded SPEC
         CPU co-runners (two instances per dual-core VM, Section 5.1).
+    network_sensitivity:
+        Link pressure -> slowdown response of the workload's
+        *collectives* (the NETWORK contention domain).  ``None`` — the
+        scalar-era default for every paper workload — means the
+        workload's communication is insensitive to link contention and
+        the executor never evaluates the network path for it.
+    generated_network_pressure:
+        Pressure this workload's flows exert on the uplink of every
+        node it occupies (its ground-truth network score, same 0-8
+        scale).  0.0 keeps the link flat.
     """
 
     name: str
@@ -150,9 +167,15 @@ class WorkloadSpec:
     noise_cv: float = 0.05
     master_pressure_factor: float = 1.0
     slots_per_unit: int = 4
+    network_sensitivity: Optional[SensitivityFunction] = None
+    generated_network_pressure: float = 0.0
 
     def __post_init__(self) -> None:
         validate_pressure(self.generated_pressure, name="generated_pressure")
+        validate_pressure(
+            self.generated_network_pressure,
+            name="generated_network_pressure",
+        )
         if self.base_time <= 0:
             raise ConfigurationError("base_time must be positive")
         if self.noise_cv < 0:
@@ -217,6 +240,18 @@ class Workload:
             Index of the VM unit within the workload's deployment.
         """
         pressure = self.spec.generated_pressure
+        if unit_index == 0:
+            pressure *= self.spec.master_pressure_factor
+        return pressure
+
+    def generated_network_pressure_for(self, unit_index: int) -> float:
+        """Link pressure one placed VM unit exerts on its node's uplink.
+
+        The master unit of a framework whose master only schedules
+        moves correspondingly little data, so the same discount
+        applies as for compute pressure.
+        """
+        pressure = self.spec.generated_network_pressure
         if unit_index == 0:
             pressure *= self.spec.master_pressure_factor
         return pressure

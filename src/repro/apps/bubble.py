@@ -11,6 +11,15 @@ In the simulator a bubble is a *passive* workload: it exerts
 executing, and its "reported throughput" — used for bubble-score
 measurement — is the reciprocal of its own slowdown under the node
 pressure it experiences.
+
+The bubble is domain-parametric
+(:class:`~repro.cluster.contention.ContentionDomain`): in its
+network-noise mode it is a traffic generator instead of a cache
+thrasher — it saturates the host's uplink at ``level`` *link* pressure
+while exerting no memory-subsystem pressure at all, and its reported
+throughput reacts to link pressure only.  Network-domain profiling and
+network-score measurement use it exactly the way compute profiling
+uses the classic bubble.
 """
 
 from __future__ import annotations
@@ -24,7 +33,7 @@ from repro.apps.base import (
     WorkloadFamily,
     WorkloadSpec,
 )
-from repro.cluster.contention import ExponentialSensitivity
+from repro.cluster.contention import ContentionDomain, ExponentialSensitivity
 from repro.errors import ConfigurationError
 from repro.units import MAX_PRESSURE
 
@@ -47,31 +56,62 @@ class BubbleWorkload(Workload):
     Parameters
     ----------
     level:
-        Pressure exerted on the host node, in ``(0, MAX_PRESSURE]``.
+        Pressure exerted on the host node (COMPUTE domain) or its
+        uplink (NETWORK domain), in ``(0, MAX_PRESSURE]``.
     slots_per_unit:
         Slots the bubble occupies per unit (it fills the co-runner
         half of a host: 4 VMs).
+    domain:
+        Contention domain the bubble exercises.  COMPUTE (the default)
+        is the scalar-era cache/memory-bandwidth bubble; NETWORK is
+        the network-noise mode, which injects *link* pressure instead
+        of node pressure and whose own sensitivity reads link
+        contention.
     """
 
-    def __init__(self, level: float, *, slots_per_unit: int = 4) -> None:
+    def __init__(
+        self,
+        level: float,
+        *,
+        slots_per_unit: int = 4,
+        domain: ContentionDomain = ContentionDomain.COMPUTE,
+    ) -> None:
         if not 0.0 < level <= MAX_PRESSURE:
             raise ConfigurationError(
                 f"bubble level must be in (0, {MAX_PRESSURE}], got {level!r}"
             )
-        spec = WorkloadSpec(
-            name=f"bubble@{level:g}",
-            abbrev=f"bubble{level:g}",
-            family=WorkloadFamily.SYNTHETIC,
-            propagation_class=PropagationClass.BATCH,
-            sensitivity=bubble_sensitivity(),
-            generated_pressure=float(level),
-            base_time=1.0,
-            noise_cv=0.0,
-            master_pressure_factor=1.0,
-            slots_per_unit=slots_per_unit,
-        )
+        domain = ContentionDomain.parse(domain)
+        if domain is ContentionDomain.NETWORK:
+            spec = WorkloadSpec(
+                name=f"netbubble@{level:g}",
+                abbrev=f"netbubble{level:g}",
+                family=WorkloadFamily.SYNTHETIC,
+                propagation_class=PropagationClass.BATCH,
+                sensitivity=bubble_sensitivity(),
+                generated_pressure=0.0,
+                base_time=1.0,
+                noise_cv=0.0,
+                master_pressure_factor=1.0,
+                slots_per_unit=slots_per_unit,
+                network_sensitivity=bubble_sensitivity(),
+                generated_network_pressure=float(level),
+            )
+        else:
+            spec = WorkloadSpec(
+                name=f"bubble@{level:g}",
+                abbrev=f"bubble{level:g}",
+                family=WorkloadFamily.SYNTHETIC,
+                propagation_class=PropagationClass.BATCH,
+                sensitivity=bubble_sensitivity(),
+                generated_pressure=float(level),
+                base_time=1.0,
+                noise_cv=0.0,
+                master_pressure_factor=1.0,
+                slots_per_unit=slots_per_unit,
+            )
         super().__init__(spec)
         self.level = float(level)
+        self.domain = domain
 
     @property
     def is_passive(self) -> bool:

@@ -35,10 +35,12 @@ from repro.apps.base import (
 )
 from repro.apps.batch import BatchWorkload
 from repro.apps.bubble import BubbleWorkload
+from repro.apps.graph import GraphTraversalWorkload
 from repro.apps.mapreduce import MapReduceWorkload
 from repro.apps.mpi import BSPWorkload, CollectiveType, LooselyCoupledWorkload
+from repro.apps.paramserver import ParameterServerWorkload
 from repro.apps.spark import SparkWorkload
-from repro.cluster.contention import ExponentialSensitivity
+from repro.cluster.contention import ContentionDomain, ExponentialSensitivity
 from repro.errors import CatalogError
 
 
@@ -67,7 +69,20 @@ def _spec(
     noise_cv: float = 0.06,
     master_factor: float = 1.0,
     slots_per_unit: int = 4,
+    network_score: float = 0.0,
+    network_max_slowdown: float = 0.0,
+    network_curvature: float = 0.3,
+    network_threshold: float = 0.0,
 ) -> WorkloadSpec:
+    # network_max_slowdown == 0.0 (every paper workload) leaves the
+    # NETWORK domain fields at their scalar-era defaults.
+    network_sensitivity = None
+    if network_max_slowdown > 0.0:
+        network_sensitivity = ExponentialSensitivity(
+            max_slowdown=network_max_slowdown,
+            curvature=network_curvature,
+            threshold=network_threshold,
+        )
     return WorkloadSpec(
         name=name,
         abbrev=abbrev,
@@ -81,6 +96,8 @@ def _spec(
         noise_cv=noise_cv,
         master_pressure_factor=master_factor,
         slots_per_unit=slots_per_unit,
+        network_sensitivity=network_sensitivity,
+        generated_network_pressure=network_score,
     )
 
 
@@ -177,6 +194,56 @@ def _batch_entry(
     return CatalogEntry(name, abbrev, WorkloadFamily.SPEC_CPU, "ref", factory)
 
 
+def _paramserver_entry() -> CatalogEntry:
+    # D.PS: data-parallel CNN training against a parameter server
+    # (arXiv:2303.15763).  Network-dominant: gradients stream through
+    # the cache (low compute sensitivity, low bubble score) but the
+    # per-iteration push/pull saturates the uplink, so its network
+    # score and network sensitivity are both high.  BSP structure ->
+    # high propagation through the iteration barrier.
+    spec = _spec(
+        "ParamServerCNN", "D.PS", WorkloadFamily.DATACENTER,
+        PropagationClass.HIGH,
+        score=1.2, max_slowdown=1.10, curvature=0.1,
+        base_time=130.0, noise_cv=0.06,
+        network_score=5.5, network_max_slowdown=2.5,
+        network_curvature=0.35,
+    )
+
+    def factory() -> Workload:
+        return ParameterServerWorkload(spec, iterations=40, payload_chunks=1400.0)
+
+    return CatalogEntry(
+        "ParamServerCNN", "D.PS", WorkloadFamily.DATACENTER,
+        "256 img/worker", factory,
+    )
+
+
+def _graph_entry() -> CatalogEntry:
+    # D.BFS: level-synchronous graph traversal (arXiv:2303.15763).
+    # Mixed class: irregular pointer chasing is cache-sensitive while
+    # the per-level frontier exchange is link-sensitive; the dynamic
+    # task queue keeps compute propagation proportional.
+    spec = _spec(
+        "GraphBFS", "D.BFS", WorkloadFamily.DATACENTER,
+        PropagationClass.PROPORTIONAL,
+        score=3.2, max_slowdown=1.50, curvature=0.3,
+        base_time=115.0, noise_cv=0.08,
+        network_score=2.8, network_max_slowdown=1.9,
+        network_curvature=0.3,
+    )
+
+    def factory() -> Workload:
+        return GraphTraversalWorkload(
+            spec, levels=12, chunks_per_slot=8, frontier_chunks=2000.0
+        )
+
+    return CatalogEntry(
+        "GraphBFS", "D.BFS", WorkloadFamily.DATACENTER,
+        "scale-26 RMAT", factory,
+    )
+
+
 def _build_catalog() -> Dict[str, CatalogEntry]:
     entries: List[CatalogEntry] = [
         # -- SPEC MPI2007 (high propagation except GemsFDTD) ------------
@@ -225,6 +292,9 @@ def _build_catalog() -> Dict[str, CatalogEntry]:
                      base_time=150.0),
         _batch_entry("483.xalancbmk", "C.xbmk", score=4.3, max_slowdown=1.80,
                      base_time=140.0),
+        # -- Datacenter network-bound archetypes (arXiv:2303.15763) --------
+        _paramserver_entry(),
+        _graph_entry(),
     ]
     return {entry.abbrev: entry for entry in entries}
 
@@ -234,11 +304,14 @@ _CATALOG: Dict[str, CatalogEntry] = _build_catalog()
 #: All catalog abbreviations in Table 1 order.
 ALL_WORKLOADS: Tuple[str, ...] = tuple(_CATALOG)
 
-#: The 12 distributed parallel workloads (Sections 3-4).
+#: The 12 distributed parallel workloads (Sections 3-4).  The
+#: datacenter archetypes are deliberately excluded so the paper-anchored
+#: experiments keep iterating exactly Table 1's distributed set.
 DISTRIBUTED_WORKLOADS: Tuple[str, ...] = tuple(
     abbrev
     for abbrev, entry in _CATALOG.items()
-    if entry.family is not WorkloadFamily.SPEC_CPU
+    if entry.family
+    not in (WorkloadFamily.SPEC_CPU, WorkloadFamily.DATACENTER)
 )
 
 #: The 6 SPEC CPU2006 batch co-runners (Section 5).
@@ -246,6 +319,13 @@ BATCH_WORKLOADS: Tuple[str, ...] = tuple(
     abbrev
     for abbrev, entry in _CATALOG.items()
     if entry.family is WorkloadFamily.SPEC_CPU
+)
+
+#: The network-bound datacenter archetypes (NETWORK contention domain).
+NETWORK_WORKLOADS: Tuple[str, ...] = tuple(
+    abbrev
+    for abbrev, entry in _CATALOG.items()
+    if entry.family is WorkloadFamily.DATACENTER
 )
 
 
@@ -270,9 +350,16 @@ def get_workload(abbrev: str) -> Workload:
     return catalog_entry(abbrev).factory()
 
 
-def make_bubble(level: float) -> BubbleWorkload:
-    """Instantiate a bubble interference generator at ``level``."""
-    return BubbleWorkload(level)
+def make_bubble(
+    level: float, *, domain: ContentionDomain = ContentionDomain.COMPUTE
+) -> BubbleWorkload:
+    """Instantiate a bubble interference generator at ``level``.
+
+    ``domain`` selects the resource the bubble exercises: the classic
+    cache/memory-bandwidth thrasher (COMPUTE, the default) or the
+    network-noise traffic generator (NETWORK).
+    """
+    return BubbleWorkload(level, domain=domain)
 
 
 def table1_rows() -> List[Tuple[str, str, str, str]]:

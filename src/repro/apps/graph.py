@@ -1,0 +1,82 @@
+"""Distributed graph traversal (mixed-sensitivity archetype).
+
+Level-synchronous BFS-style traversal, the second archetype drawn from
+the DL/graph/HPC characterization study (arXiv:2303.15763): its
+per-vertex work is irregular pointer chasing (cache-sensitive, so the
+COMPUTE domain matters) while every level boundary exchanges the next
+frontier with all peers (link-sensitive, so the NETWORK domain matters
+too).  Neither resource dominates — the *mixed* class.
+
+Frontier sizes vary wildly between levels, so tasks are pulled from a
+shared queue (``dynamic=True``): a slowed worker processes fewer
+vertices while others pick up the slack, which keeps compute-side
+propagation moderate even though the level barrier is global.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.apps.base import Stage, Workload, WorkloadSpec
+from repro.cluster.topology import SwitchTopology
+from repro.errors import ConfigurationError
+
+
+class GraphTraversalWorkload(Workload):
+    """Level-synchronous traversal with per-level frontier exchange.
+
+    Parameters
+    ----------
+    spec:
+        Calibrated workload description (compute *and* network
+        sensitivities).
+    levels:
+        Traversal depth: one stage (and one frontier exchange) per
+        level.
+    chunks_per_slot:
+        Average frontier chunks each slot processes per level.
+    frontier_chunks:
+        Frontier payload per exchange, in units of the base star
+        collective — smaller than a gradient push but far from a bare
+        barrier.
+    topology:
+        Interconnect used to cost the exchange.
+    """
+
+    def __init__(
+        self,
+        spec: WorkloadSpec,
+        *,
+        levels: int = 12,
+        chunks_per_slot: int = 8,
+        frontier_chunks: float = 150.0,
+        topology: SwitchTopology | None = None,
+    ) -> None:
+        super().__init__(spec)
+        if levels <= 0:
+            raise ConfigurationError("levels must be positive")
+        if chunks_per_slot <= 0:
+            raise ConfigurationError("chunks_per_slot must be positive")
+        if frontier_chunks <= 0:
+            raise ConfigurationError("frontier_chunks must be positive")
+        self.levels = levels
+        self.chunks_per_slot = chunks_per_slot
+        self.frontier_chunks = frontier_chunks
+        self.topology = topology or SwitchTopology()
+
+    def build_program(self, num_slots: int) -> List[Stage]:
+        if num_slots <= 0:
+            raise ConfigurationError("num_slots must be positive")
+        n_tasks = num_slots * self.chunks_per_slot
+        task_time = self.spec.base_time / (self.levels * self.chunks_per_slot)
+        sync = self.topology.collective_cost(num_slots) * self.frontier_chunks
+        return [
+            Stage(
+                name=f"level{i}",
+                n_tasks=n_tasks,
+                task_time=task_time,
+                dynamic=True,
+                sync_cost=sync,
+            )
+            for i in range(self.levels)
+        ]

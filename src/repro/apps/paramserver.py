@@ -1,0 +1,79 @@
+"""Parameter-server distributed training (network-dominant archetype).
+
+The DL/graph/HPC characterization study (arXiv:2303.15763) shows that
+data-parallel training with a parameter server is the canonical
+*network-dominant* workload: per-iteration gradient push/pull moves
+megabytes per worker through the interconnect, so link contention
+inflates the communication phase long before cache contention touches
+the (streaming, cache-friendly) compute phase.
+
+The program structure is BSP-like — one statically-partitioned compute
+stage per training iteration, closed by a gradient exchange — but the
+collective carries a large payload: its cost is the star collective
+cost times ``payload_chunks`` (the gradient size expressed in units of
+the base collective).  The executor scales that synchronization cost by
+the workload's *network* sensitivity applied to the pressure on its
+most-loaded uplink, which is where this archetype hurts.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.apps.base import Stage, Workload, WorkloadSpec
+from repro.cluster.topology import SwitchTopology
+from repro.errors import ConfigurationError
+
+
+class ParameterServerWorkload(Workload):
+    """Data-parallel trainer pushing gradients through a central server.
+
+    Parameters
+    ----------
+    spec:
+        Calibrated workload description; its ``network_sensitivity``
+        governs how the gradient exchange reacts to link pressure.
+    iterations:
+        Training iterations (compute + push/pull rounds).
+    payload_chunks:
+        Gradient payload per exchange, in units of the base star
+        collective — the knob that makes communication a first-order
+        cost instead of the microsecond barrier of the MPI codes.
+    topology:
+        Interconnect used to cost the exchange.
+    """
+
+    def __init__(
+        self,
+        spec: WorkloadSpec,
+        *,
+        iterations: int = 40,
+        payload_chunks: float = 700.0,
+        topology: SwitchTopology | None = None,
+    ) -> None:
+        super().__init__(spec)
+        if iterations <= 0:
+            raise ConfigurationError("iterations must be positive")
+        if payload_chunks <= 0:
+            raise ConfigurationError("payload_chunks must be positive")
+        self.iterations = iterations
+        self.payload_chunks = payload_chunks
+        self.topology = topology or SwitchTopology()
+
+    def build_program(self, num_slots: int) -> List[Stage]:
+        if num_slots <= 0:
+            raise ConfigurationError("num_slots must be positive")
+        task_time = self.spec.base_time / self.iterations
+        # Gradient push/pull: every worker's full payload crosses the
+        # star per iteration.
+        sync = self.topology.collective_cost(num_slots) * self.payload_chunks
+        return [
+            Stage(
+                name=f"train{i}",
+                n_tasks=num_slots,
+                task_time=task_time,
+                dynamic=False,
+                sync_cost=sync,
+            )
+            for i in range(self.iterations)
+        ]

@@ -40,6 +40,7 @@ from repro.cli._parents import (
     FAULTS_HELP,
     TRACE_HELP,
     faults_parent,
+    network_parent,
     output_parent,
     seed_parent,
     trace_parent,
@@ -70,6 +71,7 @@ def build_parser() -> argparse.ArgumentParser:
         "faults": faults_parent(),
         "seed": seed_parent(),
         "output": output_parent(),
+        "network": network_parent(),
     }
     for module in (catalog, daemoncmd, modeling, serve, tracecmd):
         module.register(sub, parents)

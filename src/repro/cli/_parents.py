@@ -53,6 +53,53 @@ def faults_parent() -> argparse.ArgumentParser:
     return parent
 
 
+NETWORK_NOISE_HELP = (
+    "constant NETWORK-domain background pressure (0-8) on every node's "
+    "uplink; 0 (the default) is the flat network and replays "
+    "pre-network runs byte-identically"
+)
+
+DOMAINS_HELP = (
+    "contention domains to profile/predict on (default: compute only, "
+    "the scalar-era behaviour); add 'network' to also build per-link "
+    "propagation matrices and network bubble scores for the "
+    "network-capable catalog entries"
+)
+
+
+def network_parent() -> argparse.ArgumentParser:
+    """Parent adding ``--network-noise LEVEL`` and ``--domains ...``.
+
+    Shared by every verb that constructs a measurement runner
+    (``profile``, ``serve``, ``daemon``), so the network dimension
+    spells identically everywhere.  Defaults keep the flat network:
+    zero ambient link pressure and the COMPUTE domain only.
+    """
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument(
+        "--network-noise",
+        type=float,
+        default=0.0,
+        metavar="LEVEL",
+        dest="network_noise",
+        help=NETWORK_NOISE_HELP,
+    )
+    parent.add_argument(
+        "--domains",
+        nargs="+",
+        choices=("compute", "network"),
+        default=("compute",),
+        metavar="DOMAIN",
+        help=DOMAINS_HELP,
+    )
+    return parent
+
+
+def wants_network(args: argparse.Namespace) -> bool:
+    """Whether a parsed namespace opted into the NETWORK domain."""
+    return "network" in (getattr(args, "domains", None) or ())
+
+
 def seed_parent(default: int = 2016) -> argparse.ArgumentParser:
     """Parent adding ``--seed N`` (measurement/search determinism)."""
     parent = argparse.ArgumentParser(add_help=False)

@@ -22,12 +22,17 @@ from __future__ import annotations
 import argparse
 from typing import Mapping
 
-from repro.apps.catalog import BATCH_WORKLOADS
+from repro.apps.catalog import BATCH_WORKLOADS, NETWORK_WORKLOADS
+from repro.cli._parents import wants_network
 from repro.cli.serve import (
     DEFAULT_SERVE_MIX,
     _check_expectation,
 )
-from repro.core.builder import build_batch_profiles, build_model
+from repro.core.builder import (
+    build_batch_profiles,
+    build_model,
+    build_network_profiles,
+)
 from repro.daemon import ConsolidationDaemon, JobSpool, ServiceBlueprint
 from repro.analysis.reporting import (
     render_event_counts,
@@ -44,7 +49,10 @@ def _build_daemon(args: argparse.Namespace) -> ConsolidationDaemon:
     distributed = [w for w in workloads if w not in BATCH_WORKLOADS]
     batch = [w for w in workloads if w in BATCH_WORKLOADS]
     plan = getattr(args, "fault_plan", None)
-    profiling_runner = ClusterRunner(base_seed=args.seed, faults=plan)
+    ambient = getattr(args, "network_noise", 0.0)
+    profiling_runner = ClusterRunner(
+        base_seed=args.seed, faults=plan, network_ambient=ambient
+    )
     console.info(
         f"Profiling {len(workloads)} workload(s) for the serving model..."
     )
@@ -57,6 +65,16 @@ def _build_daemon(args: argparse.Namespace) -> ConsolidationDaemon:
     )
     if batch:
         build_batch_profiles(profiling_runner, report.model, batch, span=4)
+    if wants_network(args):
+        network_capable = [w for w in workloads if w in NETWORK_WORKLOADS]
+        if network_capable:
+            console.info(
+                f"Profiling the network domain for "
+                f"{len(network_capable)} workload(s)..."
+            )
+            build_network_profiles(
+                profiling_runner, report.model, network_capable, span=4
+            )
     stream = WorkloadStream(
         StreamConfig(
             workloads=workloads,
@@ -71,7 +89,9 @@ def _build_daemon(args: argparse.Namespace) -> ConsolidationDaemon:
     degraded = tuple(sorted(profiling_runner.faulted_workloads))
 
     def runner_factory():
-        runner = ClusterRunner(base_seed=args.seed, faults=plan)
+        runner = ClusterRunner(
+            base_seed=args.seed, faults=plan, network_ambient=ambient
+        )
         runner.faulted_workloads.update(degraded)
         return runner
 
@@ -223,7 +243,10 @@ def register(
             "directory (durable queue, leased executor pool, "
             "crash-safe resume)"
         ),
-        parents=[parents["trace"], parents["faults"], parents["seed"]],
+        parents=[
+            parents["trace"], parents["faults"], parents["seed"],
+            parents["network"],
+        ],
     )
     p_daemon.add_argument(
         "--spool", required=True, metavar="DIR",

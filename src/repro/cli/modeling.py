@@ -6,7 +6,12 @@ import argparse
 from typing import Mapping
 
 from repro.analysis.reporting import format_table
-from repro.core.builder import MATRIX_PROFILERS, build_model
+from repro.cli._parents import wants_network
+from repro.core.builder import (
+    MATRIX_PROFILERS,
+    build_model,
+    build_network_profiles,
+)
 from repro.core.profile_store import load_model, save_model
 from repro.obs import console
 from repro.sim.runner import ClusterRunner
@@ -14,7 +19,9 @@ from repro.sim.runner import ClusterRunner
 
 def _cmd_profile(args: argparse.Namespace) -> int:
     runner = ClusterRunner(
-        base_seed=args.seed, faults=getattr(args, "fault_plan", None)
+        base_seed=args.seed,
+        faults=getattr(args, "fault_plan", None),
+        network_ambient=getattr(args, "network_noise", 0.0),
     )
     report = build_model(
         runner,
@@ -23,6 +30,9 @@ def _cmd_profile(args: argparse.Namespace) -> int:
         policy_samples=args.policy_samples,
         seed=args.seed,
     )
+    network = wants_network(args)
+    if network:
+        build_network_profiles(runner, report.model, args.workloads)
     rows = [
         (
             abbrev,
@@ -30,11 +40,17 @@ def _cmd_profile(args: argparse.Namespace) -> int:
             report.model.profile(abbrev).bubble_score,
             report.profiling_outcomes[abbrev].cost_percent,
         )
+        + (
+            (report.model.profile(abbrev).network_score,)
+            if network
+            else ()
+        )
         for abbrev in args.workloads
     ]
-    console.emit(format_table(
-        ["Workload", "Policy", "Bubble score", "Profiling cost (%)"], rows
-    ))
+    headers = ["Workload", "Policy", "Bubble score", "Profiling cost (%)"]
+    if network:
+        headers.append("Network score")
+    console.emit(format_table(headers, rows))
     if args.out:
         save_model(report.model, args.out)
         console.emit(f"\nmodel written to {args.out}")
@@ -45,11 +61,15 @@ def _cmd_predict(args: argparse.Namespace) -> int:
     model = load_model(args.model)
     if args.pressures:
         vector = [float(p) for p in args.pressures.split(",")]
-        predicted = model.predict(args.workload, vector)
+        predicted = model.predict(args.workload, vector, domain=args.domain)
         setting = f"heterogeneous vector {vector}"
     else:
-        predicted = model.predict(args.workload, (args.pressure, args.count))
+        predicted = model.predict(
+            args.workload, (args.pressure, args.count), domain=args.domain
+        )
         setting = f"{args.count} node(s) at pressure {args.pressure}"
+    if args.domain != "compute":
+        setting += f" ({args.domain} domain)"
     console.emit(f"{args.workload} under {setting}: {predicted:.3f}x solo time")
     return 0
 
@@ -62,7 +82,10 @@ def register(
     p_profile = subparsers.add_parser(
         "profile",
         help="build an interference model",
-        parents=[parents["trace"], parents["faults"], parents["seed"], parents["output"]],
+        parents=[
+            parents["trace"], parents["faults"], parents["seed"],
+            parents["output"], parents["network"],
+        ],
     )
     p_profile.add_argument("workloads", nargs="+")
     p_profile.add_argument(
@@ -84,5 +107,11 @@ def register(
     p_predict.add_argument(
         "--pressures",
         help="comma-separated per-node pressures (heterogeneous query)",
+    )
+    p_predict.add_argument(
+        "--domain",
+        choices=("compute", "network"),
+        default="compute",
+        help="contention domain to query (default: compute)",
     )
     p_predict.set_defaults(fn=_cmd_predict)

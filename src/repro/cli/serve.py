@@ -19,8 +19,13 @@ from typing import Mapping
 
 from repro._util import atomic_write_text
 from repro.analysis.reporting import render_event_counts, render_service_snapshot
-from repro.apps.catalog import BATCH_WORKLOADS
-from repro.core.builder import build_batch_profiles, build_model
+from repro.apps.catalog import BATCH_WORKLOADS, NETWORK_WORKLOADS
+from repro.cli._parents import wants_network
+from repro.core.builder import (
+    build_batch_profiles,
+    build_model,
+    build_network_profiles,
+)
 from repro.obs import console
 from repro.service import (
     ConsolidationService,
@@ -106,7 +111,12 @@ def _build_sharded(args: argparse.Namespace, profiling_runner, model, stream):
             and shard.num_nodes == profiling_runner.spec.num_nodes
         ):
             return profiling_runner
-        return ClusterRunner(shard.spec, base_seed=cell_seed, faults=fault_plan)
+        return ClusterRunner(
+            shard.spec,
+            base_seed=cell_seed,
+            faults=fault_plan,
+            network_ambient=getattr(args, "network_noise", 0.0),
+        )
 
     return build_sharded_service(
         model,
@@ -128,7 +138,9 @@ def _build_service(args: argparse.Namespace):
     distributed = [w for w in workloads if w not in BATCH_WORKLOADS]
     batch = [w for w in workloads if w in BATCH_WORKLOADS]
     runner = ClusterRunner(
-        base_seed=args.seed, faults=getattr(args, "fault_plan", None)
+        base_seed=args.seed,
+        faults=getattr(args, "fault_plan", None),
+        network_ambient=getattr(args, "network_noise", 0.0),
     )
     console.info(
         f"Profiling {len(workloads)} workload(s) for the serving model..."
@@ -142,6 +154,16 @@ def _build_service(args: argparse.Namespace):
     )
     if batch:
         build_batch_profiles(runner, report.model, batch, span=4)
+    if wants_network(args):
+        network_capable = [w for w in workloads if w in NETWORK_WORKLOADS]
+        if network_capable:
+            console.info(
+                f"Profiling the network domain for "
+                f"{len(network_capable)} workload(s)..."
+            )
+            build_network_profiles(
+                runner, report.model, network_capable, span=4
+            )
     stream = WorkloadStream(
         StreamConfig(
             workloads=workloads,
@@ -247,7 +269,10 @@ def register(
     p_serve = subparsers.add_parser(
         "serve",
         help="run the online consolidation service over a seeded traffic day",
-        parents=[parents["trace"], parents["faults"], parents["seed"]],
+        parents=[
+            parents["trace"], parents["faults"], parents["seed"],
+            parents["network"],
+        ],
     )
     p_serve.add_argument("--epochs", type=int, default=12)
     p_serve.add_argument(

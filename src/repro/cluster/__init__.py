@@ -8,6 +8,8 @@ bubble-pressure scale.
 
 from repro.cluster.cluster import Cluster, ClusterSpec
 from repro.cluster.contention import (
+    ContentionDomain,
+    DOMAIN_COLLISION_SURCHARGE,
     ExponentialSensitivity,
     FlatSensitivity,
     LinearSensitivity,
@@ -26,6 +28,8 @@ from repro.cluster.vm import VirtualMachine, VMUnit
 __all__ = [
     "Cluster",
     "ClusterSpec",
+    "ContentionDomain",
+    "DOMAIN_COLLISION_SURCHARGE",
     "ExponentialSensitivity",
     "FlatSensitivity",
     "LinearSensitivity",

@@ -5,6 +5,7 @@ from repro.core.builder import (
     ModelBuildReport,
     build_batch_profiles,
     build_model,
+    build_network_profiles,
     default_counts,
     default_pressures,
 )
@@ -59,6 +60,7 @@ __all__ = [
     "all_policies",
     "build_batch_profiles",
     "build_model",
+    "build_network_profiles",
     "calibrate_probe",
     "combined_score",
     "default_counts",

@@ -13,11 +13,17 @@ yielding a ready-to-use :class:`~repro.core.model.InterferenceModel`.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
 from typing import Callable, Dict, Optional, Sequence
 
 from repro._util import stable_seed
-from repro.core.model import InterferenceModel, InterferenceProfile
+from repro.cluster.contention import ContentionDomain
+from repro.core.model import (
+    InterferenceModel,
+    InterferenceProfile,
+    NETWORK_POLICY,
+)
 from repro.core.profiling.binary import (
     DEFAULT_THRESHOLD,
     binary_brute,
@@ -242,3 +248,74 @@ def build_batch_profiles(
                 bubble_score=score,
             )
         )
+
+
+def build_network_profiles(
+    runner: ClusterRunner,
+    model: InterferenceModel,
+    workloads: Sequence[str],
+    *,
+    counts: Optional[Sequence[float]] = None,
+    pressures: Optional[Sequence[float]] = None,
+    threshold: float = DEFAULT_THRESHOLD,
+    span: Optional[int] = None,
+) -> Dict[str, ProfilingOutcome]:
+    """Add the NETWORK contention domain to already-profiled workloads.
+
+    For each workload (which must already hold a compute profile in
+    ``model``) this runs the same binary-optimized matrix campaign over
+    *network-noise* settings — traffic-generator bubbles instead of
+    cache thrashers — and meters the workload's network bubble score
+    with the traffic probe.  The workload's profile is replaced in
+    place with ``network_matrix``/``network_score`` filled in; its
+    compute matrix, policy, and bubble score are untouched, so every
+    compute-domain prediction stays bit-identical.
+
+    No policy selection runs for the network domain: collectives are
+    gated by the bottleneck link, so the NETWORK domain always maps a
+    per-node link-pressure vector through the ALL-max policy
+    (:data:`repro.core.model.NETWORK_POLICY`) regardless of the
+    workload's compute-domain policy.
+
+    Returns the per-workload profiling outcomes (for cost reporting).
+    """
+    pressures = list(pressures) if pressures is not None else default_pressures()
+    if counts is not None:
+        counts = list(counts)
+    else:
+        counts = default_counts(span if span is not None else runner.num_nodes)
+    meter = BubbleScoreMeter(runner)
+    outcomes: Dict[str, ProfilingOutcome] = {}
+    for abbrev in workloads:
+        base = model.profile(abbrev)  # raises if never compute-profiled
+        with _obs.RECORDER.span(
+            "profile.workload", workload=abbrev,
+            algorithm="binary-optimized", domain="network",
+        ) as wspan:
+            oracle = MeasurementOracle(
+                runner, abbrev, span=span, domain=ContentionDomain.NETWORK
+            )
+            with _obs.RECORDER.span(
+                "profile.matrix", workload=abbrev, domain="network"
+            ):
+                outcome = binary_optimized(
+                    oracle, pressures, counts, threshold=threshold
+                )
+            with _obs.RECORDER.span(
+                "profile.score", workload=abbrev, domain="network"
+            ):
+                score = meter.score(abbrev, domain=ContentionDomain.NETWORK)
+            wspan.set(
+                settings_measured=outcome.settings_measured,
+                total_settings=outcome.total_settings,
+                cost_percent=outcome.cost_percent,
+                policy=NETWORK_POLICY,
+                bubble_score=score,
+            )
+        model.add_profile(
+            dataclasses.replace(
+                base, network_matrix=outcome.matrix, network_score=score
+            )
+        )
+        outcomes[abbrev] = outcome
+    return outcomes

@@ -18,11 +18,11 @@ scores of whatever shares its nodes (Figure 5's procedure).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Sequence, Tuple, Union
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from repro.cluster.contention import combine_pressures
+from repro.cluster.contention import ContentionDomain, combine_pressures
 from repro.core.curves import HomogeneousSetting, PropagationMatrix
 from repro.core.kernel import PredictionKernel, PredictionRequest
 from repro.core.policies import HeterogeneityPolicy, get_policy
@@ -35,6 +35,12 @@ from repro.obs import recorder as _obs
 #: pressure vector (a list/array, one entry per spanned node).
 Interference = Union[HomogeneousSetting, Tuple[float, float], Sequence[float]]
 
+#: Heterogeneity mapping of the NETWORK domain.  Collectives are gated
+#: by the bottleneck link — the slowest uplink serializes the whole
+#: exchange — so the worst per-node link pressure propagates to the
+#: entire span regardless of the workload's compute-domain policy.
+NETWORK_POLICY = "ALL MAX"
+
 
 def _count_batch(size: int) -> None:
     """Batch-size counters for ``repro trace summarize`` rollups."""
@@ -44,16 +50,33 @@ def _count_batch(size: int) -> None:
 
 @dataclass(frozen=True)
 class InterferenceProfile:
-    """Profiled interference behaviour of one application."""
+    """Profiled interference behaviour of one application.
+
+    The scalar-era fields describe the COMPUTE contention domain
+    (LLC + memory bandwidth).  ``network_matrix``/``network_score``
+    describe the NETWORK domain and stay at their defaults for every
+    profile built without network profiling — serialization omits them
+    entirely in that case, so existing model files round-trip
+    byte-identically.
+    """
 
     workload: str
     matrix: PropagationMatrix
     policy_name: str
     bubble_score: float
+    #: Propagation matrix over NETWORK-domain (link-noise) settings;
+    #: ``None`` means the workload was not profiled for the network
+    #: dimension and its predictions are compute-only.
+    network_matrix: Optional[PropagationMatrix] = None
+    #: Link pressure the workload exerts on co-runners' uplinks (its
+    #: network bubble score).
+    network_score: float = 0.0
 
     def __post_init__(self) -> None:
         if self.bubble_score < 0:
             raise ModelError("bubble_score must be non-negative")
+        if self.network_score < 0:
+            raise ModelError("network_score must be non-negative")
         get_policy(self.policy_name)  # validates the name
 
     @property
@@ -63,21 +86,32 @@ class InterferenceProfile:
 
     def to_dict(self) -> dict:
         """JSON-serializable representation."""
-        return {
+        payload = {
             "workload": self.workload,
             "matrix": self.matrix.to_dict(),
             "policy": self.policy_name,
             "bubble_score": self.bubble_score,
         }
+        if self.network_matrix is not None:
+            payload["network_matrix"] = self.network_matrix.to_dict()
+        if self.network_score:
+            payload["network_score"] = self.network_score
+        return payload
 
     @classmethod
     def from_dict(cls, payload: dict) -> "InterferenceProfile":
         """Inverse of :meth:`to_dict`."""
+        network_matrix = payload.get("network_matrix")
         return cls(
             workload=payload["workload"],
             matrix=PropagationMatrix.from_dict(payload["matrix"]),
             policy_name=payload["policy"],
             bubble_score=payload["bubble_score"],
+            network_matrix=(
+                None if network_matrix is None
+                else PropagationMatrix.from_dict(network_matrix)
+            ),
+            network_score=payload.get("network_score", 0.0),
         )
 
 
@@ -97,6 +131,9 @@ class InterferenceModel:
         #: :class:`PredictionKernel` snapshot is keyed on it.
         self._version = 0
         self._kernel: PredictionKernel | None = None
+        self._net_kernel: PredictionKernel | None = None
+        self._net_version = -1
+        self._net_predictable: frozenset = frozenset()
 
     @property
     def workloads(self) -> List[str]:
@@ -140,10 +177,74 @@ class InterferenceModel:
             self._kernel = kernel
         return kernel
 
+    def _network_predictable(self) -> frozenset:
+        """Workloads holding a network matrix (version-cached)."""
+        if self._net_version != self._version:
+            self._net_predictable = frozenset(
+                name
+                for name, profile in self._profiles.items()
+                if profile.network_matrix is not None
+            )
+            self._net_kernel = None
+            self._net_version = self._version
+        return self._net_predictable
+
+    @property
+    def has_network(self) -> bool:
+        """Whether any profile carries the NETWORK contention domain.
+
+        False for every model built without network profiling; all
+        combined-prediction branches gate on it, so such models execute
+        exactly the scalar-era code paths.
+        """
+        return bool(self._network_predictable())
+
+    def network_kernel(self) -> PredictionKernel:
+        """The batch-prediction snapshot of the NETWORK domain.
+
+        Built from a *view* of the profiles in which each workload's
+        matrix is its network matrix and its bubble score is its
+        network score, so the full kernel machinery — and its
+        bit-identity contract — applies unchanged to the network
+        dimension.  Workloads without a network matrix appear in the
+        view only as pressure sources (their compute matrix is a
+        placeholder that is never consulted; prediction for them is
+        guarded at the model level).
+
+        Every view profile carries the ALL-max heterogeneity policy:
+        a collective is gated by its *bottleneck* link (the slowest
+        uplink serializes the whole exchange), so the worst link
+        pressure anywhere on the span is what the network matrix must
+        be read at — see :data:`NETWORK_POLICY`.
+        """
+        self._network_predictable()
+        if self._net_kernel is None or self._net_kernel.version != self._version:
+            view = {
+                name: InterferenceProfile(
+                    workload=profile.workload,
+                    matrix=(
+                        profile.network_matrix
+                        if profile.network_matrix is not None
+                        else profile.matrix
+                    ),
+                    policy_name=NETWORK_POLICY,
+                    bubble_score=profile.network_score,
+                )
+                for name, profile in self._profiles.items()
+            }
+            self._net_kernel = PredictionKernel(view, version=self._version)
+        return self._net_kernel
+
     # ------------------------------------------------------------------
     # Predictions
     # ------------------------------------------------------------------
-    def predict(self, workload: str, interference: Interference) -> float:
+    def predict(
+        self,
+        workload: str,
+        interference: Interference,
+        *,
+        domain: ContentionDomain = ContentionDomain.COMPUTE,
+    ) -> float:
         """Normalized time of ``workload`` under ``interference``.
 
         The single prediction entry point; dispatches on the type of
@@ -160,12 +261,22 @@ class InterferenceModel:
         the homogeneous pair, a 2-element list is always a 2-node
         vector.
 
+        ``domain`` selects the contention resource: COMPUTE (the
+        default, and exactly the scalar-era behaviour) reads the
+        propagation matrix over cache/memory-bandwidth settings;
+        NETWORK reads the per-link matrix and raises
+        :class:`~repro.errors.ModelError` for workloads without a
+        network profile.
+
         >>> model.predict("M.lmps", (5.0, 3))          # homogeneous
         >>> model.predict("M.lmps", [6.0, 3.0, 0, 0])  # heterogeneous
         """
+        if domain is not ContentionDomain.COMPUTE:
+            domain = ContentionDomain.parse(domain)
         if isinstance(interference, HomogeneousSetting):
             return self._predict_homogeneous(
-                workload, interference.pressure, interference.count
+                workload, interference.pressure, interference.count,
+                domain=domain,
             )
         if isinstance(interference, tuple):
             if len(interference) != 2:
@@ -175,43 +286,65 @@ class InterferenceModel:
                 )
             pressure, count = interference
             return self._predict_homogeneous(
-                workload, float(pressure), float(count)
+                workload, float(pressure), float(count), domain=domain
             )
         if isinstance(interference, np.ndarray):
             # Float64 vectors pass through uncopied — the per-element
             # ``float()`` round-trip below is a pure identity for them
             # and a measurable allocation on the heterogeneous hot path.
             if interference.dtype == np.float64 and interference.ndim == 1:
-                return self._predict_heterogeneous(workload, interference)
+                return self._predict_heterogeneous(
+                    workload, interference, domain=domain
+                )
             return self._predict_heterogeneous(
-                workload, [float(p) for p in interference]
+                workload, [float(p) for p in interference], domain=domain
             )
         if isinstance(interference, list) or (
             isinstance(interference, Sequence)
             and not isinstance(interference, (str, bytes))
         ):
             return self._predict_heterogeneous(
-                workload, [float(p) for p in interference]
+                workload, [float(p) for p in interference], domain=domain
             )
         raise ModelError(
             "interference must be a (pressure, count) pair or a per-node "
             f"pressure vector; got {type(interference).__name__}"
         )
 
+    def _domain_matrix(
+        self, profile: InterferenceProfile, domain: ContentionDomain
+    ) -> PropagationMatrix:
+        if domain is ContentionDomain.COMPUTE:
+            return profile.matrix
+        if profile.network_matrix is None:
+            raise ModelError(
+                f"no network profile for {profile.workload!r}; "
+                "build one with build_network_profiles"
+            )
+        return profile.network_matrix
+
     def _predict_homogeneous(
-        self, workload: str, pressure: float, count: float
+        self, workload: str, pressure: float, count: float,
+        *, domain: ContentionDomain = ContentionDomain.COMPUTE,
     ) -> float:
         profile = self.profile(workload)
-        return profile.matrix.lookup(HomogeneousSetting(pressure, count))
+        matrix = self._domain_matrix(profile, domain)
+        return matrix.lookup(HomogeneousSetting(pressure, count))
 
     def _predict_heterogeneous(
-        self, workload: str, pressures: Sequence[float]
+        self, workload: str, pressures: Sequence[float],
+        *, domain: ContentionDomain = ContentionDomain.COMPUTE,
     ) -> float:
         profile = self.profile(workload)
-        setting = profile.policy.convert(pressures)
-        scale = profile.matrix.max_count / len(pressures)
+        matrix = self._domain_matrix(profile, domain)
+        if domain is ContentionDomain.COMPUTE:
+            policy = profile.policy
+        else:
+            policy = get_policy(NETWORK_POLICY)
+        setting = policy.convert(pressures)
+        scale = matrix.max_count / len(pressures)
         scaled = HomogeneousSetting(setting.pressure, setting.count * scale)
-        return profile.matrix.lookup(scaled)
+        return matrix.lookup(scaled)
 
     def predict_homogeneous(
         self, workload: str, pressure: float, count: float
@@ -273,32 +406,96 @@ class InterferenceModel:
             vector.append(combine_pressures(scores, collision_surcharge=0.0))
         return vector
 
+    def network_pressure_vector(
+        self,
+        workload_nodes: Sequence[int],
+        co_runners_by_node: Mapping[int, Sequence[str]],
+    ) -> List[float]:
+        """Per-node *link* pressures seen from co-runners' network scores.
+
+        The NETWORK-domain analogue of :meth:`pressure_vector`,
+        combining the co-runners' network bubble scores per node with
+        the same surcharge-free public rule.
+        """
+        vector: List[float] = []
+        for node in workload_nodes:
+            scores = [
+                self.profile(name).network_score
+                for name in co_runners_by_node.get(node, ())
+            ]
+            vector.append(combine_pressures(scores, collision_surcharge=0.0))
+        return vector
+
+    def _network_factor(
+        self,
+        workload: str,
+        workload_nodes: Sequence[int],
+        co_runners_by_node: Mapping[int, Sequence[str]],
+    ) -> Optional[float]:
+        """NETWORK-domain slowdown factor, or ``None`` if not applicable.
+
+        ``None`` when the target has no network profile — combined
+        predictions then degrade gracefully to compute-only, mirroring
+        the scalar era.
+        """
+        profile = self.profile(workload)
+        if profile.network_matrix is None:
+            return None
+        vector = self.network_pressure_vector(
+            workload_nodes, co_runners_by_node
+        )
+        return self._predict_heterogeneous(
+            workload, vector, domain=ContentionDomain.NETWORK
+        )
+
     def predict_under_corunners(
         self,
         workload: str,
         workload_nodes: Sequence[int],
         co_runners_by_node: Mapping[int, Sequence[str]],
     ) -> float:
-        """Normalized time of ``workload`` given its co-runners per node."""
+        """Normalized time of ``workload`` given its co-runners per node.
+
+        When the model carries the NETWORK domain, the prediction is
+        the *combined* per-resource estimate: the compute slowdown
+        multiplied by the link-contention slowdown (slowdowns on
+        independent resources compose multiplicatively, the standard
+        independence assumption).  Models without network profiles run
+        exactly the scalar-era code path.
+        """
         vector = self.pressure_vector(workload_nodes, co_runners_by_node)
-        return self.predict_heterogeneous(workload, vector)
+        value = self.predict_heterogeneous(workload, vector)
+        if self.has_network:
+            factor = self._network_factor(
+                workload, workload_nodes, co_runners_by_node
+            )
+            if factor is not None:
+                value = value * factor
+        return value
 
     # ------------------------------------------------------------------
     # Batch predictions (the vectorized hot path)
     # ------------------------------------------------------------------
     def predict_batch(
-        self, requests: Sequence[Union[PredictionRequest, Tuple[str, object]]]
+        self,
+        requests: Sequence[Union[PredictionRequest, Tuple[str, object]]],
+        *,
+        domain: ContentionDomain = ContentionDomain.COMPUTE,
     ) -> np.ndarray:
         """Vectorized :meth:`predict` over many requests at once.
 
         Each request is a :class:`~repro.core.kernel.PredictionRequest`
         or a plain ``(workload, interference)`` pair; ``interference``
-        takes the same forms :meth:`predict` accepts.  Results are
-        bit-identical to calling :meth:`predict` per request (see
-        :mod:`repro.core.kernel`); any malformed request drops the
-        whole batch onto the scalar path so the scalar exception is
-        raised, in request order.
+        takes the same forms :meth:`predict` accepts.  ``domain``
+        selects the contention resource exactly as in :meth:`predict`.
+        Results are bit-identical to calling :meth:`predict` per
+        request (see :mod:`repro.core.kernel`); any malformed request
+        drops the whole batch onto the scalar path so the scalar
+        exception is raised, in request order.
         """
+        if domain is not ContentionDomain.COMPUTE:
+            domain = ContentionDomain.parse(domain)
+        network = domain is ContentionDomain.NETWORK
         unpacked: List[Tuple[str, object]] = []
         for request in requests:
             if isinstance(request, PredictionRequest):
@@ -307,7 +504,12 @@ class InterferenceModel:
                 workload, interference = request
                 unpacked.append((workload, interference))
         _count_batch(len(unpacked))
-        kernel = self.prediction_kernel()
+        if network:
+            kernel = self.network_kernel()
+            predictable = self._network_predictable()
+        else:
+            kernel = self.prediction_kernel()
+            predictable = None
         out = np.empty(len(unpacked), dtype=float)
         het_indices: List[int] = []
         het_workloads: List[str] = []
@@ -317,18 +519,22 @@ class InterferenceModel:
         hom: Dict[str, Tuple[List[int], List[float], List[float]]] = {}
         for i, (workload, interference) in enumerate(unpacked):
             if not kernel.knows(workload):
-                return self._predict_batch_scalar(unpacked)
+                return self._predict_batch_scalar(unpacked, domain=domain)
+            if predictable is not None and workload not in predictable:
+                # The network view knows the workload only as a pressure
+                # source; scalar replay raises the proper ModelError.
+                return self._predict_batch_scalar(unpacked, domain=domain)
             if isinstance(interference, tuple) and not isinstance(
                 interference, HomogeneousSetting
             ):
                 if len(interference) != 2:
-                    return self._predict_batch_scalar(unpacked)
+                    return self._predict_batch_scalar(unpacked, domain=domain)
                 try:
                     interference = HomogeneousSetting(
                         float(interference[0]), float(interference[1])
                     )
                 except (TypeError, ValueError):
-                    return self._predict_batch_scalar(unpacked)
+                    return self._predict_batch_scalar(unpacked, domain=domain)
             if isinstance(interference, HomogeneousSetting):
                 bucket = hom.setdefault(workload, ([], [], []))
                 bucket[0].append(i)
@@ -342,11 +548,11 @@ class InterferenceModel:
                 het_workloads.append(workload)
                 het_vectors.append(interference)
             else:
-                return self._predict_batch_scalar(unpacked)
+                return self._predict_batch_scalar(unpacked, domain=domain)
         if het_indices:
             values = kernel.predict_vectors(het_workloads, het_vectors)
             if values is None:
-                return self._predict_batch_scalar(unpacked)
+                return self._predict_batch_scalar(unpacked, domain=domain)
             out[het_indices] = values
         for workload, (indices, pressures, counts) in hom.items():
             out[indices] = kernel.lookup_settings(
@@ -355,11 +561,14 @@ class InterferenceModel:
         return out
 
     def _predict_batch_scalar(
-        self, unpacked: Sequence[Tuple[str, object]]
+        self,
+        unpacked: Sequence[Tuple[str, object]],
+        *,
+        domain: ContentionDomain = ContentionDomain.COMPUTE,
     ) -> np.ndarray:
         """Reference scalar path (also the error-raising fallback)."""
         return np.array(
-            [self.predict(workload, interference)
+            [self.predict(workload, interference, domain=domain)
              for workload, interference in unpacked],
             dtype=float,
         )
@@ -393,6 +602,57 @@ class InterferenceModel:
                 [self.predict_under_corunners(w, n, c) for w, n, c in items],
                 dtype=float,
             )
+        if self.has_network:
+            values = self._apply_network_factors(
+                values,
+                [(w, n, c) for w, n, c in items],
+            )
+            if values is None:
+                return np.array(
+                    [
+                        self.predict_under_corunners(w, n, c)
+                        for w, n, c in items
+                    ],
+                    dtype=float,
+                )
+        return values
+
+    def _apply_network_factors(
+        self,
+        values: np.ndarray,
+        items: Sequence[Tuple[str, Sequence[int], Mapping[int, Sequence[str]]]],
+    ) -> Optional[np.ndarray]:
+        """Fold NETWORK-domain factors into compute predictions in place.
+
+        ``values[i]`` is multiplied by the network slowdown of
+        ``items[i]`` for every network-predictable target — one
+        multiplication per item, in item order, exactly as the scalar
+        combined path does it.  Returns ``None`` on a kernel anomaly so
+        callers replay the whole batch through the scalar path.
+        """
+        predictable = self._network_predictable()
+        net_kernel = self.network_kernel()
+        indices: List[int] = []
+        net_workloads: List[str] = []
+        net_vectors: List[List[float]] = []
+        try:
+            for i, (workload, nodes, co_runners) in enumerate(items):
+                if workload not in predictable:
+                    continue
+                indices.append(i)
+                net_workloads.append(workload)
+                net_vectors.append(
+                    net_kernel.pressure_vector(nodes, co_runners)
+                )
+        except ModelError:
+            return None
+        if not indices:
+            return values
+        factors = net_kernel.predict_vectors(net_workloads, net_vectors)
+        if factors is None:
+            return None
+        for i, factor in zip(indices, factors):
+            values[i] = values[i] * factor
         return values
 
     def predict_placement_batch(
@@ -411,15 +671,57 @@ class InterferenceModel:
             [workload for _, workload, _ in triples],
             [vector for _, _, vector in triples],
         )
+        net_triples = None
+        if self.has_network:
+            # Same placement, network view: vectors combine co-runner
+            # *network* scores; triple order matches `triples`.
+            net_triples = self.network_kernel().placement_vectors(placement)
+        if values is not None and net_triples is not None:
+            values = self._fold_placement_network(values, triples, net_triples)
         if values is None:
-            return {
-                key: self.predict_heterogeneous(workload, vector)
-                for key, workload, vector in triples
-            }
+            predictable = self._network_predictable()
+            out: Dict[str, float] = {}
+            for i, (key, workload, vector) in enumerate(triples):
+                value = self.predict_heterogeneous(workload, vector)
+                if net_triples is not None and workload in predictable:
+                    value = value * self._predict_heterogeneous(
+                        workload, net_triples[i][2],
+                        domain=ContentionDomain.NETWORK,
+                    )
+                out[key] = value
+            return out
         return {
             key: float(value)
             for (key, _, _), value in zip(triples, values)
         }
+
+    def _fold_placement_network(
+        self,
+        values: np.ndarray,
+        triples: Sequence[Tuple[str, str, List[float]]],
+        net_triples: Sequence[Tuple[str, str, List[float]]],
+    ) -> Optional[np.ndarray]:
+        """Multiply NETWORK factors into placement predictions in place.
+
+        Returns ``None`` on a network-kernel anomaly so the caller
+        replays the combined scalar path.
+        """
+        predictable = self._network_predictable()
+        indices = [
+            i for i, (_, workload, _) in enumerate(triples)
+            if workload in predictable
+        ]
+        if not indices:
+            return values
+        factors = self.network_kernel().predict_vectors(
+            [triples[i][1] for i in indices],
+            [net_triples[i][2] for i in indices],
+        )
+        if factors is None:
+            return None
+        for i, factor in zip(indices, factors):
+            values[i] = values[i] * factor
+        return values
 
     def predict_placements_batch(
         self, placements: Sequence["Placement"]  # noqa: F821
@@ -438,6 +740,8 @@ class InterferenceModel:
         workloads: List[str] = []
         vectors: List[List[float]] = []
         kernel = self.prediction_kernel()
+        net_kernel = self.network_kernel() if self.has_network else None
+        net_vectors: List[List[float]] = []
         for placement in placements:
             if tuple(
                 spec.instance_key for spec in placement.instances
@@ -449,6 +753,9 @@ class InterferenceModel:
             for _, workload, vector in kernel.placement_vectors(placement):
                 workloads.append(workload)
                 vectors.append(vector)
+            if net_kernel is not None:
+                for _, _, vector in net_kernel.placement_vectors(placement):
+                    net_vectors.append(vector)
         _count_batch(len(workloads))
         values = kernel.predict_vectors(workloads, vectors)
         if values is None:
@@ -459,6 +766,31 @@ class InterferenceModel:
                 ],
                 dtype=float,
             )
+        if net_kernel is not None:
+            predictable = self._network_predictable()
+            indices = [
+                i for i, workload in enumerate(workloads)
+                if workload in predictable
+            ]
+            if indices:
+                factors = net_kernel.predict_vectors(
+                    [workloads[i] for i in indices],
+                    [net_vectors[i] for i in indices],
+                )
+                if factors is None:
+                    factors = np.array(
+                        [
+                            self._predict_heterogeneous(
+                                workloads[i],
+                                net_vectors[i],
+                                domain=ContentionDomain.NETWORK,
+                            )
+                            for i in indices
+                        ],
+                        dtype=float,
+                    )
+                for i, factor in zip(indices, factors):
+                    values[i] = values[i] * factor
         return values.reshape(len(placements), len(keys))
 
     # ------------------------------------------------------------------

@@ -27,6 +27,7 @@ from typing import Dict, List, Mapping, Sequence, Tuple
 
 import numpy as np
 
+from repro.cluster.contention import ContentionDomain
 from repro.core.kernel import PredictionKernel, PredictionRequest
 from repro.core.model import InterferenceModel
 from repro.errors import ModelError
@@ -95,6 +96,23 @@ class OnlineModel:
         """The static profile (delegated)."""
         return self.base.profile(workload)
 
+    @property
+    def has_network(self) -> bool:
+        """Whether the base model carries the NETWORK domain (delegated)."""
+        return self.base.has_network
+
+    def predict(
+        self,
+        workload: str,
+        interference,
+        *,
+        domain: ContentionDomain = ContentionDomain.COMPUTE,
+    ) -> float:
+        """Corrected :meth:`InterferenceModel.predict` (any domain)."""
+        return self._apply(
+            workload, self.base.predict(workload, interference, domain=domain)
+        )
+
     def pressure_vector(
         self,
         workload_nodes: Sequence[int],
@@ -102,6 +120,16 @@ class OnlineModel:
     ) -> List[float]:
         """Per-node pressures (delegated to the static model)."""
         return self.base.pressure_vector(workload_nodes, co_runners_by_node)
+
+    def network_pressure_vector(
+        self,
+        workload_nodes: Sequence[int],
+        co_runners_by_node: Mapping[int, Sequence[str]],
+    ) -> List[float]:
+        """Per-node link pressures (delegated to the static model)."""
+        return self.base.network_pressure_vector(
+            workload_nodes, co_runners_by_node
+        )
 
     def predict_homogeneous(
         self, workload: str, pressure: float, count: float
@@ -155,9 +183,14 @@ class OnlineModel:
         # Elementwise replay of :meth:`_apply` — same operation order.
         return 1.0 + (values - 1.0) * factors
 
-    def predict_batch(self, requests: Sequence) -> np.ndarray:
+    def predict_batch(
+        self,
+        requests: Sequence,
+        *,
+        domain: ContentionDomain = ContentionDomain.COMPUTE,
+    ) -> np.ndarray:
         """Corrected :meth:`InterferenceModel.predict_batch`."""
-        values = self.base.predict_batch(requests)
+        values = self.base.predict_batch(requests, domain=domain)
         workloads = [
             request.workload
             if isinstance(request, PredictionRequest)

@@ -23,6 +23,7 @@ from typing import Dict, Set, Tuple
 
 import numpy as np
 
+from repro.cluster.contention import ContentionDomain
 from repro.core.curves import PropagationMatrix
 from repro.errors import MeasurementFault, ProfilingError
 from repro.obs import recorder as _obs
@@ -63,14 +64,32 @@ class MeasurementOracle:
         The measurement environment.
     abbrev:
         Workload under profiling.
+    domain:
+        Contention resource the settings describe.  COMPUTE (the
+        default) probes with cache/memory-bandwidth bubbles via
+        :meth:`~repro.sim.runner.ClusterRunner.measure`; NETWORK probes
+        with traffic-generator bubbles via
+        :meth:`~repro.sim.runner.ClusterRunner.measure_network`.  Every
+        profiler runs unchanged on either domain — the oracle is the
+        only routing point.
     """
 
     def __init__(
-        self, runner: ClusterRunner, abbrev: str, span: int | None = None
+        self,
+        runner: ClusterRunner,
+        abbrev: str,
+        span: int | None = None,
+        *,
+        domain: ContentionDomain = ContentionDomain.COMPUTE,
     ) -> None:
         self.runner = runner
         self.abbrev = abbrev
         self.span = span
+        self.domain = ContentionDomain.parse(domain)
+        self._network = self.domain is ContentionDomain.NETWORK
+        self._measure = (
+            runner.measure_network if self._network else runner.measure
+        )
         self._cache: Dict[Tuple[float, int], float] = {}
 
     def normalized(self, pressure: float, count: int) -> float:
@@ -99,8 +118,9 @@ class MeasurementOracle:
                 workload=self.abbrev,
                 pressure=pressure,
                 count=count,
+                **({"domain": "network"} if self._network else {}),
             ) as span:
-                value = self.runner.measure(
+                value = self._measure(
                     self.abbrev, pressure, count, span=self.span
                 )
                 span.set(normalized=value)
@@ -126,8 +146,9 @@ class MeasurementOracle:
                 pressure=pressure,
                 count=count,
                 reprobe=True,
+                **({"domain": "network"} if self._network else {}),
             ) as span:
-                value = self.runner.measure(
+                value = self._measure(
                     self.abbrev, pressure, count, rep=rep, span=self.span
                 )
                 span.set(normalized=value)

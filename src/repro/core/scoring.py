@@ -23,6 +23,7 @@ from typing import Dict, List, Sequence
 import numpy as np
 
 from repro.apps.bubble import bubble_sensitivity
+from repro.cluster.contention import ContentionDomain
 from repro.errors import ModelError
 from repro.obs import recorder as _obs
 from repro.sim.execution import CoRunExecutor, DeployedInstance
@@ -107,27 +108,46 @@ class BubbleScoreMeter:
         self.probe_level = probe_level
         self._probe_sensitivity = bubble_sensitivity()
 
-    def node_readings(self, abbrev: str) -> Dict[int, float]:
+    def node_readings(
+        self,
+        abbrev: str,
+        *,
+        domain: ContentionDomain = ContentionDomain.COMPUTE,
+    ) -> Dict[int, float]:
         """Per-node pressure readings for one workload.
 
         Deploys the target across the cluster with one probe bubble per
         node; each probe reports its own slowdown, inverted through the
-        calibration curve.
+        calibration curve.  In the NETWORK domain the probe is the
+        traffic-generator bubble and it reads the *link* pressure its
+        uplink experiences; seeds and instance keys are distinct so
+        network readings never collide with compute ones.
         """
+        network = ContentionDomain.parse(domain) is ContentionDomain.NETWORK
+        probe_prefix = "netprobe" if network else "probe"
         with _obs.RECORDER.span(
-            "score.readings", workload=abbrev, probes=self.runner.num_nodes
+            "score.readings", workload=abbrev, probes=self.runner.num_nodes,
+            **({"domain": "network"} if network else {}),
         ) as obs_span:
             target = self.runner.full_span_deployment(abbrev)
             probes: List[DeployedInstance] = []
             for node_id in range(self.runner.num_nodes):
                 probes.append(
                     DeployedInstance(
-                        instance_key=f"probe@n{node_id}",
-                        workload=make_bubble(self.probe_level),
+                        instance_key=f"{probe_prefix}@n{node_id}",
+                        workload=make_bubble(
+                            self.probe_level,
+                            domain=(
+                                ContentionDomain.NETWORK
+                                if network
+                                else ContentionDomain.COMPUTE
+                            ),
+                        ),
                         units_to_nodes={0: node_id},
                     )
                 )
-            seed = stable_seed(self.runner.base_seed, "score", abbrev)
+            seed_kind = "netscore" if network else "score"
+            seed = stable_seed(self.runner.base_seed, seed_kind, abbrev)
             results = CoRunExecutor(
                 [target] + probes,
                 seed=seed,
@@ -136,23 +156,38 @@ class BubbleScoreMeter:
             ).run()
             readings: Dict[int, float] = {}
             for node_id in range(self.runner.num_nodes):
-                probe_result = results[f"probe@n{node_id}"]
+                probe_result = results[f"{probe_prefix}@n{node_id}"]
                 # The probe sees the target *and* the other probes'
                 # pressure is on other nodes, so its reading is the
                 # target's contribution on this node (plus ambient noise on
                 # EC2, which the paper also could not exclude).
+                pressure_seen = (
+                    probe_result.mean_link_pressure_seen
+                    if network
+                    else probe_result.mean_pressure_seen
+                )
                 observed_slowdown = self._probe_sensitivity.slowdown(
-                    probe_result.mean_pressure_seen
+                    pressure_seen
                 )
                 readings[node_id] = self.calibration.pressure_for(observed_slowdown)
             obs_span.set_sim(results[abbrev].finish_time)
         return readings
 
-    def score(self, abbrev: str) -> float:
+    def score(
+        self,
+        abbrev: str,
+        *,
+        domain: ContentionDomain = ContentionDomain.COMPUTE,
+    ) -> float:
         """The workload's bubble score: the mean of per-node readings."""
-        readings = self.node_readings(abbrev)
+        readings = self.node_readings(abbrev, domain=domain)
         return sum(readings.values()) / len(readings)
 
-    def score_table(self, abbrevs: Sequence[str]) -> Dict[str, float]:
+    def score_table(
+        self,
+        abbrevs: Sequence[str],
+        *,
+        domain: ContentionDomain = ContentionDomain.COMPUTE,
+    ) -> Dict[str, float]:
         """Bubble scores for many workloads (Table 4)."""
-        return {abbrev: self.score(abbrev) for abbrev in abbrevs}
+        return {abbrev: self.score(abbrev, domain=domain) for abbrev in abbrevs}

@@ -76,14 +76,25 @@ class ConstrainedEnergy(PredictionEnergy):
         self.infeasible_base = infeasible_base
 
     def _target_pressure(self, placement: Placement) -> float:
-        """Mean predicted co-runner pressure on the constrained apps."""
+        """Mean predicted co-runner pressure on the constrained apps.
+
+        When the model carries the NETWORK contention domain the mean
+        runs over *both* per-domain vectors: a co-runner that is quiet
+        on the compute dimension but saturates the target's uplinks
+        must not win the infeasible-plateau tiebreak.  Flat-network
+        models take the scalar-era path unchanged.
+        """
         pressures: List[float] = []
+        network = getattr(self.model, "has_network", False)
         for constraint in self.constraints:
-            vector = self.model.pressure_vector(
-                placement.spanned_nodes(constraint.instance_key),
-                placement.co_runner_workloads(constraint.instance_key),
-            )
+            nodes = placement.spanned_nodes(constraint.instance_key)
+            coworkers = placement.co_runner_workloads(constraint.instance_key)
+            vector = self.model.pressure_vector(nodes, coworkers)
             pressures.extend(vector)
+            if network:
+                pressures.extend(
+                    self.model.network_pressure_vector(nodes, coworkers)
+                )
         return mean(pressures) if pressures else 0.0
 
     def aggregate(

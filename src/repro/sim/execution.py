@@ -86,6 +86,9 @@ class InstanceResult:
     stages_completed: int
     #: Mean pressure experienced across the instance's nodes at start.
     mean_pressure_seen: float
+    #: Mean NETWORK-domain (uplink) pressure across the instance's
+    #: nodes at start; 0.0 whenever the co-run has no network sources.
+    mean_link_pressure_seen: float = 0.0
     #: True if the instance was a passive pressure source (bubble).
     passive: bool = False
 
@@ -117,6 +120,8 @@ class _InstanceController:
         self._loop = loop
         self._keep_running = keep_running or (lambda: False)
         self._sensitivity = deployed.workload.spec.sensitivity
+        self._net_sensitivity = deployed.workload.spec.network_sensitivity
+        self._spanned_nodes = deployed.spanned_nodes()
         self._slot_nodes = deployed.slot_nodes()
         self._program: List[Stage] = deployed.workload.build_program(
             max(deployed.num_slots, 1)
@@ -202,7 +207,18 @@ class _InstanceController:
         if self._trace is not None:
             self._trace.record_stage(self.key, stage.name, self._engine.now)
         if stage.sync_cost > 0.0:
-            self._engine.schedule(stage.sync_cost, self._advance_stage)
+            sync_cost = stage.sync_cost
+            # NETWORK domain: the collective crosses every occupied
+            # uplink, so it is paced by the most congested one.  Both
+            # gates are false for every scalar-era run, keeping the
+            # flat path bit-identical.
+            if self._net_sensitivity is not None and self._pressure.has_network:
+                link = max(
+                    self._pressure.link_pressure_seen(self.key, node)
+                    for node in self._spanned_nodes
+                )
+                sync_cost *= self._net_sensitivity.slowdown(link)
+            self._engine.schedule(sync_cost, self._advance_stage)
         else:
             self._advance_stage()
 
@@ -235,6 +251,10 @@ class CoRunExecutor:
         Inferred from deployments when omitted.
     trace:
         Optional trace collector for stage-level timing.
+    ambient_link:
+        Constant background NETWORK pressure per node uplink (the
+        ``--network-noise`` injection).  Deterministic — no RNG draw —
+        and ``None`` (the default) keeps every link flat.
     sustained:
         If true, every instance restarts its program after completing
         it, so interference stays present until the *slowest* instance
@@ -252,6 +272,7 @@ class CoRunExecutor:
         noise: NoiseProfile = PRIVATE_TESTBED_NOISE,
         num_nodes: Optional[int] = None,
         trace: Optional[ExecutionTrace] = None,
+        ambient_link: Optional[Mapping[int, float]] = None,
         sustained: bool = False,
     ) -> None:
         keys = [inst.instance_key for inst in instances]
@@ -267,6 +288,7 @@ class CoRunExecutor:
             spanned = [n for inst in instances for n in inst.spanned_nodes()]
             num_nodes = (max(spanned) + 1) if spanned else 1
         self._num_nodes = num_nodes
+        self._ambient_link = dict(ambient_link or {})
         self._sustained = sustained
 
     def run(self) -> Dict[str, InstanceResult]:
@@ -277,7 +299,7 @@ class CoRunExecutor:
             ambient = self._noise.ambient.draw(
                 self._num_nodes, child_rng(self._rng, "ambient")
             )
-        field = PressureField(ambient)
+        field = PressureField(ambient, ambient_link=self._ambient_link)
         for inst in self._instances:
             field.register(inst.instance_key, inst.workload, inst.units_to_nodes)
 
@@ -317,6 +339,17 @@ class CoRunExecutor:
             inst.instance_key: self._mean_pressure(field, inst)
             for inst in self._instances
         }
+        # Only bookkept when a network source exists; flat runs report
+        # 0.0 without touching the link-pressure path at all.
+        if field.has_network:
+            start_link_pressures = {
+                inst.instance_key: self._mean_link_pressure(field, inst)
+                for inst in self._instances
+            }
+        else:
+            start_link_pressures = {
+                inst.instance_key: 0.0 for inst in self._instances
+            }
         for controller in controllers.values():
             controller.start()
         end_time = engine.run()
@@ -332,6 +365,7 @@ class CoRunExecutor:
                     tasks_executed=0,
                     stages_completed=0,
                     mean_pressure_seen=start_pressures[key],
+                    mean_link_pressure_seen=start_link_pressures[key],
                     passive=True,
                 )
             else:
@@ -347,6 +381,7 @@ class CoRunExecutor:
                     tasks_executed=controller.tasks_executed,
                     stages_completed=controller.stages_completed,
                     mean_pressure_seen=start_pressures[key],
+                    mean_link_pressure_seen=start_link_pressures[key],
                 )
         return results
 
@@ -358,3 +393,12 @@ class CoRunExecutor:
         return sum(field.pressure_seen(inst.instance_key, n) for n in nodes) / len(
             nodes
         )
+
+    @staticmethod
+    def _mean_link_pressure(field: PressureField, inst: DeployedInstance) -> float:
+        nodes = inst.spanned_nodes()
+        if not nodes:
+            return 0.0
+        return sum(
+            field.link_pressure_seen(inst.instance_key, n) for n in nodes
+        ) / len(nodes)

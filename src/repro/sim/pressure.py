@@ -7,6 +7,15 @@ active instance resident on the node (plus any ambient background
 pressure), using the logarithmic combination rule of
 :func:`repro.cluster.contention.combine_pressures`.
 
+The field tracks two contention domains.  COMPUTE contributions come
+from :meth:`~repro.apps.base.Workload.generated_pressure_for` and model
+LLC / memory-bandwidth theft on the node itself; NETWORK contributions
+come from ``generated_network_pressure_for`` and model traffic on the
+node's uplink to the shared switch.  Link pressure is only bookkept for
+instances that actually generate it (every scalar-era workload
+contributes zero), so flat-network simulations never touch the network
+structures.
+
 When an instance finishes it is deactivated and its pressure vanishes
 — co-runners speed up from their next task onward, which reproduces
 the dynamics of real consolidated runs where applications end at
@@ -18,19 +27,42 @@ from __future__ import annotations
 from typing import Dict, List, Mapping, Tuple
 
 from repro.apps.base import Workload
-from repro.cluster.contention import combine_pressures
+from repro.cluster.contention import ContentionDomain, combine_pressures
 from repro.errors import SimulationError
 
 
 class PressureField:
-    """Tracks which instance exerts what pressure on which node."""
+    """Tracks which instance exerts what pressure on which node.
 
-    def __init__(self, ambient: Mapping[int, float] | None = None) -> None:
+    Parameters
+    ----------
+    ambient:
+        Background COMPUTE pressure per node (noisy-neighbour model).
+    ambient_link:
+        Background NETWORK pressure per node uplink (network-noise
+        mode); ``None`` or all-zero keeps the link flat.
+    """
+
+    def __init__(
+        self,
+        ambient: Mapping[int, float] | None = None,
+        *,
+        ambient_link: Mapping[int, float] | None = None,
+    ) -> None:
         # instance_key -> node_id -> list of per-unit pressures
         self._contributions: Dict[str, Dict[int, List[float]]] = {}
+        # instance_key -> node_id -> list of per-unit link pressures;
+        # only instances with nonzero network pressure appear here.
+        self._link_contributions: Dict[str, Dict[int, List[float]]] = {}
         self._active: Dict[str, bool] = {}
         self._ambient: Dict[int, float] = dict(ambient or {})
+        self._ambient_link: Dict[int, float] = {
+            node: level
+            for node, level in dict(ambient_link or {}).items()
+            if level > 0.0
+        }
         self._cache: Dict[Tuple[str, int], float] = {}
+        self._link_cache: Dict[Tuple[str, int], float] = {}
 
     def register(
         self, instance_key: str, workload: Workload, units_to_nodes: Mapping[int, int]
@@ -55,6 +87,14 @@ class PressureField:
                 workload.generated_pressure_for(unit_index)
             )
         self._contributions[instance_key] = per_node
+        if workload.spec.generated_network_pressure > 0.0:
+            link_per_node: Dict[int, List[float]] = {}
+            for unit_index, node_id in units_to_nodes.items():
+                link_per_node.setdefault(node_id, []).append(
+                    workload.generated_network_pressure_for(unit_index)
+                )
+            self._link_contributions[instance_key] = link_per_node
+            self._link_cache.clear()
         self._active[instance_key] = True
         self._cache.clear()
 
@@ -64,10 +104,22 @@ class PressureField:
             raise SimulationError(f"unknown instance {instance_key!r}")
         self._active[instance_key] = False
         self._cache.clear()
+        if self._link_contributions:
+            self._link_cache.clear()
 
     def is_active(self, instance_key: str) -> bool:
         """Whether the instance still exerts pressure."""
         return self._active.get(instance_key, False)
+
+    @property
+    def has_network(self) -> bool:
+        """Whether any network-pressure source exists in the field.
+
+        False for every scalar-era simulation; the executor uses this
+        to skip the NETWORK domain entirely, keeping flat runs
+        bit-identical.
+        """
+        return bool(self._link_contributions or self._ambient_link)
 
     def pressure_seen(self, instance_key: str, node_id: int) -> float:
         """Effective pressure ``instance_key`` experiences on ``node_id``.
@@ -92,6 +144,29 @@ class PressureField:
         self._cache[cache_key] = pressure
         return pressure
 
+    def link_pressure_seen(self, instance_key: str, node_id: int) -> float:
+        """Link pressure ``instance_key`` experiences on ``node_id``'s uplink.
+
+        The NETWORK-domain analogue of :meth:`pressure_seen`: combines
+        every other active instance's uplink traffic on the node with
+        the ambient link noise, under the NETWORK collision surcharge.
+        """
+        cache_key = (instance_key, node_id)
+        cached = self._link_cache.get(cache_key)
+        if cached is not None:
+            return cached
+        sources: List[float] = []
+        ambient = self._ambient_link.get(node_id, 0.0)
+        if ambient > 0.0:
+            sources.append(ambient)
+        for other_key, per_node in self._link_contributions.items():
+            if other_key == instance_key or not self._active[other_key]:
+                continue
+            sources.extend(per_node.get(node_id, ()))
+        pressure = combine_pressures(sources, domain=ContentionDomain.NETWORK)
+        self._link_cache[cache_key] = pressure
+        return pressure
+
     def generated_on(self, node_id: int, *, exclude: str | None = None) -> float:
         """Total pressure present on a node (diagnostics/reporting)."""
         sources: List[float] = []
@@ -103,3 +178,15 @@ class PressureField:
                 continue
             sources.extend(per_node.get(node_id, ()))
         return combine_pressures(sources)
+
+    def link_generated_on(self, node_id: int, *, exclude: str | None = None) -> float:
+        """Total link pressure on a node's uplink (diagnostics/reporting)."""
+        sources: List[float] = []
+        ambient = self._ambient_link.get(node_id, 0.0)
+        if ambient > 0.0:
+            sources.append(ambient)
+        for key, per_node in self._link_contributions.items():
+            if key == exclude or not self._active[key]:
+                continue
+            sources.extend(per_node.get(node_id, ()))
+        return combine_pressures(sources, domain=ContentionDomain.NETWORK)

@@ -27,6 +27,7 @@ from repro.apps.base import Workload
 from repro.obs import recorder as _obs
 from repro.apps.catalog import get_workload, make_bubble
 from repro.cluster.cluster import ClusterSpec
+from repro.cluster.contention import ContentionDomain
 from repro.errors import ConfigurationError, MeasurementFault
 from repro.faults.injection import attempt_reading
 from repro.faults.plan import FaultPlan
@@ -58,6 +59,10 @@ class MeasurementRequest:
         "measure",
         "measure_heterogeneous_time",
         "measure_heterogeneous",
+        "measure_network_time",
+        "measure_network",
+        "measure_network_heterogeneous_time",
+        "measure_network_heterogeneous",
         "corun_pair",
         "run_deployments",
     )
@@ -86,6 +91,18 @@ class MeasurementRequest:
     ):
         """Homogeneous-setting request (Algorithm 1/2's ``measure``)."""
         method = "measure" if normalized else "measure_time"
+        return cls(
+            method, (abbrev, float(pressure), int(interfering)),
+            (("rep", rep), ("span", span)),
+        )
+
+    @classmethod
+    def network_measure(
+        cls, abbrev: str, pressure: float, interfering: int, *,
+        rep: int = 0, span: Optional[int] = None, normalized: bool = True,
+    ):
+        """NETWORK-domain homogeneous-setting request."""
+        method = "measure_network" if normalized else "measure_network_time"
         return cls(
             method, (abbrev, float(pressure), int(interfering)),
             (("rep", rep), ("span", span)),
@@ -203,6 +220,12 @@ class ClusterRunner:
     retry:
         Retry budget/backoff for faulting measurements; defaults to
         :data:`~repro.faults.retry.DEFAULT_RETRY_POLICY`.
+    network_ambient:
+        Constant NETWORK-domain background pressure applied to every
+        node's uplink in every run (the ``--network-noise`` injection).
+        Deterministic (no RNG draw) and 0.0 by default, which keeps the
+        environment fingerprint — and therefore every cache key and
+        measurement — byte-identical to builds without the flag.
     """
 
     def __init__(
@@ -215,10 +238,17 @@ class ClusterRunner:
         cache: Optional[MeasurementCache] = None,
         faults: Optional[FaultPlan] = None,
         retry: Optional[RetryPolicy] = None,
+        network_ambient: float = 0.0,
     ) -> None:
         self.spec = spec or ClusterSpec()
         self.noise = noise
         self.base_seed = base_seed
+        if not 0.0 <= network_ambient <= MAX_PRESSURE:
+            raise ConfigurationError(
+                f"network_ambient must be in [0, {MAX_PRESSURE}], "
+                f"got {network_ambient!r}"
+            )
+        self.network_ambient = float(network_ambient)
         self._workload_factory = workload_factory
         self._solo_cache: Dict[Tuple[str, int], float] = {}
         self.measurement_count = 0
@@ -265,6 +295,10 @@ class ClusterRunner:
         ]
         if self.faults_active:
             parts.append(self.faults.signature())
+        # Appended only when active so flat-network cache keys are
+        # unchanged from scalar-era builds.
+        if self.network_ambient > 0.0:
+            parts.append(("netamb", self.network_ambient))
         return "|".join(str(part) for part in parts)
 
     @property
@@ -348,8 +382,14 @@ class ClusterRunner:
         )
 
     def _bubble_instances(
-        self, node_pressures: Mapping[int, float]
+        self,
+        node_pressures: Mapping[int, float],
+        *,
+        domain: ContentionDomain = ContentionDomain.COMPUTE,
     ) -> List[DeployedInstance]:
+        prefix = (
+            "netbubble" if domain is ContentionDomain.NETWORK else "bubble"
+        )
         instances: List[DeployedInstance] = []
         for node_id, level in sorted(node_pressures.items()):
             if level <= 0.0:
@@ -358,15 +398,21 @@ class ClusterRunner:
                 raise ConfigurationError(
                     f"interfering node {node_id} outside the {self.num_nodes}-node cluster"
                 )
-            bubble = make_bubble(min(level, MAX_PRESSURE))
+            bubble = make_bubble(min(level, MAX_PRESSURE), domain=domain)
             instances.append(
                 DeployedInstance(
-                    instance_key=f"bubble@n{node_id}",
+                    instance_key=f"{prefix}@n{node_id}",
                     workload=bubble,
                     units_to_nodes={0: node_id},
                 )
             )
         return instances
+
+    def _ambient_link(self) -> Optional[Dict[int, float]]:
+        """Per-node uplink noise map; ``None`` when the link is flat."""
+        if self.network_ambient <= 0.0:
+            return None
+        return {n: self.network_ambient for n in range(self.num_nodes)}
 
     def interfering_nodes(self, count: int, *, span: Optional[int] = None) -> List[int]:
         """Which nodes host bubbles for a ``count``-node setting.
@@ -429,6 +475,7 @@ class ClusterRunner:
                     return CoRunExecutor(
                         [instance], seed=seed, noise=self.noise,
                         num_nodes=self.num_nodes,
+                        ambient_link=self._ambient_link(),
                     ).run()[abbrev].finish_time
 
                 # The solo baseline is every normalization's denominator,
@@ -498,9 +545,30 @@ class ClusterRunner:
         label = _label or (
             ("het", span) + tuple(sorted(node_pressures.items()))
         )
+        return self._measure_setting_time(
+            abbrev, node_pressures, rep=rep, span=span, label=label,
+            domain=ContentionDomain.COMPUTE,
+        )
+
+    def _measure_setting_time(
+        self,
+        abbrev: str,
+        node_pressures: Dict[int, float],
+        *,
+        rep: int,
+        span: Optional[int],
+        label: Tuple,
+        domain: ContentionDomain,
+    ) -> float:
+        """Shared measurement core for both contention domains.
+
+        ``domain`` only selects which bubble variant is pinned to the
+        interfering nodes; labels, seeds, cache keys, and accounting
+        are the caller's and stay byte-identical for COMPUTE settings.
+        """
         self.measurement_count += 1
         attrs = {"workload": abbrev, "kind": label[0], "rep": rep}
-        if label[0] == "hom":
+        if label[0] in ("hom", "nethom"):
             attrs["pressure"] = float(label[1])
             attrs["interfering"] = int(label[2])
         else:
@@ -515,13 +583,14 @@ class ClusterRunner:
                     return float(recorded)
                 _obs.RECORDER.count("measure.store_miss")
             target = self.full_span_deployment(abbrev, span=span)
-            bubbles = self._bubble_instances(node_pressures)
+            bubbles = self._bubble_instances(node_pressures, domain=domain)
             seed = stable_seed(self.base_seed, abbrev, rep, *label)
 
             def simulate() -> float:
                 executor = CoRunExecutor(
                     [target] + bubbles, seed=seed, noise=self.noise,
                     num_nodes=self.num_nodes,
+                    ambient_link=self._ambient_link(),
                 )
                 return executor.run()[abbrev].finish_time
 
@@ -549,6 +618,71 @@ class ClusterRunner:
         if all(p <= 0.0 for p in node_pressures.values()):
             return 1.0
         time = self.measure_heterogeneous_time(
+            abbrev, node_pressures, rep=rep, span=span
+        )
+        return time / self.solo_time(abbrev, num_units=span)
+
+    # ------------------------------------------------------------------
+    # NETWORK-domain measurements
+    # ------------------------------------------------------------------
+    def measure_network_time(
+        self, abbrev: str, pressure: float, interfering: int, *, rep: int = 0,
+        span: Optional[int] = None,
+    ) -> float:
+        """Absolute time with network-noise bubbles on ``interfering`` nodes.
+
+        The NETWORK-domain analogue of :meth:`measure_time`: instead of
+        cache thrashers, traffic generators saturate the uplink of the
+        interfering nodes at ``pressure``.  Distinct labels
+        (``nethom``/``nethet``) keep these settings fully separate from
+        COMPUTE measurements in seeds, caches, and accounting.
+        """
+        if pressure == 0.0 or interfering == 0:
+            return self.solo_time(abbrev, num_units=span)
+        nodes = self.interfering_nodes(interfering, span=span)
+        node_pressures = {n: pressure for n in nodes}
+        return self.measure_network_heterogeneous_time(
+            abbrev, node_pressures, rep=rep, span=span,
+            _label=("nethom", pressure, interfering, span),
+        )
+
+    def measure_network(
+        self, abbrev: str, pressure: float, interfering: int, *, rep: int = 0,
+        span: Optional[int] = None,
+    ) -> float:
+        """Normalized time under a homogeneous network-noise setting."""
+        return self.measure_network_time(
+            abbrev, pressure, interfering, rep=rep, span=span
+        ) / self.solo_time(abbrev, num_units=span)
+
+    def measure_network_heterogeneous_time(
+        self,
+        abbrev: str,
+        node_pressures: Mapping[int, float],
+        *,
+        rep: int = 0,
+        span: Optional[int] = None,
+        _label: Optional[Tuple] = None,
+    ) -> float:
+        """Absolute time with arbitrary per-node network-noise levels."""
+        node_pressures = dict(node_pressures)
+        label = _label or (
+            ("nethet", span) + tuple(sorted(node_pressures.items()))
+        )
+        return self._measure_setting_time(
+            abbrev, node_pressures, rep=rep, span=span, label=label,
+            domain=ContentionDomain.NETWORK,
+        )
+
+    def measure_network_heterogeneous(
+        self, abbrev: str, node_pressures: Mapping[int, float], *, rep: int = 0,
+        span: Optional[int] = None,
+    ) -> float:
+        """Normalized time under heterogeneous network noise."""
+        node_pressures = dict(node_pressures)
+        if all(p <= 0.0 for p in node_pressures.values()):
+            return 1.0
+        time = self.measure_network_heterogeneous_time(
             abbrev, node_pressures, rep=rep, span=span
         )
         return time / self.solo_time(abbrev, num_units=span)
@@ -590,6 +724,7 @@ class ClusterRunner:
                         seed=seed,
                         noise=self.noise,
                         num_nodes=self.num_nodes,
+                        ambient_link=self._ambient_link(),
                         sustained=True,
                     ).run()
                     return {
@@ -668,6 +803,7 @@ class ClusterRunner:
                         seed=seed,
                         noise=self.noise,
                         num_nodes=self.num_nodes,
+                        ambient_link=self._ambient_link(),
                         sustained=True,
                     ).run()
                     return {

@@ -39,6 +39,8 @@ def synthetic_spec(
     noise_cv: float = 0.0,
     master_factor: float = 1.0,
     slots_per_unit: int = 2,
+    net_score: float = 0.0,
+    net_sensitivity: Optional[SensitivityFunction] = None,
 ) -> WorkloadSpec:
     """A minimal workload spec with controllable knobs."""
     return WorkloadSpec(
@@ -52,6 +54,8 @@ def synthetic_spec(
         noise_cv=noise_cv,
         master_pressure_factor=master_factor,
         slots_per_unit=slots_per_unit,
+        network_sensitivity=net_sensitivity,
+        generated_network_pressure=net_score,
     )
 
 

@@ -8,14 +8,18 @@ from repro.apps.catalog import (
     ALL_WORKLOADS,
     BATCH_WORKLOADS,
     DISTRIBUTED_WORKLOADS,
+    NETWORK_WORKLOADS,
     catalog_entry,
     get_workload,
     make_bubble,
     table1_rows,
 )
+from repro.apps.graph import GraphTraversalWorkload
 from repro.apps.mapreduce import MapReduceWorkload
 from repro.apps.mpi import BSPWorkload, LooselyCoupledWorkload
+from repro.apps.paramserver import ParameterServerWorkload
 from repro.apps.spark import SparkWorkload
+from repro.cluster.contention import ContentionDomain
 from repro.errors import CatalogError
 
 #: Table 4 of the paper: the calibrated ground-truth bubble scores.
@@ -29,11 +33,19 @@ PAPER_TABLE4 = {
 
 
 class TestCatalogContents:
-    def test_eighteen_workloads(self):
-        assert len(ALL_WORKLOADS) == 18
+    def test_twenty_workloads(self):
+        # Table 1's 18 plus the two datacenter network archetypes.
+        assert len(ALL_WORKLOADS) == 20
 
     def test_twelve_distributed(self):
+        # The paper's distributed set is unchanged by the datacenter
+        # additions (experiments iterate exactly these 12).
         assert len(DISTRIBUTED_WORKLOADS) == 12
+
+    def test_two_network_archetypes(self):
+        assert set(NETWORK_WORKLOADS) == {"D.PS", "D.BFS"}
+        assert not set(NETWORK_WORKLOADS) & set(DISTRIBUTED_WORKLOADS)
+        assert not set(NETWORK_WORKLOADS) & set(BATCH_WORKLOADS)
 
     def test_six_batch(self):
         assert len(BATCH_WORKLOADS) == 6
@@ -52,8 +64,9 @@ class TestCatalogContents:
 
     def test_table1_rows(self):
         rows = table1_rows()
-        assert len(rows) == 18
+        assert len(rows) == 20
         assert ("SPEC MPI2007", "126.lammps", "mref", "M.lmps") in rows
+        assert ("DATACENTER", "ParamServerCNN", "256 img/worker", "D.PS") in rows
 
 
 class TestWorkloadTypes:
@@ -108,10 +121,36 @@ class TestWorkloadTypes:
                 "H": WorkloadFamily.HADOOP,
                 "S": WorkloadFamily.SPARK,
                 "C": WorkloadFamily.SPEC_CPU,
+                "D": WorkloadFamily.DATACENTER,
             }[prefix]
             assert family is expected, abbrev
+
+    def test_datacenter_archetype_types(self):
+        assert isinstance(get_workload("D.PS"), ParameterServerWorkload)
+        assert isinstance(get_workload("D.BFS"), GraphTraversalWorkload)
+
+    def test_paper_workloads_have_flat_network_ground_truth(self):
+        # Every Table 1 workload predates the NETWORK domain: no link
+        # pressure generated, no link sensitivity — the invariant the
+        # bit-identity suite relies on.
+        for abbrev in DISTRIBUTED_WORKLOADS + BATCH_WORKLOADS:
+            spec = get_workload(abbrev).spec
+            assert spec.generated_network_pressure == 0.0, abbrev
+            assert spec.network_sensitivity is None, abbrev
 
 
 class TestMakeBubble:
     def test_level(self):
         assert make_bubble(4.0).level == 4.0
+
+    def test_network_domain(self):
+        bubble = make_bubble(3.0, domain=ContentionDomain.NETWORK)
+        assert bubble.domain is ContentionDomain.NETWORK
+        assert bubble.spec.generated_pressure == 0.0
+        assert bubble.spec.generated_network_pressure == 3.0
+
+    def test_compute_default_unchanged(self):
+        bubble = make_bubble(3.0)
+        assert bubble.domain is ContentionDomain.COMPUTE
+        assert bubble.spec.generated_pressure == 3.0
+        assert bubble.spec.generated_network_pressure == 0.0

@@ -18,7 +18,11 @@ class TestSwitchTopology:
     def test_single_node_collective_free(self):
         topo = SwitchTopology()
         assert topo.collective_cost(1) == 0.0
-        assert topo.collective_cost(0) == 0.0
+
+    def test_zero_nodes_rejected(self):
+        # A collective needs at least one participant.
+        with pytest.raises(ValueError):
+            SwitchTopology().collective_cost(0)
 
     def test_negative_nodes_rejected(self):
         with pytest.raises(ValueError):

@@ -1,0 +1,101 @@
+"""Seeded decision-difference guard for the NETWORK domain
+(``-m network_smoke``).
+
+Deselected from the default run (it profiles two full models and runs
+two annealing searches); the CI ``network-smoke`` job runs it
+explicitly.  The guarded property is the tentpole's acceptance
+criterion: on a seeded day with a network-heavy tenant in the mix, the
+per-resource model must make at least one *placement decision* that
+differs from the compute-only model's — and ground truth must side
+with the per-resource model.
+
+The scenario is the one ``examples/network_day.py`` walks through: a
+QoS-bound graph job (``D.BFS``), a parameter-server trainer (``D.PS``)
+whose compute bubble score is deceptively low, and two loud compute
+tenants.  The compute-only model shields the QoS tenant with the
+trainer and violates the bound in ground truth; the per-resource model
+maps the trainer away and satisfies it.
+"""
+
+import pytest
+
+from repro.core.builder import build_model, build_network_profiles
+from repro.core.model import InterferenceModel
+from repro.placement.annealing import AnnealingSchedule
+from repro.placement.assignment import InstanceSpec
+from repro.placement.objectives import QoSConstraint
+from repro.placement.qos import QoSAwarePlacer
+from repro.sim.runner import ClusterRunner
+
+pytestmark = pytest.mark.network_smoke
+
+QOS_BOUND = 1.15
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    runner = ClusterRunner()
+    report = build_model(
+        runner, ["D.BFS", "D.PS", "M.milc"],
+        policy_samples=20, seed=2, span=4,
+    )
+    model = report.model
+    from repro.core.builder import build_batch_profiles
+
+    build_batch_profiles(runner, model, ["C.libq"], span=4)
+    compute_only = InterferenceModel.from_dict(model.to_dict())
+    build_network_profiles(runner, model, ["D.BFS", "D.PS"], span=4)
+    return runner, compute_only, model
+
+
+def place_with(model, runner):
+    instances = [
+        InstanceSpec("D.BFS#0", "D.BFS", num_units=4),
+        InstanceSpec("D.PS#1", "D.PS", num_units=4),
+        InstanceSpec("M.milc#2", "M.milc", num_units=4),
+        InstanceSpec("C.libq#3", "C.libq", num_units=4),
+    ]
+    constraint = QoSConstraint("D.BFS#0", max_normalized_time=QOS_BOUND)
+    placer = QoSAwarePlacer(
+        model, runner.spec, [constraint],
+        schedule=AnnealingSchedule(iterations=1500, restarts=2), seed=11,
+    )
+    result = placer.place(instances)
+    measured = runner.run_deployments(result.placement.deployments())
+    neighbours = frozenset(
+        workload
+        for workloads in result.placement.co_runner_workloads(
+            "D.BFS#0"
+        ).values()
+        for workload in workloads
+    )
+    return neighbours, measured, constraint
+
+
+class TestNetworkDayDecisions:
+    def test_models_decide_differently_and_truth_sides_with_network(
+        self, scenario
+    ):
+        runner, compute_only, per_resource = scenario
+        compute_nb, compute_measured, constraint = place_with(
+            compute_only, runner
+        )
+        network_nb, network_measured, _ = place_with(per_resource, runner)
+
+        # At least one decision differs: the QoS tenant's neighbourhood.
+        assert compute_nb != network_nb
+        # The compute-only model shields with the deceptively quiet
+        # trainer and busts the bound in ground truth.
+        assert "D.PS" in compute_nb
+        assert not constraint.satisfied_by(compute_measured)
+        # The per-resource model maps the trainer away and satisfies it.
+        assert "D.PS" not in network_nb
+        assert constraint.satisfied_by(network_measured)
+
+    def test_deception_is_real(self, scenario):
+        # The scenario only demonstrates something if D.PS really is
+        # compute-quiet and network-loud in the *profiled* model.
+        _, _, per_resource = scenario
+        profile = per_resource.profile("D.PS")
+        assert profile.bubble_score < 2.0
+        assert profile.network_score > 4.0

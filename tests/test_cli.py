@@ -154,3 +154,70 @@ class TestServeCommand:
         err = capsys.readouterr().err
         assert "error:" in err
         assert "--resume requires --checkpoint" in err
+
+
+class TestNetworkFlags:
+    """``--network-noise`` / ``--domains`` on profile, serve and daemon."""
+
+    def test_flat_defaults(self):
+        from repro.cli._parents import wants_network
+
+        parser = build_parser()
+        for argv in (
+            ["profile", "M.lmps"],
+            ["serve"],
+            ["daemon", "--spool", "/tmp/s"],
+        ):
+            args = parser.parse_args(argv)
+            assert args.network_noise == 0.0, argv[0]
+            assert tuple(args.domains) == ("compute",), argv[0]
+            assert not wants_network(args), argv[0]
+
+    def test_parse_values(self):
+        from repro.cli._parents import wants_network
+
+        args = build_parser().parse_args(
+            ["serve", "--network-noise", "2.5",
+             "--domains", "compute", "network"]
+        )
+        assert args.network_noise == 2.5
+        assert "network" in args.domains
+        assert wants_network(args)
+
+    def test_unknown_domain_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "--domains", "disk"])
+
+    def test_profile_network_then_predict_by_domain(self, tmp_path, capsys):
+        model_path = str(tmp_path / "model.json")
+        code = main(
+            [
+                "profile", "D.PS",
+                "--out", model_path,
+                "--policy-samples", "5",
+                "--seed", "4",
+                "--domains", "compute", "network",
+            ]
+        )
+        assert code == 0
+        assert "Network score" in capsys.readouterr().out
+
+        code = main(
+            [
+                "predict", "--model", model_path,
+                "--workload", "D.PS",
+                "--pressure", "6", "--count", "2",
+                "--domain", "network",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "network domain" in out and "x solo time" in out
+
+    def test_compute_profile_table_unchanged_by_default(self, capsys):
+        assert main(
+            ["profile", "M.lmps", "--policy-samples", "5", "--seed", "4"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Bubble score" in out
+        assert "Network score" not in out
