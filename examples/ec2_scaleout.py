@@ -15,7 +15,7 @@ from repro import ClusterRunner
 from repro.analysis.reporting import format_series
 from repro.core.profiling import MeasurementOracle, exhaustive_truth, select_policy
 from repro.core.builder import default_pressures
-from repro.ec2 import ec2_counts, make_ec2_runner
+from repro.providers.ec2 import ec2_counts, make_ec2_runner
 
 WORKLOAD = "M.zeus"
 

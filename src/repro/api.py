@@ -39,6 +39,14 @@ stable across releases:
   whose :func:`execute_epoch` is a pure function of
   ``(checkpoint, arrivals)`` (see the "Daemon layer" section of
   ``docs/architecture.md``).
+* **Providers** — the elastic capacity layer: the
+  :class:`CapacityProvider` contract over durable/spot
+  :class:`ProviderInstance` pools, the fixed :class:`StaticProvider`
+  (byte-identical to no provider), the :class:`ElasticProvider` with
+  :class:`AutoscalerConfig`-driven resizing and two-phase spot
+  preemption, :class:`CapacityEvent` records, and the
+  :func:`make_provider` / :func:`register_provider` registry (see the
+  "Elastic capacity & preemption" section of ``docs/robustness.md``).
 * **Robustness** — deterministic fault injection
   (:class:`FaultPlan` / :class:`FaultConfig`), the :class:`RetryPolicy`
   governing the retrying measurement path, and :class:`MeasurementFault`
@@ -120,6 +128,17 @@ from repro.placement import (
     QoSConstraint,
     SimulatedAnnealingPlacer,
     ThroughputPlacer,
+)
+from repro.providers import (
+    AutoscalerConfig,
+    CapacityEvent,
+    CapacityProvider,
+    ElasticProvider,
+    ProviderInstance,
+    StaticProvider,
+    make_provider,
+    provider_names,
+    register_provider,
 )
 from repro.scale import (
     CoordinatorConfig,
@@ -204,6 +223,16 @@ __all__ = [
     "JobSpool",
     "ServiceBlueprint",
     "execute_epoch",
+    # providers
+    "AutoscalerConfig",
+    "CapacityEvent",
+    "CapacityProvider",
+    "ElasticProvider",
+    "ProviderInstance",
+    "StaticProvider",
+    "make_provider",
+    "provider_names",
+    "register_provider",
     # robustness
     "FaultConfig",
     "FaultPlan",

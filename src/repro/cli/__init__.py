@@ -42,6 +42,7 @@ from repro.cli._parents import (
     faults_parent,
     network_parent,
     output_parent,
+    provider_parent,
     seed_parent,
     trace_parent,
 )
@@ -72,6 +73,7 @@ def build_parser() -> argparse.ArgumentParser:
         "seed": seed_parent(),
         "output": output_parent(),
         "network": network_parent(),
+        "provider": provider_parent(),
     }
     for module in (catalog, daemoncmd, modeling, serve, tracecmd):
         module.register(sub, parents)

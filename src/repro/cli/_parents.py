@@ -100,6 +100,73 @@ def wants_network(args: argparse.Namespace) -> bool:
     return "network" in (getattr(args, "domains", None) or ())
 
 
+PROVIDER_HELP = (
+    "capacity provider backing the node pool: 'static' (fixed, "
+    "byte-identical to no provider), 'elastic' (durable + spot "
+    "instances with queue/QoS-margin autoscaling), or any other "
+    "registered backend (e.g. 'ec2'); default: no provider"
+)
+
+CHURN_HELP = (
+    "FaultPlan JSON whose preemption_rate / preemption_warning_epochs "
+    "drive seeded two-phase spot preemption (requires --provider "
+    "elastic)"
+)
+
+
+def provider_parent() -> argparse.ArgumentParser:
+    """Parent adding the capacity-provider flags.
+
+    Shared by ``serve`` and ``daemon`` so the elastic pool spells
+    identically everywhere.  Defaults keep the fixed pool: no provider,
+    no churn.
+    """
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument(
+        "--provider",
+        metavar="NAME",
+        default=None,
+        help=PROVIDER_HELP,
+    )
+    parent.add_argument(
+        "--churn",
+        metavar="PATH",
+        default=None,
+        help=CHURN_HELP,
+    )
+    parent.add_argument(
+        "--spot-fraction",
+        type=float,
+        default=0.5,
+        dest="spot_fraction",
+        metavar="FRAC",
+        help="fraction of the elastic pool launched as spot (default: 0.5)",
+    )
+    parent.add_argument(
+        "--initial-nodes",
+        type=int,
+        default=None,
+        dest="initial_nodes",
+        metavar="N",
+        help=(
+            "elastic pool size at epoch 0 (default: the flat testbed "
+            "size)"
+        ),
+    )
+    parent.add_argument(
+        "--max-nodes",
+        type=int,
+        default=None,
+        dest="max_nodes",
+        metavar="N",
+        help=(
+            "elastic pool ceiling the runner is built at (default: "
+            "initial nodes + 4)"
+        ),
+    )
+    return parent
+
+
 def seed_parent(default: int = 2016) -> argparse.ArgumentParser:
     """Parent adding ``--seed N`` (measurement/search determinism)."""
     parent = argparse.ArgumentParser(add_help=False)

@@ -27,6 +27,7 @@ from repro.cli._parents import wants_network
 from repro.cli.serve import (
     DEFAULT_SERVE_MIX,
     _check_expectation,
+    provider_setup,
 )
 from repro.core.builder import (
     build_batch_profiles,
@@ -50,8 +51,17 @@ def _build_daemon(args: argparse.Namespace) -> ConsolidationDaemon:
     batch = [w for w in workloads if w in BATCH_WORKLOADS]
     plan = getattr(args, "fault_plan", None)
     ambient = getattr(args, "network_noise", 0.0)
+    from repro.cluster.cluster import ClusterSpec
+
+    provider_factory, provider_nodes = provider_setup(
+        args, ClusterSpec().num_nodes
+    )
+    runner_spec = (
+        None if provider_nodes is None
+        else ClusterSpec(num_nodes=provider_nodes)
+    )
     profiling_runner = ClusterRunner(
-        base_seed=args.seed, faults=plan, network_ambient=ambient
+        runner_spec, base_seed=args.seed, faults=plan, network_ambient=ambient
     )
     console.info(
         f"Profiling {len(workloads)} workload(s) for the serving model..."
@@ -90,7 +100,8 @@ def _build_daemon(args: argparse.Namespace) -> ConsolidationDaemon:
 
     def runner_factory():
         runner = ClusterRunner(
-            base_seed=args.seed, faults=plan, network_ambient=ambient
+            runner_spec, base_seed=args.seed, faults=plan,
+            network_ambient=ambient,
         )
         runner.faulted_workloads.update(degraded)
         return runner
@@ -103,6 +114,7 @@ def _build_daemon(args: argparse.Namespace) -> ConsolidationDaemon:
             migration_cost=args.migration_cost,
         ),
         seed=args.seed,
+        provider_factory=provider_factory,
     )
     return ConsolidationDaemon(
         args.spool,
@@ -245,7 +257,7 @@ def register(
         ),
         parents=[
             parents["trace"], parents["faults"], parents["seed"],
-            parents["network"],
+            parents["network"], parents["provider"],
         ],
     )
     p_daemon.add_argument(

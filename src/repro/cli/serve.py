@@ -41,6 +41,61 @@ from repro.sim.runner import ClusterRunner
 DEFAULT_SERVE_MIX = ("M.lmps", "M.milc", "H.KM", "S.WC")
 
 
+def provider_setup(args: argparse.Namespace, default_nodes: int):
+    """Resolve ``--provider``/``--churn`` into ``(factory, runner_nodes)``.
+
+    ``factory`` is a zero-argument callable building a *fresh* provider
+    (``None`` when no ``--provider`` was given — the fixed pool), and
+    ``runner_nodes`` is the node count the runner must be built at
+    (``None`` to keep the default spec).  Shared by ``repro serve`` and
+    ``repro daemon`` so the pool spells identically in both; the daemon
+    hands the factory to its :class:`~repro.daemon.ServiceBlueprint`.
+    """
+    from repro.errors import ConfigurationError
+
+    name = getattr(args, "provider", None)
+    churn_path = getattr(args, "churn", None)
+    if churn_path and name != "elastic":
+        raise ConfigurationError("--churn requires --provider elastic")
+    if name is None:
+        return None, None
+    from repro.providers import (
+        AutoscalerConfig,
+        ElasticProvider,
+        StaticProvider,
+        make_provider,
+    )
+
+    if name == "static":
+        def factory():
+            return StaticProvider(default_nodes)
+        return factory, None
+    if name == "elastic":
+        from repro.faults import FaultPlan
+
+        initial = args.initial_nodes or default_nodes
+        ceiling = args.max_nodes or initial + 4
+        churn = FaultPlan.load(churn_path) if churn_path else None
+        spot_fraction = args.spot_fraction
+
+        def factory():
+            return ElasticProvider(
+                ceiling,
+                initial_nodes=initial,
+                spot_fraction=spot_fraction,
+                churn=churn,
+                autoscaler=AutoscalerConfig(),
+            )
+        return factory, ceiling
+    # Any other registered backend (e.g. "ec2") builds with its own
+    # defaults; the runner is sized to its ceiling.
+    probe = make_provider(name)
+
+    def factory():
+        return make_provider(name)
+    return factory, probe.max_nodes
+
+
 def _serve_expectation(service: ConsolidationService) -> dict:
     """The deterministic outcome summary ``--expect`` compares against."""
     return {
@@ -92,6 +147,7 @@ def _build_sharded(args: argparse.Namespace, profiling_runner, model, stream):
     from repro.cluster.cluster import ClusterSpec
     from repro.scale import build_sharded_service, scale_service_config
 
+    provider_factory = _cell_provider_factory(args)
     nodes = args.nodes or profiling_runner.spec.num_nodes
     if args.cells == 1:
         config = ServiceConfig(
@@ -129,6 +185,52 @@ def _build_sharded(args: argparse.Namespace, profiling_runner, model, stream):
         cell_workers=args.cell_workers,
         runner_factory=factory,
         degraded_workloads=sorted(profiling_runner.faulted_workloads),
+        provider_factory=provider_factory,
+    )
+
+
+def _cell_provider_factory(args: argparse.Namespace):
+    """Per-cell provider factory for ``--cells`` days (``None`` = fixed).
+
+    Cells keep their shard-sized runners, so each cell's provider is
+    built at the shard's node count: ``static`` is a per-cell no-op,
+    ``elastic`` starts the cell full and lets it lose spot capacity to
+    churn (and grow it back) within the shard.
+    """
+    from repro.errors import ConfigurationError
+
+    name = getattr(args, "provider", None)
+    churn_path = getattr(args, "churn", None)
+    if churn_path and name != "elastic":
+        raise ConfigurationError("--churn requires --provider elastic")
+    if name is None:
+        return None
+    if getattr(args, "initial_nodes", None) or getattr(args, "max_nodes", None):
+        raise ConfigurationError(
+            "--initial-nodes/--max-nodes apply to the flat service; "
+            "cells are provider-sized by their shard"
+        )
+    from repro.providers import (
+        AutoscalerConfig,
+        ElasticProvider,
+        StaticProvider,
+    )
+
+    if name == "static":
+        return lambda shard, cell_seed: StaticProvider(shard.num_nodes)
+    if name == "elastic":
+        from repro.faults import FaultPlan
+
+        churn = FaultPlan.load(churn_path) if churn_path else None
+        spot_fraction = args.spot_fraction
+        return lambda shard, cell_seed: ElasticProvider(
+            shard.num_nodes,
+            spot_fraction=spot_fraction,
+            churn=churn,
+            autoscaler=AutoscalerConfig(),
+        )
+    raise ConfigurationError(
+        f"--provider {name!r} is not supported with --cells"
     )
 
 
@@ -137,7 +239,18 @@ def _build_service(args: argparse.Namespace):
     workloads = tuple(args.workloads or DEFAULT_SERVE_MIX)
     distributed = [w for w in workloads if w not in BATCH_WORKLOADS]
     batch = [w for w in workloads if w in BATCH_WORKLOADS]
+    from repro.cluster.cluster import ClusterSpec
+
+    provider_factory = None
+    runner_spec = None
+    if getattr(args, "cells", None) is None:
+        provider_factory, provider_nodes = provider_setup(
+            args, ClusterSpec().num_nodes
+        )
+        if provider_nodes is not None:
+            runner_spec = ClusterSpec(num_nodes=provider_nodes)
     runner = ClusterRunner(
+        runner_spec,
         base_seed=args.seed,
         faults=getattr(args, "fault_plan", None),
         network_ambient=getattr(args, "network_noise", 0.0),
@@ -184,6 +297,9 @@ def _build_service(args: argparse.Namespace):
         ),
         seed=args.seed,
         checkpoint_path=args.checkpoint,
+        provider=(
+            provider_factory() if provider_factory is not None else None
+        ),
     )
 
 
@@ -271,7 +387,7 @@ def register(
         help="run the online consolidation service over a seeded traffic day",
         parents=[
             parents["trace"], parents["faults"], parents["seed"],
-            parents["network"],
+            parents["network"], parents["provider"],
         ],
     )
     p_serve.add_argument("--epochs", type=int, default=12)

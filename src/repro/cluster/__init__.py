@@ -6,7 +6,7 @@ VMs, with shared LLC / memory-bandwidth contention abstracted to the
 bubble-pressure scale.
 """
 
-from repro.cluster.cluster import Cluster, ClusterSpec
+from repro.cluster.cluster import Cluster, ClusterSpec, ClusterView
 from repro.cluster.contention import (
     ContentionDomain,
     DOMAIN_COLLISION_SURCHARGE,
@@ -28,6 +28,7 @@ from repro.cluster.vm import VirtualMachine, VMUnit
 __all__ = [
     "Cluster",
     "ClusterSpec",
+    "ClusterView",
     "ContentionDomain",
     "DOMAIN_COLLISION_SURCHARGE",
     "ExponentialSensitivity",

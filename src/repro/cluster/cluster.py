@@ -178,3 +178,63 @@ class Cluster:
             for key in self.node(node_id).resident_workloads
             if key != instance_key
         ]
+
+
+@dataclass(frozen=True)
+class ClusterView:
+    """A contiguous re-indexed view over a subset of a cluster's nodes.
+
+    The elastic provider layer shrinks and drains nodes mid-day, but
+    the placement searches (:mod:`repro.placement`) are written against
+    a dense ``0..num_nodes-1`` id space.  A view bridges the two: it
+    maps the *allowed* physical node ids (live, non-draining) onto a
+    compact virtual id space, hands the searches a correspondingly
+    smaller :class:`ClusterSpec`, and lifts the resulting assignment
+    back to physical ids.  When every node is allowed the view is the
+    identity and callers skip it entirely, so fixed-capacity runs
+    never pass through this translation.
+    """
+
+    base_spec: ClusterSpec
+    physical_nodes: tuple
+
+    @classmethod
+    def of(cls, spec: ClusterSpec, nodes) -> "ClusterView":
+        """View of ``spec`` restricted to the sorted physical ``nodes``."""
+        allowed = tuple(sorted(int(n) for n in nodes))
+        if not allowed:
+            raise ConfigurationError("a cluster view needs at least one node")
+        if len(set(allowed)) != len(allowed):
+            raise ConfigurationError("view nodes must be unique")
+        if allowed[0] < 0 or allowed[-1] >= spec.num_nodes:
+            raise ConfigurationError(
+                f"view nodes {allowed} out of range for "
+                f"{spec.num_nodes}-node cluster"
+            )
+        return cls(base_spec=spec, physical_nodes=allowed)
+
+    @property
+    def spec(self) -> ClusterSpec:
+        """The compact spec searches run against."""
+        return ClusterSpec(
+            num_nodes=len(self.physical_nodes),
+            cores_per_node=self.base_spec.cores_per_node,
+            memory_gb_per_node=self.base_spec.memory_gb_per_node,
+            max_workloads_per_node=self.base_spec.max_workloads_per_node,
+        )
+
+    @property
+    def is_identity(self) -> bool:
+        """Whether the view covers the whole base cluster unchanged."""
+        return len(self.physical_nodes) == self.base_spec.num_nodes
+
+    def to_physical(self, virtual_node: int) -> int:
+        """The physical id behind a virtual one."""
+        return self.physical_nodes[virtual_node]
+
+    def lift_assignment(self, assignment: Dict[str, tuple]) -> Dict[str, tuple]:
+        """Translate a virtual-id assignment to physical node ids."""
+        return {
+            key: tuple(self.physical_nodes[int(v)] for v in nodes)
+            for key, nodes in assignment.items()
+        }

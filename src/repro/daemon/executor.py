@@ -85,6 +85,13 @@ class ServiceBlueprint:
     config / seed:
         The service's operating knobs and root seed, identical to the
         flat day being reproduced.
+    provider_factory:
+        Optional zero-argument callable producing a fresh
+        :class:`~repro.providers.base.CapacityProvider` per execution.
+        Like the runner, the provider is rebuilt from scratch and its
+        inventory restored from the checkpoint's ``provider_state``, so
+        pool resizes and in-flight preemption warnings survive the
+        daemon's claim/crash/re-execute cycle byte-identically.
     """
 
     def __init__(
@@ -94,6 +101,7 @@ class ServiceBlueprint:
         *,
         config: Optional[ServiceConfig] = None,
         seed: int = 0,
+        provider_factory=None,
     ) -> None:
         if isinstance(model, OnlineModel):
             raise DaemonError(
@@ -105,6 +113,7 @@ class ServiceBlueprint:
         self.model = model
         self.config = config or ServiceConfig()
         self.seed = seed
+        self.provider_factory = provider_factory
 
     def build(self, stream=None) -> ConsolidationService:
         """A fresh service over a fresh runner (and the shared model)."""
@@ -114,6 +123,11 @@ class ServiceBlueprint:
             stream if stream is not None else FixedStream(),
             config=self.config,
             seed=self.seed,
+            provider=(
+                self.provider_factory()
+                if self.provider_factory is not None
+                else None
+            ),
         )
 
     def initial_checkpoint(self) -> ServiceCheckpoint:

@@ -1,21 +1,55 @@
-"""Amazon EC2 scale-out validation environment (Section 6)."""
+"""Deprecated: the EC2 environment moved to :mod:`repro.providers.ec2`.
 
-from repro.ec2.environment import (
-    EC2_COUNTS,
-    EC2_NUM_INSTANCES,
-    EC2_POLICY_SAMPLES,
-    EC2_WORKLOADS,
-    ec2_cluster_spec,
-    ec2_counts,
-    make_ec2_runner,
-)
+This package is a warn-once compatibility shim.  The Section 6
+validation environment now lives in the provider registry (it is the
+``ec2`` capacity provider); import from :mod:`repro.providers.ec2` (or
+:mod:`repro.providers`) instead.
+"""
 
-__all__ = [
+from __future__ import annotations
+
+import warnings
+
+#: Names this shim forwards to :mod:`repro.providers.ec2`.
+_FORWARDED = (
     "EC2_COUNTS",
+    "EC2_INSTANCE_VCPUS",
     "EC2_NUM_INSTANCES",
     "EC2_POLICY_SAMPLES",
     "EC2_WORKLOADS",
+    "EC2Provider",
     "ec2_cluster_spec",
     "ec2_counts",
     "make_ec2_runner",
-]
+)
+
+__all__ = list(_FORWARDED)
+
+#: Symbols whose deprecation warning has already fired (one per symbol).
+_WARNED: set = set()
+
+
+def __getattr__(name: str):
+    """Warn-once forwarding to :mod:`repro.providers.ec2`.
+
+    Identity-preserving: the resolved object is cached in module
+    globals, so repeated imports return the same object without
+    re-warning.
+    """
+    if name not in _FORWARDED:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}"
+        )
+    if name not in _WARNED:
+        _WARNED.add(name)
+        warnings.warn(
+            f"importing {name!r} from 'repro.ec2' is deprecated; use "
+            f"'from repro.providers.ec2 import {name}' instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+    import repro.providers.ec2 as _new
+
+    value = getattr(_new, name)
+    globals()[name] = value  # cache: later lookups skip __getattr__
+    return value

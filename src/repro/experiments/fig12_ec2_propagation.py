@@ -15,7 +15,7 @@ from typing import Dict, Sequence
 
 from repro.analysis.reporting import format_series
 from repro.core.curves import PropagationMatrix
-from repro.ec2.environment import EC2_WORKLOADS, ec2_counts, make_ec2_runner
+from repro.providers.ec2 import EC2_WORKLOADS, ec2_counts, make_ec2_runner
 from repro.experiments.context import ExperimentContext
 
 

@@ -17,7 +17,7 @@ from repro.analysis.reporting import format_table
 from repro.core.profiling.policy_selection import select_policy
 from repro.core.model import InterferenceModel, InterferenceProfile
 from repro.core.scoring import BubbleScoreMeter
-from repro.ec2.environment import EC2_WORKLOADS
+from repro.providers.ec2 import EC2_WORKLOADS
 from repro.experiments.context import ExperimentContext
 from repro.experiments.fig12_ec2_propagation import ec2_context
 

@@ -19,7 +19,7 @@ from repro.core.profiling.policy_selection import (
     PolicySelectionResult,
     select_policy,
 )
-from repro.ec2.environment import EC2_POLICY_SAMPLES, EC2_WORKLOADS
+from repro.providers.ec2 import EC2_POLICY_SAMPLES, EC2_WORKLOADS
 from repro.experiments.context import ExperimentContext
 from repro.experiments.fig12_ec2_propagation import ec2_context
 

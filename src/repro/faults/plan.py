@@ -32,8 +32,14 @@ from repro.errors import FaultError
 #: ``worker`` and ``lease`` families target the daemon's executor pool
 #: (a claimed epoch execution dying, a lease lapsing un-renewed); they
 #: never touch measurement draws, so enabling them leaves event-log
-#: bytes identical to an uninjected day.
-FAULT_FAMILIES = ("crash", "straggler", "outlier", "pool", "worker", "lease")
+#: bytes identical to an uninjected day.  The ``preempt`` family
+#: targets the capacity provider's spot instances (a two-phase
+#: warning-then-reclaim, see :mod:`repro.providers`); like the daemon
+#: families it draws from its own stream, so a plan that only preempts
+#: perturbs no measurement.
+FAULT_FAMILIES = (
+    "crash", "straggler", "outlier", "pool", "worker", "lease", "preempt",
+)
 
 
 @dataclass(frozen=True)
@@ -67,6 +73,14 @@ class FaultConfig:
         Probability an execution attempt wedges: the worker stops
         renewing but eventually finishes and tries a stale commit,
         which the status-updater must fence off.
+    preemption_rate:
+        Per-(spot instance, epoch) probability the provider issues a
+        preemption *warning* for that instance.  Reclaim follows
+        ``preemption_warning_epochs`` later (two-phase, like real spot
+        markets); durable instances are never preempted.
+    preemption_warning_epochs:
+        Epochs between a preemption warning and the reclaim — the
+        evacuation window the rescheduler gets to drain the instance.
     """
 
     seed: int = 0
@@ -78,11 +92,13 @@ class FaultConfig:
     pool_failure_rate: float = 0.0
     worker_crash_rate: float = 0.0
     lease_expiry_rate: float = 0.0
+    preemption_rate: float = 0.0
+    preemption_warning_epochs: int = 1
 
     def __post_init__(self) -> None:
         for name in ("crash_rate", "straggler_rate", "outlier_rate",
                      "pool_failure_rate", "worker_crash_rate",
-                     "lease_expiry_rate"):
+                     "lease_expiry_rate", "preemption_rate"):
             rate = getattr(self, name)
             if not 0.0 <= rate <= 1.0:
                 raise FaultError(f"{name} must be in [0, 1], got {rate}")
@@ -90,6 +106,8 @@ class FaultConfig:
             raise FaultError("straggler_factor must be >= 1.0")
         if self.outlier_factor <= 0.0:
             raise FaultError("outlier_factor must be positive")
+        if self.preemption_warning_epochs < 0:
+            raise FaultError("preemption_warning_epochs must be non-negative")
 
 
 class FaultPlan:
@@ -112,7 +130,8 @@ class FaultPlan:
             rate > 0.0
             for rate in (cfg.crash_rate, cfg.straggler_rate,
                          cfg.outlier_rate, cfg.pool_failure_rate,
-                         cfg.worker_crash_rate, cfg.lease_expiry_rate)
+                         cfg.worker_crash_rate, cfg.lease_expiry_rate,
+                         cfg.preemption_rate)
         )
 
     def signature(self) -> str:
@@ -127,7 +146,8 @@ class FaultPlan:
                 cfg.seed, cfg.crash_rate, cfg.straggler_rate,
                 cfg.straggler_factor, cfg.outlier_rate, cfg.outlier_factor,
                 cfg.pool_failure_rate, cfg.worker_crash_rate,
-                cfg.lease_expiry_rate,
+                cfg.lease_expiry_rate, cfg.preemption_rate,
+                cfg.preemption_warning_epochs,
             )
         )
 
@@ -195,6 +215,24 @@ class FaultPlan:
         return (
             self._draw("lease", (epoch, attempt))
             < self.config.lease_expiry_rate
+        )
+
+    def preempts(self, node_id: int, epoch: int) -> bool:
+        """Is a preemption warning issued for spot instance ``node_id``?
+
+        Drawn per (instance, epoch) from the ``preempt`` family's own
+        stream, so the decision is independent of pool size, query
+        order, and every measurement draw — a churn plan replayed over
+        the same day warns (and reclaims) the same instances at the
+        same epochs.  The caller (the provider) owns the two-phase
+        bookkeeping: reclaim follows ``preemption_warning_epochs``
+        after the warning.
+        """
+        if self.config.preemption_rate <= 0.0:
+            return False
+        return (
+            self._draw("preempt", (node_id, epoch))
+            < self.config.preemption_rate
         )
 
     def pool_victim(self, label: Tuple, batch_size: int) -> int:

@@ -91,11 +91,24 @@ def load_trace(path: str) -> Dict[str, object]:
     stripped = text.lstrip()
     if not stripped:
         raise ReproError(f"trace file {path!r} is empty")
-    if stripped.startswith("{") and '"traceEvents"' in stripped[:4096]:
+    if stripped.startswith("{") and '"traceEvents"' in stripped:
+        # A Chrome export is one JSON document; a JSONL export is one
+        # record per line (and only a multi-line one could mention
+        # traceEvents inside an attribute, in which case the full-text
+        # parse below fails and we fall through to the JSONL reader).
+        # The substring probe must scan the whole text — the counters
+        # block preceding traceEvents can be arbitrarily large.
         try:
-            return _payload_from_chrome(json.loads(text))
-        except (json.JSONDecodeError, KeyError, TypeError) as exc:
-            raise ReproError(f"malformed Chrome trace {path!r}: {exc}") from None
+            document = json.loads(text)
+        except json.JSONDecodeError:
+            document = None
+        if isinstance(document, dict) and "traceEvents" in document:
+            try:
+                return _payload_from_chrome(document)
+            except (KeyError, TypeError) as exc:
+                raise ReproError(
+                    f"malformed Chrome trace {path!r}: {exc}"
+                ) from None
     try:
         return _payload_from_jsonl(text.splitlines())
     except (json.JSONDecodeError, KeyError) as exc:
@@ -248,6 +261,29 @@ def daemon_accounting(payload: Dict[str, object]) -> List[Tuple[str, object]]:
     return rows
 
 
+def provider_accounting(payload: Dict[str, object]) -> List[Tuple[str, object]]:
+    """Elastic-capacity totals: ``provider.*`` counters and gauges.
+
+    Counters cover autoscale decisions, reclaimed spot nodes, and
+    requeued jobs; the gauges are the last-observed pool size and spot
+    fraction.  Empty when the trace covers no elastic-provider run —
+    fixed-pool (and ``--provider static``) summaries are unchanged.
+    """
+    counters = payload.get("counters", {})
+    rows = sorted(
+        (name, value)
+        for name, value in counters.items()
+        if name.startswith("provider.")
+    )
+    gauges = payload.get("gauges", {})
+    rows.extend(sorted(
+        (f"{name} (gauge)", value)
+        for name, value in gauges.items()
+        if name.startswith("provider.")
+    ))
+    return rows
+
+
 def summarize_text(payload: Dict[str, object]) -> str:
     """Human-readable trace summary (the ``repro trace summarize`` body)."""
     # Imported here: analysis -> obs would otherwise be circular for
@@ -320,6 +356,18 @@ def summarize_text(payload: Dict[str, object]) -> str:
                 [
                     (name, value if isinstance(value, int) else f"{value:.1f}")
                     for name, value in daemon
+                ],
+            )
+        )
+    provider = provider_accounting(payload)
+    if provider:
+        sections.append(
+            "Elastic capacity (provider.* counters and gauges):\n"
+            + format_table(
+                ["Metric", "Total"],
+                [
+                    (name, value if isinstance(value, int) else f"{value:.3f}")
+                    for name, value in provider
                 ],
             )
         )

@@ -1,0 +1,59 @@
+"""Capacity providers: elastic pools, spot preemption, autoscaling.
+
+See :mod:`repro.providers.base` for the model.  Importing this package
+populates the provider registry (``static``, ``elastic``, ``ec2``), so
+``make_provider(name, ...)`` works without importing the backends
+individually.
+"""
+
+from repro.providers.autoscaler import AutoscalerConfig
+from repro.providers.base import (
+    DRAINING,
+    DURABLE,
+    LIVE,
+    SPOT,
+    CapacityEvent,
+    CapacityProvider,
+    ProviderInstance,
+    make_provider,
+    provider_names,
+    register_provider,
+)
+from repro.providers.ec2 import (
+    EC2_COUNTS,
+    EC2_INSTANCE_VCPUS,
+    EC2_NUM_INSTANCES,
+    EC2_POLICY_SAMPLES,
+    EC2_WORKLOADS,
+    EC2Provider,
+    ec2_cluster_spec,
+    ec2_counts,
+    make_ec2_runner,
+)
+from repro.providers.elastic import ElasticProvider
+from repro.providers.static import StaticProvider
+
+__all__ = [
+    "AutoscalerConfig",
+    "CapacityEvent",
+    "CapacityProvider",
+    "DRAINING",
+    "DURABLE",
+    "EC2Provider",
+    "EC2_COUNTS",
+    "EC2_INSTANCE_VCPUS",
+    "EC2_NUM_INSTANCES",
+    "EC2_POLICY_SAMPLES",
+    "EC2_WORKLOADS",
+    "ElasticProvider",
+    "LIVE",
+    "ProviderInstance",
+    "SPOT",
+    "StaticProvider",
+    "ec2_cluster_spec",
+    "ec2_counts",
+    "make_ec2_runner",
+    "make_provider",
+    "provider_names",
+    "register_provider",
+]

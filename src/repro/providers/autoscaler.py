@@ -1,0 +1,91 @@
+"""Deterministic autoscaling policy for elastic pools.
+
+The autoscaler is a pure function of the service's observable pressure
+at an epoch boundary: the admission queue depth and the predicted
+worst mission-critical QoS margin (``bound - predicted``, minimized
+over every MC tenant).  Both signals say the same thing from different
+sides — work is waiting, or the resident mix is predicted too close to
+its bounds — and either triggers growth.  Shrink is the conservative
+inverse: only when the queue is empty does the pool release *idle*
+spot instances (never durable ones, never instances hosting units), so
+scaling down can never evict work or touch a mission-critical tenant.
+
+No randomness anywhere: the same (queue depth, margin, idle set)
+always produces the same decision, which is what lets a resumed day
+replay its autoscale events byte-identically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class AutoscalerConfig:
+    """Scaling thresholds of an elastic pool.
+
+    Parameters
+    ----------
+    grow_queue_depth:
+        Queue depth at (or above) which the pool grows.
+    margin_floor:
+        Predicted worst MC QoS margin below which the pool grows —
+        capacity pressure is added *before* the bound is breached.
+    grow_step:
+        Spot instances launched per growth decision.
+    shrink_step:
+        Idle spot instances released per shrink decision.
+    min_nodes:
+        Pool floor the autoscaler never shrinks below.
+    """
+
+    grow_queue_depth: int = 2
+    margin_floor: float = 0.05
+    grow_step: int = 2
+    shrink_step: int = 1
+    min_nodes: int = 1
+
+    def __post_init__(self) -> None:
+        if self.grow_queue_depth < 1:
+            raise ConfigurationError("grow_queue_depth must be positive")
+        if self.grow_step < 1 or self.shrink_step < 1:
+            raise ConfigurationError("scaling steps must be positive")
+        if self.min_nodes < 1:
+            raise ConfigurationError("min_nodes must be positive")
+
+
+def decide(
+    config: AutoscalerConfig,
+    *,
+    queue_depth: int,
+    qos_margin: Optional[float],
+    live_count: int,
+    max_nodes: int,
+    idle_spot: List[int],
+) -> Tuple[str, int, List[int], str]:
+    """One boundary's scaling decision.
+
+    Returns ``(action, count, nodes, reason)`` where ``action`` is
+    ``"grow"``, ``"shrink"``, or ``"hold"``; ``nodes`` names the
+    instances a shrink releases (highest ids first — the most recently
+    minted elastic capacity goes back first).
+    """
+    pressure = queue_depth >= config.grow_queue_depth
+    squeezed = qos_margin is not None and qos_margin < config.margin_floor
+    if pressure or squeezed:
+        room = max_nodes - live_count
+        count = min(config.grow_step, room)
+        if count > 0:
+            reason = "queue-depth" if pressure else "qos-margin"
+            return ("grow", count, [], reason)
+        return ("hold", 0, [], "at-ceiling")
+    if queue_depth == 0 and idle_spot:
+        releasable = max(0, live_count - config.min_nodes)
+        count = min(config.shrink_step, len(idle_spot), releasable)
+        if count > 0:
+            victims = sorted(idle_spot, reverse=True)[:count]
+            return ("shrink", count, sorted(victims), "idle")
+    return ("hold", 0, [], "steady")

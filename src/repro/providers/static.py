@@ -1,0 +1,47 @@
+"""The fixed-capacity provider (today's behaviour, made explicit).
+
+``StaticProvider`` is the identity element of the provider layer: the
+whole pool is durable, live from epoch 0, and never changes.  A
+service run with ``--provider static`` therefore makes exactly the
+same decisions — and produces byte-identical event logs, snapshots,
+and traces — as one run with no provider at all, which is the
+acceptance gate the churn work rides behind.
+"""
+
+from __future__ import annotations
+
+from repro.providers.base import (
+    DURABLE,
+    CapacityProvider,
+    ProviderInstance,
+    register_provider,
+)
+
+
+@register_provider("static")
+class StaticProvider(CapacityProvider):
+    """A fixed, fully durable pool of ``num_nodes`` instances."""
+
+    name = "static"
+
+    @property
+    def elastic(self) -> bool:
+        return False
+
+    def __init__(self, num_nodes: int) -> None:
+        super().__init__(num_nodes)
+        self._instances = {
+            node_id: ProviderInstance(node_id=node_id, node_class=DURABLE)
+            for node_id in range(num_nodes)
+        }
+
+    # A static pool ignores growth requests rather than erroring: the
+    # autoscaler path is simply absent, and poll never drains anything,
+    # so step() is always empty and the service's capacity phase is a
+    # no-op (no events, no log entries, no trace spans beyond the
+    # phase marker).
+    def grow(self, count, epoch, *, node_class=DURABLE):
+        return []
+
+    def shrink(self, nodes, epoch):
+        return []

@@ -57,10 +57,18 @@ class CellScore:
 
 
 def free_slot_count(cell) -> int:
-    """Unoccupied unit slots in a cell (capacity minus resident units)."""
+    """Unoccupied unit slots in a cell (capacity minus resident units).
+
+    Capacity is the cell's *schedulable* node count, so a cell on an
+    elastic provider advertises the headroom it can actually grant —
+    draining and reclaimed nodes drop out of its routing weight the
+    epoch they stop accepting work.  Fixed-pool cells count their full
+    spec, exactly as before.
+    """
     service = cell.service
     slots = (
-        service.runner.spec.num_nodes * service.admission.unit_slots_per_node
+        service.schedulable_node_count()
+        * service.admission.unit_slots_per_node
     )
     occupied = sum(job.num_units for job in service.tenants)
     return slots - occupied

@@ -308,8 +308,12 @@ class ShardedConsolidationService:
             return cell_snaps[0]
         slots = occupied = 0
         for cell in self.cells:
-            spec = cell.service.runner.spec
-            slots += spec.num_nodes * cell.service.admission.unit_slots_per_node
+            # Live node count == spec.num_nodes for fixed-pool cells;
+            # elastic cells contribute their current pool size.
+            slots += (
+                cell.service.live_node_count()
+                * cell.service.admission.unit_slots_per_node
+            )
             occupied += sum(job.num_units for job in cell.service.tenants)
         observed: set = set()
         workloads: set = set()
@@ -411,6 +415,7 @@ def build_sharded_service(
     cell_workers: int = 0,
     runner_factory=None,
     degraded_workloads: Optional[Sequence[str]] = None,
+    provider_factory=None,
 ) -> ShardedConsolidationService:
     """Shard a cluster and stand up one flat service per cell.
 
@@ -442,6 +447,14 @@ def build_sharded_service(
         Workloads already known degraded (e.g. from profiling-time
         fallbacks); seeded into every cell runner's faulted set so
         admission stays conservative about them.
+    provider_factory:
+        Optional ``f(shard, cell_seed) -> CapacityProvider | None``
+        attaching a capacity provider per cell.  An elastic cell's
+        runner must be built at the provider's ``max_nodes`` ceiling
+        (pair this with a matching ``runner_factory``); cells whose
+        factory returns ``None`` stay fixed-pool.  ``None`` (the
+        default) leaves every cell provider-less, byte-identical to
+        releases before the provider layer.
     """
     if n_cells > 1 and isinstance(model, OnlineModel):
         raise ServiceError(
@@ -468,6 +481,11 @@ def build_sharded_service(
             config=config,
             seed=cell_seed,
             cell_id=None if single else shard.cell_id,
+            provider=(
+                provider_factory(shard, cell_seed)
+                if provider_factory is not None
+                else None
+            ),
         )
         cells.append(Cell(shard.cell_id, shard, service, routed))
     if coordinator is None and coordinator_config is not None:

@@ -41,6 +41,7 @@ from repro.service.jobs import Job
 #: Admission decision reasons.
 ADMITTED = "admitted"
 NO_CAPACITY = "no-capacity"
+NO_DURABLE_CAPACITY = "no-durable-capacity"
 QOS_INFEASIBLE = "qos-infeasible"
 
 
@@ -145,6 +146,15 @@ class AdmissionController:
         mapping (:func:`repro.faults.degradation.conservative_prediction`),
         so a workload the profiler could not measure reliably is never
         the reason a QoS bound is optimistically waved through.
+    capacity:
+        Optional :class:`~repro.providers.base.CapacityProvider`.  When
+        set, admission is *capacity-aware*: only the provider's
+        schedulable (live, non-draining) nodes count as free, and
+        mission-critical jobs are additionally restricted to durable
+        nodes — a tenant with a QoS bound can never land on spot
+        capacity that might be preempted out from under it.  ``None``
+        (the default, and any non-elastic provider's effective
+        behaviour) reproduces the fixed-pool decisions bit for bit.
     """
 
     def __init__(
@@ -155,6 +165,7 @@ class AdmissionController:
         unit_slots_per_node: int = 2,
         max_candidates: int = 4096,
         degraded_workloads: Optional[Set[str]] = None,
+        capacity=None,
     ) -> None:
         if max_candidates <= 0:
             raise ServiceError("max_candidates must be positive")
@@ -165,6 +176,7 @@ class AdmissionController:
         self.degraded_workloads = (
             degraded_workloads if degraded_workloads is not None else set()
         )
+        self.capacity = capacity
 
     def _predict(self, candidate: Placement) -> Dict[str, float]:
         """Per-instance predictions, conservatively for degraded workloads.
@@ -211,11 +223,11 @@ class AdmissionController:
             if placement is not None
             else self.unit_slots_per_node
         )
-        return [
-            node
-            for node in range(self.cluster_spec.num_nodes)
-            if load.get(node, 0) < slots
-        ]
+        if self.capacity is not None:
+            pool = self.capacity.schedulable_nodes()
+        else:
+            pool = range(self.cluster_spec.num_nodes)
+        return [node for node in pool if load.get(node, 0) < slots]
 
     @staticmethod
     def _constraints(
@@ -252,6 +264,11 @@ class AdmissionController:
         free = self.free_nodes(placement)
         if len(free) < job.num_units:
             return AdmissionDecision(job, False, NO_CAPACITY)
+        if self.capacity is not None and job.mission_critical:
+            durable = set(self.capacity.durable_nodes())
+            free = [node for node in free if node in durable]
+            if len(free) < job.num_units:
+                return AdmissionDecision(job, False, NO_DURABLE_CAPACITY)
         constraints = self._constraints(tenants, job)
         candidates: List[Placement] = []
         for nodes in islice(
@@ -291,6 +308,27 @@ class AdmissionController:
             predictions=predictions,
             candidates_evaluated=evaluated,
         )
+
+    def decision_still_valid(self, decision: AdmissionDecision) -> bool:
+        """Whether an admitted decision's nodes are still schedulable.
+
+        An elastic pool can lose a node between the admission
+        prediction and the commit (a preemption reclaim racing the
+        admit phase).  The service checks here before binding the job;
+        a stale decision is requeued rather than raising deep inside
+        the epoch body.  Always ``True`` without a capacity hook — the
+        fixed pool cannot vanish.
+        """
+        if self.capacity is None or not decision.admitted:
+            return True
+        nodes = set(
+            decision.placement.nodes_of(decision.job.job_id)
+        )
+        if not nodes <= set(self.capacity.schedulable_nodes()):
+            return False
+        if decision.job.mission_critical:
+            return nodes <= set(self.capacity.durable_nodes())
+        return True
 
     def _select_scalar(
         self,

@@ -35,7 +35,8 @@ from repro.service.telemetry import MetricsSnapshot
 CHECKPOINT_VERSION = 1
 
 #: Operational counters captured verbatim from the service.
-#: ``cancelled`` is additive (older checkpoints without it load as 0).
+#: ``cancelled``, ``preempted`` and ``requeued`` are additive (older
+#: checkpoints without them load as 0).
 _COUNTER_FIELDS = (
     "epochs_run",
     "admitted",
@@ -46,6 +47,8 @@ _COUNTER_FIELDS = (
     "migrated_units",
     "qos_checks",
     "qos_violations",
+    "preempted",
+    "requeued",
 )
 
 
@@ -83,6 +86,10 @@ class ServiceCheckpoint:
     pending_cancels: Tuple[str, ...] = ()
     seed: int = 0
     version: int = CHECKPOINT_VERSION
+    #: Serialized provider inventory (``None`` for fixed-pool
+    #: services).  Additive: the key is omitted from :meth:`to_dict`
+    #: when ``None``, so provider-less checkpoints keep their bytes.
+    provider_state: Optional[Dict[str, object]] = None
 
     @property
     def epoch(self) -> int:
@@ -121,6 +128,11 @@ class ServiceCheckpoint:
             log_length=len(service.log),
             pending_cancels=tuple(service._pending_cancels),
             seed=service.seed,
+            provider_state=(
+                service.provider.state_dict()
+                if service.provider is not None and service.provider.elastic
+                else None
+            ),
         )
 
     def restore(self, service) -> None:
@@ -158,11 +170,29 @@ class ServiceCheckpoint:
         service._pending_cancels = list(self.pending_cancels)
         service.model.load_state(self.model_state)
         service.runner.faulted_workloads.update(self.faulted_workloads)
+        if self.provider_state is not None:
+            if service.provider is None:
+                raise ServiceError(
+                    "checkpoint carries provider state but the service "
+                    "has no provider; rebuild it with the original "
+                    "--provider configuration"
+                )
+            service.provider.load_state(self.provider_state)
+        elif service.provider is not None and service.provider.elastic:
+            raise ServiceError(
+                "service has an elastic provider but the checkpoint "
+                "carries no provider state; it was captured on a fixed "
+                "pool"
+            )
 
     # ------------------------------------------------------------------
     def to_dict(self) -> Dict[str, object]:
-        """Plain JSON-able rendering."""
-        return {
+        """Plain JSON-able rendering.
+
+        The ``provider_state`` key appears only when a provider was
+        attached, so fixed-pool checkpoint bytes are unchanged.
+        """
+        entry: Dict[str, object] = {
             "version": self.version,
             "seed": self.seed,
             "counters": dict(self.counters),
@@ -188,6 +218,9 @@ class ServiceCheckpoint:
             "log_length": self.log_length,
             "pending_cancels": list(self.pending_cancels),
         }
+        if self.provider_state is not None:
+            entry["provider_state"] = dict(self.provider_state)
+        return entry
 
     @classmethod
     def from_dict(cls, entry: Dict[str, object]) -> "ServiceCheckpoint":
@@ -237,6 +270,10 @@ class ServiceCheckpoint:
                 log_length=int(entry["log_length"]),
                 pending_cancels=tuple(
                     str(j) for j in entry.get("pending_cancels", ())
+                ),
+                provider_state=(
+                    None if entry.get("provider_state") is None
+                    else dict(entry["provider_state"])
                 ),
             )
         except ServiceError:

@@ -30,14 +30,26 @@ from repro._util import atomic_write_text
 from repro.errors import ServiceError
 
 #: Event kinds, in the order they can occur within an epoch.
-#: ``job_cancel`` leads because cancellations requested since the last
-#: boundary are honoured before anything else happens in an epoch (a
-#: run without cancel requests never emits it, so flat-replay logs are
-#: unchanged).  The final entry is appended by the scale layer's global
-#: coordinator *after* the per-cell epoch bodies (so it follows the
-#: cells' ``epoch_end`` events in a merged log); the flat service never
-#: emits it.
+#: The capacity block (``autoscale`` through ``job_requeue``) leads:
+#: an elastic provider's pool changes are applied at the epoch
+#: boundary before anything else, so the epoch's admission and
+#: rescheduling see a consistent capacity picture (a run without a
+#: provider — or with the static one — never emits any of them, so
+#: flat-replay logs are unchanged).  ``job_requeue`` can also appear in
+#: the admit phase, when a node vanishes between an admission decision
+#: and its commit.  ``job_cancel`` then leads the tenant lifecycle
+#: because cancellations requested since the last boundary are
+#: honoured before anything else happens to tenants.  The final entry
+#: is appended by the scale layer's global coordinator *after* the
+#: per-cell epoch bodies (so it follows the cells' ``epoch_end``
+#: events in a merged log); the flat service never emits it.
 EVENT_KINDS = (
+    "autoscale",
+    "node_join",
+    "node_leave",
+    "preempt_warning",
+    "preempt_reclaim",
+    "job_requeue",
     "job_cancel",
     "depart",
     "arrival",

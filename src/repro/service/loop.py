@@ -30,8 +30,9 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro._util import stable_seed
+from repro.cluster.cluster import ClusterView
 from repro.core.online import OnlineModel
-from repro.errors import MeasurementFault, ServiceError
+from repro.errors import MeasurementFault, PlacementError, ServiceError
 from repro.obs import recorder as _obs
 from repro.placement.annealing import AnnealingSchedule
 from repro.placement.assignment import Placement
@@ -138,6 +139,15 @@ class ConsolidationService:
         :func:`repro.obs.recorder.ambient`).  ``None`` — the default —
         is the flat service, whose spans and events are byte-identical
         to releases before the scale layer existed.
+    provider:
+        Optional :class:`~repro.providers.base.CapacityProvider`
+        backing the node pool.  The runner must be built at the
+        provider's ``max_nodes`` ceiling.  An *elastic* provider adds a
+        capacity phase at the head of every epoch (autoscaling, spot
+        preemption, eviction + requeue of reclaimed tenants) plus
+        additive snapshot/trace output; a non-elastic provider (the
+        ``static`` backend) changes nothing — the day is byte-identical
+        to a run with no provider at all.
     """
 
     def __init__(
@@ -150,7 +160,15 @@ class ConsolidationService:
         seed: int = 0,
         checkpoint_path: Optional[str] = None,
         cell_id: Optional[int] = None,
+        provider=None,
     ) -> None:
+        if provider is not None and provider.max_nodes != runner.spec.num_nodes:
+            raise ServiceError(
+                f"runner has {runner.spec.num_nodes} nodes but the "
+                f"provider's ceiling is {provider.max_nodes}; build the "
+                f"runner at max_nodes so every mintable node id has a "
+                f"physical identity"
+            )
         self.runner = runner
         self.model = model if isinstance(model, OnlineModel) else OnlineModel(model)
         self.stream = stream
@@ -158,6 +176,7 @@ class ConsolidationService:
         self.seed = seed
         self.checkpoint_path = checkpoint_path
         self.cell_id = cell_id
+        self.provider = provider
         # The admission controller shares the runner's degraded set
         # live: a workload whose profile needed a fallback is predicted
         # with the conservative ALL-max mapping from then on.
@@ -166,6 +185,7 @@ class ConsolidationService:
             runner.spec,
             max_candidates=self.config.admission_candidates,
             degraded_workloads=runner.faulted_workloads,
+            capacity=provider,
         )
         self.log = EventLog()
         self.snapshots: List[MetricsSnapshot] = []
@@ -185,6 +205,8 @@ class ConsolidationService:
         self._migrated_units = 0
         self._qos_checks = 0
         self._qos_violations = 0
+        self._preempted = 0
+        self._requeued = 0
 
     # ------------------------------------------------------------------
     # Introspection
@@ -214,9 +236,31 @@ class ConsolidationService:
         """Jobs cancelled (queued or resident) so far."""
         return self._cancelled
 
+    @property
+    def preempted_total(self) -> int:
+        """Resident jobs evicted by spot preemption reclaims so far."""
+        return self._preempted
+
+    @property
+    def requeued_total(self) -> int:
+        """Jobs returned to the queue (preemption or vanished node)."""
+        return self._requeued
+
+    def live_node_count(self) -> int:
+        """Nodes currently hosting work (the utilization denominator)."""
+        if self.provider is not None:
+            return len(self.provider.live_nodes())
+        return self.runner.spec.num_nodes
+
+    def schedulable_node_count(self) -> int:
+        """Nodes accepting new work (the headroom numerator's pool)."""
+        if self.provider is not None:
+            return len(self.provider.schedulable_nodes())
+        return self.runner.spec.num_nodes
+
     def utilization(self) -> float:
-        """Occupied fraction of the cluster's unit slots."""
-        slots = self.runner.spec.num_nodes * self.admission.unit_slots_per_node
+        """Occupied fraction of the live pool's unit slots."""
+        slots = self.live_node_count() * self.admission.unit_slots_per_node
         occupied = sum(job.num_units for job in self._tenants.values())
         return occupied / slots if slots else 0.0
 
@@ -279,6 +323,109 @@ class ConsolidationService:
     # ------------------------------------------------------------------
     # Epoch phases
     # ------------------------------------------------------------------
+    def _occupied_nodes(self) -> set:
+        """Node ids hosting at least one resident unit."""
+        occupied: set = set()
+        if self._placement is not None:
+            for spec in self._placement.instances:
+                occupied.update(
+                    self._placement.nodes_of(spec.instance_key)
+                )
+        return occupied
+
+    def _qos_margin(self) -> Optional[float]:
+        """Worst predicted QoS headroom (bound minus prediction).
+
+        ``None`` when no mission-critical tenant is resident — the
+        autoscaler then scales on queue depth alone.
+        """
+        constraints = self._constraints()
+        if not constraints or self._placement is None:
+            return None
+        predictions = predict_placement(self.model, self._placement)
+        return min(
+            c.max_normalized_time - predictions[c.instance_key]
+            for c in constraints
+        )
+
+    def _capacity(self, epoch: int) -> None:
+        """Apply the provider's pool changes for this boundary.
+
+        Autoscaling reads the *previous* boundary's pressure signals
+        (queue depth, predicted mission-critical margin, idle nodes);
+        preemption reclaims evict any still-resident tenants, which are
+        requeued at the *front* of the admission queue (bypassing
+        ``max_queue_depth`` — an admitted batch job is never dropped by
+        a reclaim) with their retry counters reset.
+        """
+        occupied = self._occupied_nodes()
+        idle = [
+            n for n in self.provider.schedulable_nodes()
+            if n not in occupied
+        ]
+        events = self.provider.step(
+            epoch,
+            queue_depth=len(self._queue),
+            qos_margin=self._qos_margin(),
+            idle_nodes=idle,
+        )
+        for event in events:
+            payload = dict(event.details)
+            payload["nodes"] = list(event.nodes)
+            if event.node_class is not None:
+                payload["node_class"] = event.node_class
+            if event.reason is not None:
+                payload["reason"] = event.reason
+            self.log.append(event.kind, epoch, **payload)
+            if event.kind == "autoscale":
+                _obs.RECORDER.count("provider.autoscale")
+            elif event.kind == "preempt_reclaim":
+                _obs.RECORDER.count(
+                    "provider.preemptions", len(event.nodes)
+                )
+                self._evict_reclaimed(epoch, event.nodes)
+        live = self.provider.live_nodes()
+        spot = sum(1 for n in live if self.provider.is_spot(n))
+        _obs.RECORDER.gauge("provider.pool_size", len(live))
+        _obs.RECORDER.gauge(
+            "provider.spot_fraction", spot / len(live) if live else 0.0
+        )
+
+    def _evict_reclaimed(self, epoch: int, nodes) -> None:
+        """Evict tenants resident on reclaimed nodes; requeue them.
+
+        Mission-critical tenants are admitted only onto durable nodes,
+        so everything evicted here is batch work: it re-enters the
+        queue at the front (in admission order) and restarts when
+        capacity allows.
+        """
+        if self._placement is None:
+            return
+        reclaimed = set(nodes)
+        evicted = [
+            job for job_id, job in self._tenants.items()
+            if reclaimed & set(self._placement.nodes_of(job_id))
+        ]
+        for job in evicted:
+            old_nodes = list(self._placement.nodes_of(job.job_id))
+            del self._tenants[job.job_id]
+            del self._ends_at[job.job_id]
+            self._placement = placement_without_job(
+                self._placement, job.job_id
+            )
+            self._preempted += 1
+            self._requeued += 1
+            _obs.RECORDER.count("provider.requeues")
+            self.log.append(
+                "job_requeue",
+                epoch,
+                job=job.job_id,
+                workload=job.workload,
+                reason="preempted",
+                nodes=old_nodes,
+            )
+        self._queue[:0] = [_QueuedJob(job) for job in evicted]
+
     def _depart(self, epoch: int) -> None:
         for job_id in [
             key for key in self._tenants if self._ends_at[key] <= epoch
@@ -320,6 +467,26 @@ class ConsolidationService:
             decision = self.admission.try_admit(
                 self._placement, self.tenants, entry.job
             )
+            if decision.admitted and not self.admission.decision_still_valid(
+                decision
+            ):
+                # A node vanished between the admission prediction and
+                # its commit (a reclaim racing the admit phase).  The
+                # job stays queued — without burning a retry — instead
+                # of raising deep inside the epoch body.
+                self._requeued += 1
+                still_waiting.append(entry)
+                self.log.append(
+                    "job_requeue",
+                    epoch,
+                    job=entry.job.job_id,
+                    workload=entry.job.workload,
+                    reason="node-vanished",
+                    nodes=list(
+                        decision.placement.nodes_of(entry.job.job_id)
+                    ),
+                )
+                continue
             if decision.admitted:
                 job = entry.job
                 self._placement = decision.placement
@@ -367,30 +534,71 @@ class ConsolidationService:
         ]
         return [c for c in constraints if c is not None]
 
-    def _search_candidate(self, epoch: int) -> Placement:
+    def _search_candidate(
+        self, epoch: int, allowed: Optional[List[int]] = None
+    ) -> Placement:
+        """Search a fresh placement, optionally restricted to ``allowed``.
+
+        With ``allowed`` a strict subset of the runner's nodes (the
+        elastic pool's schedulable set), the placers run on a compact
+        :class:`~repro.cluster.cluster.ClusterView` — a re-indexed
+        spec over just those nodes — and the winning assignment is
+        lifted back to physical ids.  The search seed is unchanged, so
+        full-pool searches stay byte-identical to releases without
+        views.
+        """
         instances = [job.instance_spec() for job in self._tenants.values()]
         seed = stable_seed(self.seed, "resched", epoch)
         constraints = self._constraints()
+        spec = self.runner.spec
+        view: Optional[ClusterView] = None
+        if allowed is not None and len(allowed) < spec.num_nodes:
+            view = ClusterView.of(spec, allowed)
+            spec = view.spec
         if constraints:
             placer = QoSAwarePlacer(
                 self.model,
-                self.runner.spec,
+                spec,
                 constraints,
                 schedule=self.config.schedule,
                 seed=seed,
             )
-            return placer.place(instances).placement
-        placer = ThroughputPlacer(
-            self.model,
+            candidate = placer.place(instances).placement
+        else:
+            placer = ThroughputPlacer(
+                self.model,
+                spec,
+                schedule=self.config.schedule,
+                seed=seed,
+            )
+            candidate = placer.best(instances).placement
+        if view is None:
+            return candidate
+        assignment = view.lift_assignment({
+            spec_.instance_key: candidate.nodes_of(spec_.instance_key)
+            for spec_ in candidate.instances
+        })
+        return Placement(
             self.runner.spec,
-            schedule=self.config.schedule,
-            seed=seed,
+            list(candidate.instances),
+            assignment,
+            unit_slots_per_node=candidate.unit_slots_per_node,
         )
-        return placer.best(instances).placement
+
+    def _lost_nodes(self) -> set:
+        """Occupied nodes no longer schedulable (draining or reclaimed)."""
+        if self.provider is None or not self.provider.elastic:
+            return set()
+        if self._placement is None:
+            return set()
+        return self._occupied_nodes() - set(
+            self.provider.schedulable_nodes()
+        )
 
     def _reschedule(self, epoch: int) -> None:
         every = self.config.reschedule_every
-        if (
+        lost = self._lost_nodes()
+        if not lost and (
             every == 0
             or epoch == 0
             or epoch % every != 0
@@ -398,7 +606,30 @@ class ConsolidationService:
             or len(self._tenants) < 2
         ):
             return
-        candidate = self._search_candidate(epoch)
+        if self._placement is None or not self._tenants:
+            return
+        allowed: Optional[List[int]] = None
+        if self.provider is not None and self.provider.elastic:
+            allowed = self.provider.schedulable_nodes()
+        try:
+            candidate = self._search_candidate(epoch, allowed)
+        except PlacementError:
+            # The shrunken pool cannot hold the resident mix (e.g. a
+            # drain mid-warning with nowhere to go yet); tenants ride
+            # out the warning window where they are.
+            return
+        if self.provider is not None and self.provider.elastic:
+            # Admission never puts a mission-critical tenant on spot
+            # capacity; migration honours the same invariant.  A
+            # candidate that would move one onto a preemptible node is
+            # discarded — tenants stay put rather than trade a QoS
+            # bound for a reclaim risk.
+            for job_id, job in self._tenants.items():
+                if job.mission_critical and any(
+                    self.provider.is_spot(node)
+                    for node in candidate.nodes_of(job_id)
+                ):
+                    return
         constraints = self._constraints()
         current_predictions = predict_placement(self.model, self._placement)
         candidate_predictions = predict_placement(self.model, candidate)
@@ -408,7 +639,11 @@ class ConsolidationService:
         candidate_violation = sum(
             c.violation(candidate_predictions) for c in constraints
         )
-        if candidate_violation > current_violation:
+        # Evacuation overrides every gate: leaving units on a draining
+        # node loses them at reclaim, which is strictly worse than any
+        # predicted posture or migration bill.
+        repairs_capacity = bool(lost)
+        if candidate_violation > current_violation and not repairs_capacity:
             # Never migrate into a (predicted) worse QoS posture.
             return
         current_total = weighted_total_time(
@@ -418,13 +653,19 @@ class ConsolidationService:
         moves = units_moved(self._placement, candidate)
         gain = current_total - candidate_total
         repairs_qos = candidate_violation < current_violation
-        if moves == 0 or not (
-            repairs_qos or gain > self.config.migration_cost * moves
+        if not repairs_capacity and (
+            moves == 0
+            or not (repairs_qos or gain > self.config.migration_cost * moves)
         ):
+            return
+        if moves == 0:
             return
         self._placement = candidate
         self._migration_epochs += 1
         self._migrated_units += moves
+        payload: Dict[str, object] = {}
+        if repairs_capacity:
+            payload["evacuated_nodes"] = sorted(lost)
         self.log.append(
             "migrate",
             epoch,
@@ -432,6 +673,7 @@ class ConsolidationService:
             predicted_gain=gain,
             repairs_qos=repairs_qos,
             predicted_total=candidate_total,
+            **payload,
         )
 
     def _measure_and_learn(self, epoch: int) -> float:
@@ -478,6 +720,23 @@ class ConsolidationService:
                 )
         return weighted_total_time(measured, self._placement)
 
+    def _provider_block(self) -> Optional[Dict[str, object]]:
+        """The snapshot's pool picture (``None`` unless elastic)."""
+        if self.provider is None or not self.provider.elastic:
+            return None
+        live = self.provider.live_nodes()
+        spot = sum(1 for n in live if self.provider.is_spot(n))
+        draining = sum(1 for n in live if self.provider.is_draining(n))
+        return {
+            "pool_size": len(live),
+            "durable_nodes": len(live) - spot,
+            "spot_nodes": spot,
+            "draining_nodes": draining,
+            "spot_fraction": round(spot / len(live), 6) if live else 0.0,
+            "preempted_total": self._preempted,
+            "requeued_total": self._requeued,
+        }
+
     def _snapshot(self, epoch: int) -> MetricsSnapshot:
         staleness = self.model.staleness_report()
         observed = {workload for workload, count, _, _ in staleness if count > 0}
@@ -497,6 +756,7 @@ class ConsolidationService:
             unobserved_workloads=len(
                 [w for w in self.model.workloads if w not in observed]
             ),
+            provider=self._provider_block(),
         )
         self.snapshots.append(snapshot)
         return snapshot
@@ -552,6 +812,17 @@ class ConsolidationService:
         with _obs.RECORDER.span(
             "service.epoch", epoch=epoch, log_seq_start=len(self.log)
         ) as espan:
+            if self.provider is not None and self.provider.elastic:
+                # Spanned (and run) only on elastic pools, so fixed-pool
+                # days — including ``--provider static`` — trace
+                # byte-identically to releases without the provider
+                # layer.
+                with _obs.RECORDER.span(
+                    "provider.capacity",
+                    epoch=epoch,
+                    pool_size=len(self.provider.live_nodes()),
+                ):
+                    self._capacity(epoch)
             if self._pending_cancels:
                 # Spanned only when requests are pending, so cancel-free
                 # days trace byte-identically to releases without the

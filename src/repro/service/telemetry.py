@@ -31,6 +31,13 @@ class MetricsSnapshot:
     depth, worst predicted QoS margin, cross-cell migrations).  Flat
     services leave it ``None``, and a ``None`` value is omitted from
     :meth:`to_dict`, so the flat snapshot bytes are unchanged.
+
+    ``provider`` is the elastic-capacity extension, following the same
+    additive contract: a service running on an elastic provider
+    attaches the pool picture (size, durable/spot/draining split,
+    preemption and requeue totals).  Fixed-pool services — including
+    ``--provider static`` — leave it ``None`` and serialize the exact
+    bytes they always have.
     """
 
     epoch: int
@@ -47,6 +54,7 @@ class MetricsSnapshot:
     model_observations: int
     unobserved_workloads: int
     cells: Optional[Tuple[Dict[str, object], ...]] = None
+    provider: Optional[Dict[str, object]] = None
 
     @property
     def violation_rate(self) -> float:
@@ -79,6 +87,8 @@ class MetricsSnapshot:
         }
         if self.cells is not None:
             entry["cells"] = [dict(cell) for cell in self.cells]
+        if self.provider is not None:
+            entry["provider"] = dict(self.provider)
         return entry
 
     @classmethod
@@ -105,6 +115,8 @@ class MetricsSnapshot:
             kwargs[name] = int(kwargs[name])
         if entry.get("cells") is not None:
             kwargs["cells"] = tuple(dict(cell) for cell in entry["cells"])
+        if entry.get("provider") is not None:
+            kwargs["provider"] = dict(entry["provider"])
         return cls(**kwargs)
 
     def rows(self) -> List[Tuple[str, object]]:

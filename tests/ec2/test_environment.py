@@ -1,9 +1,15 @@
 """Tests for the EC2 validation environment."""
 
-from repro.ec2.environment import (
+import warnings
+
+import pytest
+
+from repro.providers.ec2 import (
     EC2_COUNTS,
+    EC2_NUM_INSTANCES,
     EC2_POLICY_SAMPLES,
     EC2_WORKLOADS,
+    EC2Provider,
     ec2_cluster_spec,
     ec2_counts,
     make_ec2_runner,
@@ -46,3 +52,43 @@ class TestEC2Runner:
         runner = make_ec2_runner()
         value = runner.measure("M.zeus", 1.0, 1)
         assert 0.5 < value < 2.0
+
+
+class TestEC2Provider:
+    def test_registered_fixed_pool(self):
+        from repro.providers import make_provider
+
+        provider = make_provider("ec2")
+        assert isinstance(provider, EC2Provider)
+        assert not provider.elastic
+        assert provider.live_nodes() == list(range(EC2_NUM_INSTANCES))
+        assert provider.durable_nodes() == provider.schedulable_nodes()
+
+
+class TestLegacyShim:
+    def test_old_import_path_warns_once(self):
+        import repro.ec2.environment as legacy
+
+        legacy._WARNED.discard("ec2_cluster_spec")
+        legacy.__dict__.pop("ec2_cluster_spec", None)
+        with pytest.warns(DeprecationWarning, match="repro.providers.ec2"):
+            spec_fn = legacy.ec2_cluster_spec
+        assert spec_fn is ec2_cluster_spec
+        # Cached: the second lookup neither warns nor re-resolves.
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert legacy.ec2_cluster_spec is ec2_cluster_spec
+
+    def test_package_shim_forwards(self):
+        import repro.ec2 as legacy_pkg
+
+        legacy_pkg._WARNED.discard("make_ec2_runner")
+        legacy_pkg.__dict__.pop("make_ec2_runner", None)
+        with pytest.warns(DeprecationWarning):
+            assert legacy_pkg.make_ec2_runner is make_ec2_runner
+
+    def test_unknown_attribute_still_raises(self):
+        import repro.ec2.environment as legacy
+
+        with pytest.raises(AttributeError):
+            legacy.does_not_exist

@@ -142,7 +142,8 @@ class TestSerialization:
 
     def test_families_constant_is_exhaustive(self):
         assert FAULT_FAMILIES == (
-            "crash", "straggler", "outlier", "pool", "worker", "lease"
+            "crash", "straggler", "outlier", "pool", "worker", "lease",
+            "preempt",
         )
 
 

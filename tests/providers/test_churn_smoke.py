@@ -1,0 +1,149 @@
+"""The seeded spot-churn day smoke (``-m churn_smoke``).
+
+Deselected from the default test run; the ``churn-smoke`` CI job runs
+it explicitly.  It replays a deterministic elastic day — autoscaling
+plus two-phase spot preemption under the checked-in
+``benchmarks/baselines/churn_plan.json`` — and guards two things:
+
+* **Determinism** — the day's event counters and final snapshot must
+  reproduce ``benchmarks/baselines/churn_smoke.json`` exactly.  A
+  drift means the seeded churn day changed and the baseline needs a
+  refresh.
+* **Elastic invariants** — no mission-critical tenant is ever placed
+  on a spot node, and no admitted batch job is lost to a reclaim
+  (every evicted resident is requeued), while mission-critical tenants
+  stay inside their QoS bounds.
+
+To refresh after an intentional change::
+
+    REPRO_UPDATE_CHURN_BASELINE=1 PYTHONPATH=src python -m pytest -m churn_smoke
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.core.builder import build_model
+from repro.faults import FaultPlan
+from repro.placement.annealing import AnnealingSchedule
+from repro.providers import AutoscalerConfig, ElasticProvider
+from repro.service.loop import ConsolidationService, ServiceConfig
+from repro.service.stream import StreamConfig, WorkloadStream
+from tests._synthetic import quiet_runner, synthetic_factory
+
+pytestmark = pytest.mark.churn_smoke
+
+BASELINES = Path(__file__).resolve().parents[2] / "benchmarks" / "baselines"
+BASELINE_PATH = BASELINES / "churn_smoke.json"
+PLAN_PATH = BASELINES / "churn_plan.json"
+
+#: Set this environment variable to re-record the baseline instead of
+#: asserting against it.
+UPDATE_ENV = "REPRO_UPDATE_CHURN_BASELINE"
+
+SEED = 2016
+EPOCHS = 12
+CEILING = 10
+INITIAL = 8
+
+
+def churn_day():
+    """The seeded elastic day the smoke replays (fully deterministic)."""
+    runner = quiet_runner(num_nodes=CEILING, factory=synthetic_factory())
+    report = build_model(
+        runner, ["A", "B"], policy_samples=4, seed=SEED, span=4
+    )
+    provider = ElasticProvider(
+        CEILING,
+        initial_nodes=INITIAL,
+        spot_fraction=0.5,
+        churn=FaultPlan.load(str(PLAN_PATH)),
+        autoscaler=AutoscalerConfig(),
+    )
+    stream = WorkloadStream(
+        StreamConfig(workloads=("A", "B"), arrival_rate=1.8), seed=SEED
+    )
+    service = ConsolidationService(
+        runner,
+        report.model,
+        stream,
+        config=ServiceConfig(
+            schedule=AnnealingSchedule(iterations=200, restarts=1)
+        ),
+        seed=SEED,
+        provider=provider,
+    )
+    service.run(EPOCHS)
+    return service
+
+
+def test_churn_day_matches_baseline_and_keeps_the_invariants():
+    service = churn_day()
+    counts = service.log.counts()
+
+    # --- The day must actually churn for the guard to mean anything.
+    assert counts.get("preempt_warning", 0) > 0
+    assert counts.get("preempt_reclaim", 0) > 0
+    assert counts.get("autoscale", 0) >= 2
+
+    # --- Invariant: no mission-critical tenant ever on a spot node.
+    # Durable ids never change (growth mints spot only, shrink releases
+    # idle spot only), so the final durable set covers the whole day.
+    durable = set(service.provider.durable_nodes())
+    qos_of = {}
+    for event in service.log.of_kind("arrival"):
+        payload = dict(event.payload)
+        qos_of[payload["job"]] = payload["qos_target"]
+    for event in service.log.of_kind("admit"):
+        payload = dict(event.payload)
+        if qos_of[payload["job"]] is not None:
+            assert set(payload["nodes"]) <= durable, (
+                f"MC job {payload['job']} on {payload['nodes']} "
+                f"(durable: {sorted(durable)})"
+            )
+    for event in service.log.of_kind("job_requeue"):
+        payload = dict(event.payload)
+        if payload["reason"] == "preempted":
+            assert qos_of.get(payload["job"]) is None, (
+                f"MC job {payload['job']} was preempted"
+            )
+
+    # --- Invariant: no admitted batch job lost — every resident evicted
+    # by a reclaim reappears in the queue (requeued count matches the
+    # preempted-resident count exactly).
+    preempted_requeues = sum(
+        1 for event in service.log.of_kind("job_requeue")
+        if dict(event.payload)["reason"] == "preempted"
+    )
+    assert service.preempted_total == preempted_requeues
+    assert service.requeued_total >= service.preempted_total
+
+    # --- Invariant: the churn never costs a mission-critical tenant
+    # its measured QoS bound.
+    assert service.snapshots[-1].qos_violations_total == 0
+
+    actual = {
+        "counters": counts,
+        "final": service.snapshots[-1].to_dict(),
+    }
+
+    if os.environ.get(UPDATE_ENV):
+        BASELINE_PATH.write_text(
+            json.dumps(
+                {"epochs": EPOCHS, **actual}, sort_keys=True, indent=2
+            )
+            + "\n"
+        )
+        return
+
+    baseline = json.loads(BASELINE_PATH.read_text())
+    assert baseline["epochs"] == EPOCHS
+    assert actual["counters"] == baseline["counters"], (
+        "the seeded churn day drifted; refresh the baseline if the "
+        f"change is intentional ({UPDATE_ENV}=1)"
+    )
+    assert actual["final"] == baseline["final"]

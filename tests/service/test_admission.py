@@ -310,3 +310,156 @@ class TestBatchScalarIdentity:
             for seed in range(4)
         ]
         assert any(total > 0 for total in totals)
+
+
+# ----------------------------------------------------------------------
+# Capacity-aware admission (the elastic provider hook)
+# ----------------------------------------------------------------------
+
+from repro.faults import FaultConfig, FaultPlan
+from repro.providers import ElasticProvider
+from repro.service.admission import NO_DURABLE_CAPACITY
+
+
+def _elastic(spot_reclaimed=False):
+    """A 4-node pool: durable {0, 1}, spot {2, 3} (optionally reclaimed)."""
+    churn = FaultPlan(FaultConfig(
+        seed=0,
+        preemption_rate=1.0 if spot_reclaimed else 0.0,
+        preemption_warning_epochs=0,
+    ))
+    provider = ElasticProvider(
+        4, initial_nodes=4, spot_fraction=0.5, churn=churn,
+    )
+    if spot_reclaimed:
+        provider.poll(0)
+    return provider
+
+
+class TestCapacityAwareness:
+    def test_free_nodes_exclude_nonschedulable_capacity(self):
+        provider = _elastic(spot_reclaimed=True)
+        controller = AdmissionController(FakeModel(), SPEC_4,
+                                         capacity=provider)
+        assert controller.free_nodes(None) == [0, 1]
+
+    def test_mission_critical_only_on_durable_nodes(self):
+        controller = AdmissionController(FakeModel(), SPEC_4,
+                                         capacity=_elastic())
+        decision = controller.try_admit(
+            None, [], Job("mc", "wl", num_units=2, qos_target=2.0)
+        )
+        assert decision.admitted
+        assert set(decision.placement.nodes_of("mc")) <= {0, 1}
+
+    def test_mission_critical_rejected_when_only_spot_remains(self):
+        controller = AdmissionController(FakeModel(), SPEC_4,
+                                         capacity=_elastic())
+        decision = controller.try_admit(
+            None, [], Job("mc", "wl", num_units=3, qos_target=2.0)
+        )
+        assert not decision.admitted
+        assert decision.reason == NO_DURABLE_CAPACITY
+
+    def test_batch_jobs_may_use_spot_capacity(self):
+        controller = AdmissionController(FakeModel(), SPEC_4,
+                                         capacity=_elastic())
+        decision = controller.try_admit(
+            None, [], Job("batch", "wl", num_units=4)
+        )
+        assert decision.admitted
+        assert set(decision.placement.nodes_of("batch")) == {0, 1, 2, 3}
+
+
+class TestVanishedNodeRace:
+    """A reclaim racing the admit phase must requeue, never raise."""
+
+    def test_decision_still_valid_tracks_pool_loss(self):
+        provider = _elastic()
+        controller = AdmissionController(FakeModel(), SPEC_4,
+                                         capacity=provider)
+        decision = controller.try_admit(
+            None, [], Job("batch", "wl", num_units=4)
+        )
+        assert decision.admitted
+        assert controller.decision_still_valid(decision)
+        provider.churn = FaultPlan(FaultConfig(
+            seed=0, preemption_rate=1.0, preemption_warning_epochs=0,
+        ))
+        provider.poll(0)  # spot nodes 2, 3 vanish under the decision
+        assert not controller.decision_still_valid(decision)
+
+    def test_without_capacity_decisions_never_go_stale(self):
+        controller = AdmissionController(FakeModel(), SPEC_4)
+        decision = controller.try_admit(
+            None, [], Job("batch", "wl", num_units=4)
+        )
+        assert controller.decision_still_valid(decision)
+
+    def test_unadmitted_decisions_are_trivially_valid(self):
+        controller = AdmissionController(FakeModel(), SPEC_4,
+                                         capacity=_elastic())
+        decision = controller.try_admit(
+            None, [], Job("big", "wl", num_units=5)
+        )
+        assert not decision.admitted
+        assert controller.decision_still_valid(decision)
+
+    def test_mission_critical_decision_stales_if_durable_drains(self):
+        provider = _elastic()
+        controller = AdmissionController(FakeModel(), SPEC_4,
+                                         capacity=provider)
+        decision = controller.try_admit(
+            None, [], Job("mc", "wl", num_units=2, qos_target=2.0)
+        )
+        assert decision.admitted
+        # A durable node can never drain in production; simulate the
+        # defensive branch by shrinking it out from under the decision.
+        provider.shrink([0], epoch=0)
+        assert not controller.decision_still_valid(decision)
+
+    def test_service_requeues_instead_of_raising(self):
+        # White-box replay of the race at the service layer: a queued
+        # job's admission decision goes stale between prediction and
+        # commit.  The service logs job_requeue (reason node-vanished)
+        # and keeps the job queued without burning a retry.
+        from repro.service.loop import ConsolidationService, _QueuedJob
+        from repro.service.stream import FixedStream
+        from tests._synthetic import quiet_runner
+
+        provider = _elastic()
+        runner = quiet_runner(num_nodes=4)
+        service = ConsolidationService(
+            runner, FakeModel(), FixedStream(), provider=provider,
+        )
+        # The scalar FakeModel lacks the batch interface the OnlineModel
+        # wrapper advertises; point the controller at it directly.
+        service.admission.model = FakeModel()
+        job = Job("batch", "A", num_units=4)
+        service._queue.append(_QueuedJob(job))
+
+        original = service.admission.decision_still_valid
+        race = {"armed": True}
+
+        def stale_once(decision):
+            if race.pop("armed", False):
+                provider.churn = FaultPlan(FaultConfig(
+                    seed=0, preemption_rate=1.0,
+                    preemption_warning_epochs=0,
+                ))
+                provider.poll(0)  # the reclaim lands mid-admit
+                return original(decision)
+            return original(decision)
+
+        service.admission.decision_still_valid = stale_once
+        service._admit(0)
+
+        requeues = service.log.of_kind("job_requeue")
+        assert len(requeues) == 1
+        payload = dict(requeues[0].payload)
+        assert payload["job"] == "batch"
+        assert payload["reason"] == "node-vanished"
+        assert service.queue_depth == 1
+        assert service._queue[0].failures == 0
+        assert service.requeued_total == 1
+        assert service.tenants == []
